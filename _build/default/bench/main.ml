@@ -1,0 +1,152 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, runs the ablation studies, and times the schedulers with
+   Bechamel.
+
+     dune exec bench/main.exe                 # everything, full sweep
+     dune exec bench/main.exe -- --quick      # reduced sweep
+     dune exec bench/main.exe -- fig3 table2  # selected targets
+
+   Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 ablation micro
+   (default: all). *)
+
+module Config = Mlbs_workload.Config
+module Figures = Mlbs_workload.Figures
+module Report = Mlbs_workload.Report
+module Ablation = Mlbs_workload.Ablation
+module Experiment = Mlbs_workload.Experiment
+module Model = Mlbs_core.Model
+module Scheduler = Mlbs_core.Scheduler
+module Emodel = Mlbs_core.Emodel
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "%s\n%s\n%s\n%!" bar title bar
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+
+(* ------------------------ paper tables ----------------------------- *)
+
+let run_table n render =
+  section (Printf.sprintf "Table %s (fixture walkthrough)" n);
+  timed (fun () -> print_string (render ()))
+
+(* ------------------------ paper figures ---------------------------- *)
+
+let run_figure cfg name build =
+  section (Printf.sprintf "%s (density sweep: %s seeds x %s node counts)"
+             (String.capitalize_ascii name)
+             (string_of_int (List.length cfg.Config.seeds))
+             (string_of_int (List.length cfg.Config.node_counts)));
+  timed (fun () -> print_string (Report.render_figure (build cfg)))
+
+(* -------------------------- ablations ------------------------------ *)
+
+let run_ablation cfg =
+  section "Ablations (DESIGN.md design choices)";
+  timed (fun () ->
+      let small = { cfg with Config.seeds = [ 1; 2; 3 ] } in
+      Mlbs_util.Tab.print (Ablation.selector_table small ~n:150);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.wake_family_table small ~n:100 ~rate:10);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.lookahead_table small ~n:150);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.relay_set_table small ~n:150);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.localized_table small ~n:150 ~rate:None);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.localized_table small ~n:100 ~rate:(Some 10));
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.shape_table small ~n:150);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.protocol_table small ~n:150);
+      print_newline ();
+      Mlbs_util.Tab.print (Ablation.resilience_table small ~n:150 ~kill_fraction:0.1))
+
+(* ------------------------ bechamel micro --------------------------- *)
+
+let micro_tests cfg =
+  let open Bechamel in
+  let inst = Experiment.make_instance cfg ~n:150 ~seed:1 in
+  let net = inst.Experiment.net in
+  let n = Mlbs_wsn.Network.n_nodes net in
+  let sync_model = Model.create net Model.Sync in
+  let wake = Wake_schedule.create ~rate:10 ~n_nodes:n ~seed:1 () in
+  let async_model = Model.create net (Model.Async wake) in
+  let source = inst.Experiment.source in
+  let run model policy () = ignore (Scheduler.run model policy ~source ~start:1) in
+  let budget = cfg.Config.budget in
+  [
+    Test.make ~name:"fig3/26-approx" (Staged.stage (run sync_model Scheduler.Baseline));
+    Test.make ~name:"fig3/G-OPT" (Staged.stage (run sync_model (Scheduler.Gopt budget)));
+    Test.make ~name:"fig3/E-model" (Staged.stage (run sync_model Scheduler.Emodel));
+    Test.make ~name:"fig4/17-approx" (Staged.stage (run async_model Scheduler.Baseline));
+    Test.make ~name:"fig4/G-OPT" (Staged.stage (run async_model (Scheduler.Gopt budget)));
+    Test.make ~name:"fig4/E-model" (Staged.stage (run async_model Scheduler.Emodel));
+    Test.make ~name:"table2/trace" (Staged.stage (fun () -> ignore (Mlbs_workload.Figures.table2 ())));
+    Test.make ~name:"table3/trace" (Staged.stage (fun () -> ignore (Mlbs_workload.Figures.table3 ())));
+    Test.make ~name:"table4/trace" (Staged.stage (fun () -> ignore (Mlbs_workload.Figures.table4 ())));
+    Test.make ~name:"extension/localized protocol"
+      (Staged.stage (fun () ->
+           ignore (Mlbs_core.Localized.run sync_model ~source ~start:1)));
+    Test.make ~name:"extension/CDS baseline"
+      (Staged.stage (fun () ->
+           ignore (Mlbs_core.Baseline_cds.plan sync_model ~source ~start:1)));
+    Test.make ~name:"extension/distributed protocol (beacons)"
+      (Staged.stage (fun () ->
+           ignore (Mlbs_proto.Broadcast_protocol.run sync_model ~source ~start:1)));
+    Test.make ~name:"substrate/E-tuple construction"
+      (Staged.stage (fun () -> ignore (Emodel.compute sync_model)));
+    Test.make ~name:"substrate/UDG deployment (n=150)"
+      (Staged.stage (fun () ->
+           ignore
+             (Mlbs_wsn.Deployment.generate (Mlbs_prng.Rng.create 1)
+                (Mlbs_wsn.Deployment.paper_spec ~n_nodes:150))));
+  ]
+
+let run_micro cfg =
+  section "Bechamel micro-benchmarks (one scheduling run, n=150)";
+  timed (fun () ->
+      let open Bechamel in
+      let test = Test.make_grouped ~name:"mlbs" (micro_tests cfg) in
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg_b = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
+      let raw = Benchmark.all cfg_b instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
+      List.iter
+        (fun (name, result) ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-40s %14.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+        (List.sort compare rows))
+
+(* ----------------------------- main -------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let targets = List.filter (fun a -> a <> "--quick") args in
+  let targets = if targets = [] then [ "all" ] else targets in
+  let want t = List.mem t targets || List.mem "all" targets in
+  let cfg = if quick then Config.quick else Config.default in
+  let total0 = Unix.gettimeofday () in
+  if want "table2" then run_table "II" Figures.table2;
+  if want "table3" then run_table "III" Figures.table3;
+  if want "table4" then run_table "IV" Figures.table4;
+  if want "fig3" then run_figure cfg "fig3" Figures.fig3;
+  if want "fig4" then run_figure cfg "fig4" Figures.fig4;
+  if want "fig5" then run_figure cfg "fig5" Figures.fig5;
+  if want "fig6" then run_figure cfg "fig6" Figures.fig6;
+  if want "fig7" then run_figure cfg "fig7" Figures.fig7;
+  if want "ablation" then run_ablation cfg;
+  if want "micro" then run_micro cfg;
+  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. total0)

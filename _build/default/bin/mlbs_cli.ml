@@ -1,0 +1,320 @@
+(* mlbs — command-line driver for the minimum-latency broadcast library.
+
+   Subcommands:
+     generate    sample a deployment and print its topology statistics
+     schedule    run one scheduling policy on a deployment and print the plan
+     trace       print the paper's Table II/III/IV walkthroughs
+     experiment  regenerate a figure of the paper's evaluation *)
+
+open Cmdliner
+
+module Rng = Mlbs_prng.Rng
+module Network = Mlbs_wsn.Network
+module Deployment = Mlbs_wsn.Deployment
+module Metrics = Mlbs_graph.Metrics
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+module Scheduler = Mlbs_core.Scheduler
+module Mcounter = Mlbs_core.Mcounter
+module Bounds = Mlbs_core.Bounds
+module Validate = Mlbs_sim.Validate
+module Config = Mlbs_workload.Config
+module Figures = Mlbs_workload.Figures
+module Report = Mlbs_workload.Report
+
+(* ------------------------- common args ----------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 150
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes to deploy (paper: 50-300).")
+
+let rate_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "r"; "rate" ] ~docv:"RATE"
+        ~doc:"Duty-cycle rate in slots; omit for the synchronous system.")
+
+let make_network ~n ~seed =
+  Deployment.generate (Rng.create seed) (Deployment.paper_spec ~n_nodes:n)
+
+(* -------------------------- generate ------------------------------- *)
+
+let generate n seed save =
+  let net = make_network ~n ~seed in
+  let g = Network.graph net in
+  Printf.printf "deployment: n=%d seed=%d area=50x50ft radius=10ft\n" n seed;
+  Printf.printf "  edges:          %d\n" (Mlbs_graph.Graph.n_edges g);
+  Printf.printf "  average degree: %.2f\n" (Metrics.average_degree g);
+  Printf.printf "  diameter:       %d\n" (Metrics.diameter g);
+  Printf.printf "  density:        %.3f nodes/sqft\n" (Network.density net ~area:2500.);
+  (match save with
+  | Some path ->
+      Mlbs_workload.Persist.save_network path net;
+      Printf.printf "  saved to:       %s\n" path
+  | None -> ());
+  0
+
+let generate_cmd =
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Also write the deployment to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Sample a connected deployment and print statistics")
+    Term.(const generate $ nodes_arg $ seed_arg $ save_arg)
+
+(* -------------------------- schedule ------------------------------- *)
+
+let policy_conv =
+  let parse = function
+    | "baseline" -> Ok Scheduler.Baseline
+    | "opt" -> Ok Scheduler.opt
+    | "gopt" -> Ok Scheduler.gopt
+    | "emodel" -> Ok Scheduler.Emodel
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (baseline|opt|gopt|emodel)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | Scheduler.Baseline -> "baseline"
+      | Scheduler.Opt _ -> "opt"
+      | Scheduler.Gopt _ -> "gopt"
+      | Scheduler.Emodel -> "emodel")
+  in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value & opt policy_conv Scheduler.Emodel
+    & info [ "p"; "policy" ] ~docv:"POLICY" ~doc:"baseline | opt | gopt | emodel.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every advance of the schedule.")
+
+let schedule n seed rate policy verbose load save =
+  let net = match load with Some path -> Mlbs_workload.Persist.load_network path | None -> make_network ~n ~seed in
+  let n = Network.n_nodes net in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed ())
+  in
+  let model = Model.create net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let plan = Scheduler.run model policy ~source ~start:1 in
+  let d = Bounds.source_depth model ~source in
+  let report = Validate.check model plan in
+  Printf.printf "policy=%s source=%d d=%d\n" (Scheduler.name ~system policy) source d;
+  Printf.printf "latency:       %d %s\n" (Schedule.elapsed plan)
+    (match rate with None -> "rounds" | Some _ -> "slots");
+  Printf.printf "transmissions: %d\n" (Schedule.n_transmissions plan);
+  Printf.printf "radio replay:  %s\n" (if report.Validate.ok then "valid" else "INVALID");
+  (match rate with
+  | None -> Printf.printf "theorem 1:     < %d rounds\n" (Bounds.opt_sync ~d)
+  | Some r -> Printf.printf "theorem 1:     < %d slots\n" (Bounds.opt_async ~d ~rate:r));
+  if verbose then Format.printf "%a@." Schedule.pp plan;
+  (match save with
+  | Some path ->
+      Mlbs_workload.Persist.save_schedule path plan;
+      Printf.printf "schedule saved: %s\n" path
+  | None -> ());
+  if report.Validate.ok then 0 else 1
+
+let schedule_cmd =
+  let load_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:"Schedule over a deployment saved by 'generate --save' instead of sampling.")
+  in
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-schedule" ] ~docv:"FILE" ~doc:"Write the computed schedule to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run one scheduling policy on a deployment")
+    Term.(
+      const schedule $ nodes_arg $ seed_arg $ rate_arg $ policy_arg $ verbose_arg
+      $ load_arg $ save_arg)
+
+(* ---------------------------- trace -------------------------------- *)
+
+let trace table =
+  (match table with
+  | "2" -> print_string (Figures.table2 ())
+  | "3" -> print_string (Figures.table3 ())
+  | "4" -> print_string (Figures.table4 ())
+  | "all" ->
+      print_string (Figures.table2 ());
+      print_newline ();
+      print_string (Figures.table3 ());
+      print_newline ();
+      print_string (Figures.table4 ())
+  | other -> Printf.eprintf "unknown table %S (2|3|4|all)\n" other);
+  0
+
+let trace_cmd =
+  let table_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE" ~doc:"2 | 3 | 4 | all")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the paper's Table II/III/IV schedule walkthroughs")
+    Term.(const trace $ table_arg)
+
+(* ----------------------- tree / energy ----------------------------- *)
+
+let tree n seed rate policy =
+  let net = make_network ~n ~seed in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed ())
+  in
+  let model = Model.create net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let plan = Scheduler.run model policy ~source ~start:1 in
+  let tree = Mlbs_core.Broadcast_tree.of_schedule model plan in
+  Printf.printf "policy=%s source=%d\n" (Scheduler.name ~system policy) source;
+  Printf.printf "tree height:   %d\n" (Mlbs_core.Broadcast_tree.height tree);
+  let relays = Mlbs_core.Broadcast_tree.relays tree in
+  Printf.printf "relays:        %d of %d nodes\n" (List.length relays) n;
+  let widths = List.map (fun u -> List.length (Mlbs_core.Broadcast_tree.children tree u)) relays in
+  Printf.printf "max fan-out:   %d\n" (List.fold_left max 0 widths);
+  Printf.printf "mean fan-out:  %.2f\n"
+    (float_of_int (List.fold_left ( + ) 0 widths) /. float_of_int (List.length relays));
+  0
+
+let tree_cmd =
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Show the broadcast tree a policy induces")
+    Term.(const tree $ nodes_arg $ seed_arg $ rate_arg $ policy_arg)
+
+let energy n seed rate policy =
+  let net = make_network ~n ~seed in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed ())
+  in
+  let model = Model.create net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let plan = Scheduler.run model policy ~source ~start:1 in
+  let r = Mlbs_sim.Energy.charge model plan in
+  Printf.printf "policy=%s latency=%d\n" (Scheduler.name ~system policy)
+    (Schedule.elapsed plan);
+  Printf.printf "energy total:  %.1f\n" r.Mlbs_sim.Energy.total;
+  Printf.printf "  transmit:    %.1f\n" r.Mlbs_sim.Energy.tx_energy;
+  Printf.printf "  receive:     %.1f\n" r.Mlbs_sim.Energy.rx_energy;
+  Printf.printf "  idle listen: %.1f\n" r.Mlbs_sim.Energy.idle_energy;
+  let worst = Array.fold_left max 0. r.Mlbs_sim.Energy.per_node in
+  Printf.printf "  hottest node: %.1f\n" worst;
+  0
+
+let energy_cmd =
+  Cmd.v
+    (Cmd.info "energy" ~doc:"Charge a policy's schedule under the radio energy model")
+    Term.(const energy $ nodes_arg $ seed_arg $ rate_arg $ policy_arg)
+
+let localized n seed rate =
+  let net = make_network ~n ~seed in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed ())
+  in
+  let model = Model.create net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let r = Mlbs_core.Localized.run model ~source ~start:1 in
+  let check = Mlbs_sim.Validate.check_lossy model r.Mlbs_core.Localized.schedule in
+  Printf.printf "localized protocol (2-hop views, E-based selection, exponential back-off)\n";
+  Printf.printf "latency:         %d %s\n" r.Mlbs_core.Localized.latency
+    (match rate with None -> "rounds" | Some _ -> "slots");
+  Printf.printf "collisions:      %d\n" r.Mlbs_core.Localized.collisions;
+  Printf.printf "retransmissions: %d\n" r.Mlbs_core.Localized.retransmissions;
+  Printf.printf "coverage:        %s\n"
+    (if check.Mlbs_sim.Validate.ok then "complete" else "INCOMPLETE");
+  (* The fully distributed variant: beacons only, no oracle. *)
+  let d = Mlbs_proto.Broadcast_protocol.run model ~source ~start:1 in
+  Printf.printf "\nfully distributed (beacons only):\n";
+  Printf.printf "latency:         %d\n" d.Mlbs_proto.Broadcast_protocol.latency;
+  Printf.printf "collisions:      %d\n" d.Mlbs_proto.Broadcast_protocol.collisions;
+  Printf.printf "retransmissions: %d\n" d.Mlbs_proto.Broadcast_protocol.retransmissions;
+  Printf.printf "beacons sent:    %d\n" d.Mlbs_proto.Broadcast_protocol.beacon_messages;
+  Printf.printf "E-build msgs:    %d (Theorem 3 bound: %d)\n"
+    d.Mlbs_proto.Broadcast_protocol.e_messages (4 * n);
+  (* Compare against the centralized E-model on the same instance. *)
+  let plan = Scheduler.run model Scheduler.Emodel ~source ~start:1 in
+  Printf.printf "\ncentralized E-model: %d\n" (Schedule.elapsed plan);
+  if check.Mlbs_sim.Validate.ok then 0 else 1
+
+let localized_cmd =
+  Cmd.v
+    (Cmd.info "localized"
+       ~doc:"Simulate the localized (future-work) protocol and compare to centralized")
+    Term.(const localized $ nodes_arg $ seed_arg $ rate_arg)
+
+(* -------------------------- experiment ----------------------------- *)
+
+let experiment figure quick csv_dir =
+  let cfg = if quick then Config.quick else Config.default in
+  let figures =
+    match figure with
+    | "fig3" -> [ Figures.fig3 cfg ]
+    | "fig4" -> [ Figures.fig4 cfg ]
+    | "fig5" -> [ Figures.fig5 cfg ]
+    | "fig6" -> [ Figures.fig6 cfg ]
+    | "fig7" -> [ Figures.fig7 cfg ]
+    | "all" ->
+        [ Figures.fig3 cfg; Figures.fig4 cfg; Figures.fig5 cfg; Figures.fig6 cfg;
+          Figures.fig7 cfg ]
+    | other ->
+        Printf.eprintf "unknown figure %S (fig3..fig7|all)\n" other;
+        exit 2
+  in
+  List.iter
+    (fun f ->
+      print_string (Report.render_figure f);
+      print_newline ();
+      match csv_dir with
+      | Some dir -> Printf.printf "wrote %s\n" (Report.write_csv ~dir f)
+      | None -> ())
+    figures;
+  0
+
+let experiment_cmd =
+  let figure_arg =
+    Arg.(value & pos 0 string "all" & info [] ~docv:"FIGURE" ~doc:"fig3..fig7 | all")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep (3 node counts, 2 seeds).")
+  in
+  let csv_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write one CSV per figure into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
+    Term.(const experiment $ figure_arg $ quick_arg $ csv_arg)
+
+let () =
+  let info =
+    Cmd.info "mlbs" ~version:"1.0.0"
+      ~doc:
+        "Minimum-latency broadcast scheduling with conflict awareness in WSNs \
+         (Jiang et al., ICPP 2012)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd; schedule_cmd; trace_cmd; experiment_cmd; tree_cmd; energy_cmd;
+            localized_cmd;
+          ]))

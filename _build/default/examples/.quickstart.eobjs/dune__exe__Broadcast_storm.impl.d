@@ -1,0 +1,1 @@
+examples/broadcast_storm.ml: Mlbs_core Mlbs_graph Mlbs_prng Mlbs_wsn Printf

@@ -1,0 +1,1 @@
+examples/density_sweep.ml: List Mlbs_util Mlbs_workload Printf

@@ -1,0 +1,1 @@
+examples/duty_cycle_alert.ml: Mlbs_core Mlbs_dutycycle Mlbs_prng Mlbs_sim Mlbs_wsn Printf

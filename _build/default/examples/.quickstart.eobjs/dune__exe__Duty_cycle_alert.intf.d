@@ -1,0 +1,1 @@
+examples/duty_cycle_alert.mli:

@@ -1,0 +1,1 @@
+examples/fig1_walkthrough.ml: List Mlbs_core Mlbs_geom Mlbs_util Mlbs_workload Printf

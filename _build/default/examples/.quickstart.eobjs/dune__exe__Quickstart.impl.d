@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mlbs_core Mlbs_graph Mlbs_prng Mlbs_sim Mlbs_wsn Printf

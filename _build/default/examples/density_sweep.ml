@@ -1,0 +1,47 @@
+(* A miniature of the paper's Figure 3 experiment: how broadcast latency
+   responds to deployment density under each scheduling policy, plus the
+   paper's observation that latency drops again once density passes
+   ~0.1 nodes/sqft (denser relays inform more receivers per cast).
+
+     dune exec examples/density_sweep.exe *)
+
+module Config = Mlbs_workload.Config
+module Experiment = Mlbs_workload.Experiment
+module Tab = Mlbs_util.Tab
+
+let () =
+  let cfg =
+    {
+      Config.quick with
+      Config.node_counts = [ 50; 100; 200; 300 ];
+      seeds = [ 1; 2; 3 ];
+    }
+  in
+  let tab =
+    Tab.create ~title:"mean broadcast latency (rounds), synchronous system"
+      [ "density"; "n"; "26-approx"; "OPT"; "G-OPT"; "E-model" ]
+  in
+  List.iter
+    (fun n ->
+      let runs =
+        List.map
+          (fun seed -> Experiment.run_sync cfg (Experiment.make_instance cfg ~n ~seed))
+          cfg.Config.seeds
+      in
+      let means = Experiment.mean_by_policy runs in
+      let v p = List.assoc p means in
+      Tab.add_row tab
+        [
+          Printf.sprintf "%.2f" (float_of_int n /. 2500.);
+          string_of_int n;
+          Printf.sprintf "%.1f" (v "26-approx");
+          Printf.sprintf "%.1f" (v "OPT");
+          Printf.sprintf "%.1f" (v "G-OPT");
+          Printf.sprintf "%.1f" (v "E-model");
+        ])
+    cfg.Config.node_counts;
+  Tab.print tab;
+  print_endline
+    "note how the layered baseline degrades with density (larger color\n\
+     cliques per BFS layer) while the pipelined policies stay near the\n\
+     d+2 optimum and even improve at high density."

@@ -1,0 +1,1 @@
+lib/core/baseline17.ml: Baseline26 Hashtbl List Mlbs_dutycycle Mlbs_graph Mlbs_util Model Option Schedule

@@ -1,0 +1,1 @@
+lib/core/baseline17.mli: Model Schedule

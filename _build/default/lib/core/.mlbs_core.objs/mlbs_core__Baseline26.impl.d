@@ -1,0 +1,1 @@
+lib/core/baseline26.ml: List Mlbs_graph Mlbs_util Model Schedule

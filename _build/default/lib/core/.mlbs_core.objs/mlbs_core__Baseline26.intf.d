@@ -1,0 +1,1 @@
+lib/core/baseline26.mli: Model Schedule

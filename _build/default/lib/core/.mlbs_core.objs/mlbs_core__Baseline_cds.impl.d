@@ -1,0 +1,1 @@
+lib/core/baseline_cds.ml: List Mlbs_graph Mlbs_util Model Schedule

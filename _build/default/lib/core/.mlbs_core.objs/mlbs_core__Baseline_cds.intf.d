@@ -1,0 +1,1 @@
+lib/core/baseline_cds.mli: Model Schedule

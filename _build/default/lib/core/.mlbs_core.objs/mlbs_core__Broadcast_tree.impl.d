@@ -1,0 +1,1 @@
+lib/core/broadcast_tree.ml: Array List Mlbs_graph Mlbs_util Model Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/broadcast_tree.mli: Model Schedule

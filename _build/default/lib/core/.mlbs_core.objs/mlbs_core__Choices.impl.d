@@ -1,0 +1,1 @@
+lib/core/choices.ml: Array List Mlbs_graph Mlbs_util Model

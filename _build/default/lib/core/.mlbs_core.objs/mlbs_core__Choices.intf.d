@@ -1,0 +1,1 @@
+lib/core/choices.mli: Model

@@ -1,0 +1,1 @@
+lib/core/emodel.ml: Array List Mlbs_dutycycle Mlbs_geom Mlbs_util Mlbs_wsn Model Printf Schedule

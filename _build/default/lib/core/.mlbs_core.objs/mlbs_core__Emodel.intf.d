@@ -1,0 +1,1 @@
+lib/core/emodel.mli: Mlbs_geom Model Schedule

@@ -1,0 +1,1 @@
+lib/core/flooding.ml: Array Fun List Mlbs_dutycycle Mlbs_graph Mlbs_util Model Schedule

@@ -1,0 +1,1 @@
+lib/core/flooding.mli: Model Schedule

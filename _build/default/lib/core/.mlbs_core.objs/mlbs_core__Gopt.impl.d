@@ -1,0 +1,1 @@
+lib/core/gopt.ml: Choices Mcounter Model

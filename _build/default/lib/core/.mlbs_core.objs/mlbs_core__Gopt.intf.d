@@ -1,0 +1,1 @@
+lib/core/gopt.mli: Mcounter Model Schedule

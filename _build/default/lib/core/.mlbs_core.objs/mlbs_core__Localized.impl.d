@@ -1,0 +1,1 @@
+lib/core/localized.ml: Array Emodel Fun List Mlbs_dutycycle Mlbs_graph Mlbs_util Model Printf Schedule

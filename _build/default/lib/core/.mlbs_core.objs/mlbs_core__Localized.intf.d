@@ -1,0 +1,1 @@
+lib/core/localized.mli: Emodel Model Schedule

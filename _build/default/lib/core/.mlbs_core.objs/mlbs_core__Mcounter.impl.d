@@ -1,0 +1,1 @@
+lib/core/mcounter.ml: Choices Hashtbl List Mlbs_graph Mlbs_util Model Option Schedule

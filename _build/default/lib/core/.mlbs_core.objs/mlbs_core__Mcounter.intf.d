@@ -1,0 +1,1 @@
+lib/core/mcounter.mli: Choices Mlbs_util Model Schedule

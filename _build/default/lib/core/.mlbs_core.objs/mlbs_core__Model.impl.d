@@ -1,0 +1,1 @@
+lib/core/model.ml: List Mlbs_dutycycle Mlbs_graph Mlbs_util Mlbs_wsn Printf

@@ -1,0 +1,1 @@
+lib/core/opt.ml: Choices Mcounter Model

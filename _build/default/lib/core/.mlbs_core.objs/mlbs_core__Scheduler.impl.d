@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Baseline17 Baseline26 Emodel Gopt Mcounter Model Opt

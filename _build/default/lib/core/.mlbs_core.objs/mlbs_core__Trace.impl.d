@@ -1,0 +1,1 @@
+lib/core/trace.ml: Buffer Choices List Mcounter Mlbs_util Model Printf Schedule String

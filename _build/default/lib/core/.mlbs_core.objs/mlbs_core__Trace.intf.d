@@ -1,0 +1,1 @@
+lib/core/trace.mli: Choices Mcounter Model Schedule

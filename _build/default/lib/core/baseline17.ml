@@ -1,0 +1,47 @@
+module Bitset = Mlbs_util.Bitset
+module Bfs = Mlbs_graph.Bfs
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+
+let plan model ~source ~start =
+  let sched =
+    match Model.system model with
+    | Model.Async s -> s
+    | Model.Sync -> invalid_arg "Baseline17.plan: duty-cycle model required"
+  in
+  let layers = Bfs.layers (Model.graph model) ~source in
+  let w = ref (Model.initial_w model ~source) in
+  (* release = the slot after which the next color may begin sending. *)
+  let release = ref (start - 1) in
+  let steps = ref [] in
+  (* Transmissions of one color: every sender fires at its own next
+     wake-up after the color is released; group them per slot. *)
+  let fire_class senders =
+    let timed =
+      List.map (fun u -> (Wake_schedule.next_wake sched u ~after:!release, u)) senders
+    in
+    let sorted = List.sort compare timed in
+    let by_slot = Hashtbl.create 8 in
+    List.iter
+      (fun (slot, u) ->
+        Hashtbl.replace by_slot slot
+          (u :: Option.value ~default:[] (Hashtbl.find_opt by_slot slot)))
+      sorted;
+    let slots = List.sort_uniq compare (List.map fst sorted) in
+    List.iter
+      (fun slot ->
+        let group = List.rev (Hashtbl.find by_slot slot) in
+        let w' = Model.apply model ~w:!w ~senders:group in
+        let informed = Bitset.elements (Bitset.diff w' !w) in
+        steps := { Schedule.slot; senders = group; informed } :: !steps;
+        w := w')
+      slots;
+    release := List.fold_left (fun acc (slot, _) -> max acc slot) !release timed
+  in
+  List.iter
+    (fun layer ->
+      let classes = Baseline26.layer_classes model ~w:!w layer in
+      List.iter (fun senders -> if senders <> [] then fire_class senders) classes)
+    layers;
+  if not (Model.complete model ~w:!w) then
+    failwith "Baseline17.plan: broadcast did not cover the network (disconnected?)";
+  Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start (List.rev !steps)

@@ -1,0 +1,44 @@
+module Bitset = Mlbs_util.Bitset
+module Bfs = Mlbs_graph.Bfs
+module Coloring = Mlbs_graph.Coloring
+module Graph = Mlbs_graph.Graph
+
+(* Colour the relays of one BFS layer: relays are the layer members with
+   an uninformed neighbour; "uninformed" for both receivers and the
+   conflict clique is everything deeper than the layer — that is what a
+   hop-distance scheme knows. *)
+let layer_classes model ~w layer =
+  let relays = List.filter (fun u -> Model.n_receivers model ~w u > 0) layer in
+  let uninformed = Bitset.complement w in
+  let counts = List.map (fun u -> (u, Model.n_receivers model ~w u)) relays in
+  let order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v in
+  let conflicts (u, _) (v, _) =
+    u <> v && Graph.common_neighbor_in (Model.graph model) u v ~candidates:uninformed
+  in
+  Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst)
+
+let plan model ~source ~start =
+  (match Model.system model with
+  | Model.Sync -> ()
+  | Model.Async _ -> invalid_arg "Baseline26.plan: synchronous model required");
+  let layers = Bfs.layers (Model.graph model) ~source in
+  let w = ref (Model.initial_w model ~source) in
+  let t = ref start in
+  let steps = ref [] in
+  List.iter
+    (fun layer ->
+      (* One layer's colors fire in consecutive rounds before the next
+         layer may start. *)
+      let classes = layer_classes model ~w:!w layer in
+      List.iter
+        (fun senders ->
+          let w' = Model.apply model ~w:!w ~senders in
+          let informed = Bitset.elements (Bitset.diff w' !w) in
+          steps := { Schedule.slot = !t; senders; informed } :: !steps;
+          incr t;
+          w := w')
+        classes)
+    layers;
+  if not (Model.complete model ~w:!w) then
+    failwith "Baseline26.plan: broadcast did not cover the network (disconnected?)";
+  Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start (List.rev !steps)

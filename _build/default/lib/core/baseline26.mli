@@ -1,0 +1,20 @@
+(** The layer-synchronised baseline for the synchronous system — the
+    "26-approximation" of Chen, Qiao, Xu & Lee (INFOCOM 2007), the best
+    prior conflict-aware result the paper compares against (§V.A).
+
+    Operationally (as the paper simulates it): build a BFS from the
+    source; per 1-hop layer, apply the greedy color scheme to the
+    layer's relays; launch the colors in consecutive rounds; and only
+    start layer ℓ+1 once every color of layer ℓ has fired — the
+    synchronisation that blocks interference-free relays and that the
+    paper's pipeline removes. *)
+
+(** [plan model ~source ~start] computes the layered schedule. Raises
+    [Invalid_argument] under [Async] (use {!Baseline17}). *)
+val plan : Model.t -> source:int -> start:int -> Schedule.t
+
+(** [layer_classes model ~w layer] colours one BFS layer's relays the
+    way the hop-distance schemes do: relays are the layer members with
+    an uninformed neighbour; the greedy order is descending receiver
+    count. Shared with {!Baseline17}. *)
+val layer_classes : Model.t -> w:Model.Bitset.t -> int list -> int list list

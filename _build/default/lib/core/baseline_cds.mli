@@ -1,0 +1,17 @@
+(** A CDS-backbone layered baseline, after Gandhi, Mishra &
+    Parthasarathy [4] — the related-work scheme the 26-approximation
+    improved on.
+
+    The broadcast tree is built on a connected dominating set: only
+    backbone nodes (plus the source) relay; every other node is a leaf
+    that hears a backbone neighbour. Scheduling is still layer-
+    synchronised BFS with greedy coloring, so it shares the layered
+    schemes' blocking behaviour; restricting relays to the backbone
+    trades a few extra rounds of depth for far fewer transmissions.
+    Included for the ablation study ("how much of the baseline's cost is
+    the layering, how much the relay set"). *)
+
+(** [plan model ~source ~start] computes the schedule. Relays are
+    restricted to [CDS ∪ {source}]. Sync only: raises
+    [Invalid_argument] under [Async]. *)
+val plan : Model.t -> source:int -> start:int -> Schedule.t

@@ -1,0 +1,10 @@
+let opt_sync ~d = d + 2
+
+let opt_async ~d ~rate = 2 * rate * (d + 2)
+
+let jiao17 ~d ~rate = 17 * (2 * rate) * d
+
+let chen26 ~d = 26 * d
+
+let source_depth model ~source =
+  Mlbs_graph.Bfs.eccentricity (Model.graph model) ~source

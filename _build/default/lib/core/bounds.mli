@@ -1,0 +1,25 @@
+(** Analytical latency bounds (paper Theorem 1 and §VI) — the
+    "OPT-analysis" curves of Figures 3, 5 and 7.
+
+    All bounds are expressed as an elapsed latency (rounds/slots from
+    the source's transmission), with [d] the hop distance from the
+    source to the farthest node. *)
+
+(** Theorem 1, synchronous: [P(A) − t_s < d + 2], i.e. the pipelined
+    optimum needs fewer than [d + 2] rounds. *)
+val opt_sync : d:int -> int
+
+(** Theorem 1, duty cycle: [P(A) − t_s < 2r(d + 2)] slots. *)
+val opt_async : d:int -> rate:int -> int
+
+(** The upper bound of Jiao et al. [12] the paper quotes: total delay up
+    to [17·k·d] where [k] is the maximum wait between neighbours —
+    [k = 2r] in our wake model. *)
+val jiao17 : d:int -> rate:int -> int
+
+(** The 26-approximation guarantee of Chen et al. [2]: latency within
+    [26·d] of the optimal's trivial lower bound [d]. *)
+val chen26 : d:int -> int
+
+(** [source_depth model ~source] computes [d] for a concrete instance. *)
+val source_depth : Model.t -> source:int -> int

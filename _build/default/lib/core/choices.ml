@@ -1,0 +1,20 @@
+module Bitset = Mlbs_util.Bitset
+module Indep = Mlbs_graph.Indep
+
+type t = Greedy | All of { max_sets : int }
+
+let enumerate model space ~w ~slot =
+  match space with
+  | Greedy -> Model.greedy_classes model ~w ~slot
+  | All { max_sets } -> (
+      match Model.candidates model ~w ~slot with
+      | [] -> []
+      | cands ->
+          let arr = Array.of_list cands in
+          let uninformed = Bitset.complement w in
+          let conflict i j =
+            Mlbs_graph.Graph.common_neighbor_in (Model.graph model) arr.(i) arr.(j)
+              ~candidates:uninformed
+          in
+          Indep.maximal ~n:(Array.length arr) ~conflict ~limit:max_sets
+          |> List.map (List.map (fun i -> arr.(i))))

@@ -1,0 +1,39 @@
+(** Blind flooding — the broadcast-storm reference point ([17] in the
+    paper, Ni et al.).
+
+    Every informed node relays without any conflict awareness. In dense
+    networks simultaneous relays collide at their common neighbours and
+    the storm can leave nodes permanently uninformed — precisely the
+    failure mode conflict-aware scheduling exists to prevent. Two
+    variants:
+
+    - [Once]: the classic protocol — each node relays exactly once, at
+      its first opportunity after receiving. May not cover the network.
+    - [Persistent p]: each node with uninformed neighbours relays with
+      probability [p] at every active slot (deterministically hashed,
+      so runs are reproducible) until its neighbourhood is informed.
+      Converges with probability 1 for [0 < p < 1]; the price is
+      retransmissions.
+
+    Used by the motivation example and the bench's protocol-comparison
+    table. *)
+
+type variant = Once | Persistent of float
+
+type result = {
+  schedule : Schedule.t;  (** every transmission attempted *)
+  covered : bool;  (** did the message reach every node? *)
+  informed : int;  (** nodes holding the message at the end *)
+  latency : int;  (** slots until coverage (or until the run stopped) *)
+  collisions : int;
+  retransmissions : int;
+}
+
+(** [run ?max_slots model variant ~source ~start] simulates flooding.
+    [Once] stops when no transmission is pending; [Persistent] stops at
+    coverage or [max_slots] (default [64 * n * r]), whichever first —
+    running out of slots reports [covered = false] rather than raising,
+    since non-coverage is the phenomenon being measured. Raises
+    [Invalid_argument] for [Persistent p] outside (0, 1]. *)
+val run :
+  ?max_slots:int -> Model.t -> variant -> source:int -> start:int -> result

@@ -1,0 +1,6 @@
+let plan ?(budget = Mcounter.default_budget) model ~source ~start =
+  Mcounter.plan model Choices.Greedy ~budget ~source ~start
+
+let finish ?(budget = Mcounter.default_budget) model ~source ~start =
+  let w = Model.initial_w model ~source in
+  Mcounter.evaluate model Choices.Greedy ~budget ~w ~slot:start

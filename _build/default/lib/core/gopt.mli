@@ -1,0 +1,17 @@
+(** G-OPT (paper Eq. 7 sync / Eq. 8 async): at every advance, restrict
+    the choice space to the classes of the extended greedy color scheme
+    (Algorithm 1) and pick the class whose time counter [M] is smallest.
+
+    The paper's experiments find G-OPT within 2 rounds of OPT in the
+    synchronous system and identical in light duty cycle, at a fraction
+    of OPT's search cost — our experiments reproduce that comparison. *)
+
+(** [plan ?budget model ~source ~start] computes the G-OPT broadcast
+    schedule. *)
+val plan :
+  ?budget:Mcounter.budget -> Model.t -> source:int -> start:int -> Schedule.t
+
+(** [finish ?budget model ~source ~start] evaluates the G-OPT finish
+    slot without materialising the schedule. *)
+val finish :
+  ?budget:Mcounter.budget -> Model.t -> source:int -> start:int -> Mcounter.evaluation

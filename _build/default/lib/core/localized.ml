@@ -1,0 +1,135 @@
+module Bitset = Mlbs_util.Bitset
+module Graph = Mlbs_graph.Graph
+module Coloring = Mlbs_graph.Coloring
+
+
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+
+type result = {
+  schedule : Schedule.t;
+  latency : int;
+  collisions : int;
+  retransmissions : int;
+}
+
+(* Deterministic per-(node, failure-count) back-off: after the k-th
+   failed attempt a node stays silent for a pseudo-random number of its
+   own active slots drawn from a window that doubles with k (classic
+   binary exponential back-off, but reproducible). *)
+let backoff u fails =
+  let window = 1 lsl min fails 6 in
+  let h = (u * 2654435761) lxor (fails * 40503) in
+  (h land max_int) mod window
+
+let run ?tuples ?max_slots model ~source ~start =
+  let tuples = match tuples with Some t -> t | None -> Emodel.compute model in
+  let g = Model.graph model in
+  let n = Model.n_nodes model in
+  let rate = match Model.system model with Model.Sync -> 1 | Model.Async s -> Wake_schedule.rate s in
+  let max_slots = match max_slots with Some m -> m | None -> 64 * n * rate in
+  let w = ref (Model.initial_w model ~source) in
+  let has_sent = Array.make n 0 in
+  let silent_until = Array.make n 0 in
+  let fails = Array.make n 0 in
+  let steps = ref [] in
+  let collisions = ref 0 in
+  (* 2-hop visibility, precomputed once. *)
+  let two_hop =
+    Array.init n (fun u ->
+        let seen = Bitset.create n in
+        Graph.iter_neighbors g u ~f:(fun v ->
+            Bitset.add seen v;
+            Graph.iter_neighbors g v ~f:(Bitset.add seen));
+        Bitset.add seen u;
+        seen)
+  in
+  let awake u ~slot =
+    match Model.system model with
+    | Model.Sync -> true
+    | Model.Async sched -> Wake_schedule.awake sched u ~slot
+  in
+  (* One node's local decision: colour the candidates inside its 2-hop
+     view and fire iff it sits in the Eq.-10-selected class. *)
+  let wants_to_send u ~slot ~candidates =
+    let visible = List.filter (fun v -> Bitset.mem two_hop.(u) v) candidates in
+    let uninformed = Bitset.complement !w in
+    let counts = List.map (fun v -> (v, Model.n_receivers model ~w:!w v)) visible in
+    let order (a, ca) (b, cb) = if ca <> cb then compare cb ca else compare a b in
+    let conflicts (a, _) (b, _) =
+      a <> b && Graph.common_neighbor_in g a b ~candidates:uninformed
+    in
+    let classes = Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst) in
+    ignore slot;
+    match classes with
+    | [] -> false
+    | _ ->
+        let chosen = Emodel.select tuples model ~w:!w ~classes in
+        List.mem u (List.nth classes chosen)
+  in
+  let rec loop slot =
+    if Model.complete model ~w:!w then slot - 1
+    else if slot - start >= max_slots then
+      failwith
+        (Printf.sprintf "Localized.run: no convergence within %d slots (protocol livelock?)"
+           max_slots)
+    else begin
+      let candidates =
+        List.filter
+          (fun u ->
+            Bitset.mem !w u
+            && Model.n_receivers model ~w:!w u > 0
+            && awake u ~slot
+            && silent_until.(u) <= slot)
+          (List.init n Fun.id)
+      in
+      let senders = List.filter (fun u -> wants_to_send u ~slot ~candidates) candidates in
+      if senders = [] then loop (slot + 1)
+      else begin
+        (* Radio semantics: one audible transmission delivers, two or
+           more collide. *)
+        let received = ref [] in
+        for v = 0 to n - 1 do
+          if not (Bitset.mem !w v) then begin
+            match List.filter (fun u -> Graph.mem_edge g u v) senders with
+            | [] -> ()
+            | [ _ ] -> received := v :: !received
+            | _ -> incr collisions
+          end
+        done;
+        List.iter
+          (fun u ->
+            has_sent.(u) <- has_sent.(u) + 1;
+            (* Did this relay finish its neighbourhood? Overhearing and
+               the absence of beacon requests tell it; if receivers
+               remain it backs off before retrying. *)
+            let remaining =
+              Graph.fold_neighbors g u ~init:0 ~f:(fun acc v ->
+                  if Bitset.mem !w v || List.mem v !received then acc else acc + 1)
+            in
+            if remaining > 0 then begin
+              fails.(u) <- fails.(u) + 1;
+              (* Back off for a number of own active slots. *)
+              let skip = backoff u fails.(u) in
+              let rec nth_wake t k =
+                if k <= 0 then t
+                else
+                  let t' =
+                    match Model.system model with
+                    | Model.Sync -> t + 1
+                    | Model.Async sched -> Wake_schedule.next_wake sched u ~after:t
+                  in
+                  nth_wake t' (k - 1)
+              in
+              silent_until.(u) <- nth_wake slot (skip + 1)
+            end)
+          senders;
+        List.iter (Bitset.add !w) !received;
+        steps := { Schedule.slot; senders; informed = List.sort compare !received } :: !steps;
+        loop (slot + 1)
+      end
+    end
+  in
+  let finish = loop start in
+  let schedule = Schedule.make ~n_nodes:n ~source ~start (List.rev !steps) in
+  let retransmissions = Array.fold_left (fun acc k -> acc + max 0 (k - 1)) 0 has_sent in
+  { schedule; latency = finish - start + 1; collisions = !collisions; retransmissions }

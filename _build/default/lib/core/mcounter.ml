@@ -1,0 +1,263 @@
+module Bitset = Mlbs_util.Bitset
+module Bfs = Mlbs_graph.Bfs
+
+type budget = { max_states : int; lookahead : int; beam : int }
+
+let default_budget = { max_states = 200_000; lookahead = 2; beam = 4 }
+
+type evaluation = { finish : int; exact : bool; states : int }
+
+exception Exhausted
+
+let hop_lower_bound model ~w =
+  if Model.complete model ~w then 0
+  else begin
+    let r = Bfs.run_multi (Model.graph model) ~sources:(Bitset.elements w) in
+    let ubar = Bitset.complement w in
+    Bfs.max_dist_in r ~within:ubar
+  end
+
+let check_reachable model ~w =
+  if hop_lower_bound model ~w = max_int then
+    failwith "Mcounter: some node is unreachable from the informed set"
+
+(* Rank successors: fewest remaining hops first, then most coverage, then
+   enumeration order (stable sort keeps it deterministic). *)
+let ranked_successors model choices ~w =
+  let scored =
+    List.map
+      (fun c ->
+        let w' = Model.apply model ~w ~senders:c in
+        let lb = hop_lower_bound model ~w:w' in
+        (lb, -Bitset.cardinal w', c, w'))
+      choices
+  in
+  List.stable_sort
+    (fun (lb1, cov1, _, _) (lb2, cov2, _, _) ->
+      if lb1 <> lb2 then compare lb1 lb2 else compare cov1 cov2)
+    scored
+  |> List.map (fun (lb, _, c, w') -> (lb, c, w'))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic rollout: a cheap, always-terminating upper bound.     *)
+(* ------------------------------------------------------------------ *)
+
+let rollout_step model space ~w ~slot =
+  match Model.next_active_slot model ~w ~after:(slot - 1) with
+  | None -> None
+  | Some t' -> (
+      match Choices.enumerate model space ~w ~slot:t' with
+      | [] -> None
+      | choices -> (
+          match ranked_successors model choices ~w with
+          | (_, c, w') :: _ -> Some (t', c, w')
+          | [] -> None))
+
+let rollout_finish model space ~w ~slot =
+  check_reachable model ~w;
+  let rec loop w slot last =
+    if Model.complete model ~w then last
+    else
+      match rollout_step model space ~w ~slot with
+      | None -> failwith "Mcounter.rollout_finish: stuck before completion"
+      | Some (t', _, w') -> loop w' (t' + 1) t'
+  in
+  loop w slot (slot - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Exact memoised branch-and-bound.                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Wtbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let hash = Bitset.hash
+end)
+
+module Wstbl = Hashtbl.Make (struct
+  type t = Bitset.t * int
+
+  let equal (w1, s1) (w2, s2) = s1 = s2 && Bitset.equal w1 w2
+  let hash (w, s) = Bitset.hash w lxor (s * 0x9e3779b1)
+end)
+
+(* Sync: remaining advance count depends on W only. *)
+type sync_search = { memo : int Wtbl.t; mutable states : int; budget : budget }
+
+let rec sync_remaining model space s ~w =
+  if Model.complete model ~w then 0
+  else
+    match Wtbl.find_opt s.memo w with
+    | Some v -> v
+    | None ->
+        let choices = Choices.enumerate model space ~w ~slot:1 in
+        if choices = [] then failwith "Mcounter: no candidates before completion";
+        let succs = ranked_successors model choices ~w in
+        let best = ref max_int in
+        List.iter
+          (fun (lb, _, w') ->
+            (* Admissible pruning: this branch needs ≥ 1 + lb advances. *)
+            if lb <> max_int && 1 + lb < !best then begin
+              let v = 1 + sync_remaining model space s ~w:w' in
+              if v < !best then best := v
+            end)
+          succs;
+        if !best = max_int then failwith "Mcounter: dead end in sync search";
+        s.states <- s.states + 1;
+        if s.states > s.budget.max_states then raise Exhausted;
+        Wtbl.add s.memo w !best;
+        !best
+
+(* Async: finish time depends on (W, slot); idle gaps are skipped by
+   jumping to the next slot at which some frontier node is awake. *)
+type async_search = { amemo : int Wstbl.t; mutable astates : int; abudget : budget }
+
+let rec async_finish model space s ~w ~slot =
+  if Model.complete model ~w then slot - 1
+  else
+    match Model.next_active_slot model ~w ~after:(slot - 1) with
+    | None -> failwith "Mcounter: empty frontier before completion"
+    | Some t ->
+        let key = (w, t) in
+        (match Wstbl.find_opt s.amemo key with
+        | Some v -> v
+        | None ->
+            let choices = Choices.enumerate model space ~w ~slot:t in
+            if choices = [] then
+              failwith "Mcounter: active slot without candidates";
+            let succs = ranked_successors model choices ~w in
+            let best = ref max_int in
+            List.iter
+              (fun (lb, _, w') ->
+                (* finish ≥ t + lb: each remaining hop costs ≥ 1 slot. *)
+                if lb <> max_int && (!best = max_int || t + lb < !best) then begin
+                  let v = async_finish model space s ~w:w' ~slot:(t + 1) in
+                  if v < !best then best := v
+                end)
+              succs;
+            if !best = max_int then failwith "Mcounter: dead end in async search";
+            s.astates <- s.astates + 1;
+            if s.astates > s.abudget.max_states then raise Exhausted;
+            Wstbl.add s.amemo key !best;
+            !best)
+
+(* ------------------------------------------------------------------ *)
+(* Beam-limited lookahead fallback.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let take k xs =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go (max 0 k) xs
+
+let rec lookahead_value model space ~budget ~w ~slot ~depth =
+  if Model.complete model ~w then slot - 1
+  else if depth = 0 then rollout_finish model space ~w ~slot
+  else
+    match Model.next_active_slot model ~w ~after:(slot - 1) with
+    | None -> failwith "Mcounter: empty frontier before completion"
+    | Some t -> (
+        let choices = Choices.enumerate model space ~w ~slot:t in
+        let succs = take budget.beam (ranked_successors model choices ~w) in
+        match succs with
+        | [] -> failwith "Mcounter: active slot without candidates"
+        | _ ->
+            List.fold_left
+              (fun acc (_, _, w') ->
+                min acc
+                  (lookahead_value model space ~budget ~w:w' ~slot:(t + 1)
+                     ~depth:(depth - 1)))
+              max_int succs)
+
+(* ------------------------------------------------------------------ *)
+(* Public interface.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate model space ~budget ~w ~slot =
+  check_reachable model ~w;
+  match Model.system model with
+  | Model.Sync -> (
+      let s = { memo = Wtbl.create 4096; states = 0; budget } in
+      try
+        let r = sync_remaining model space s ~w in
+        { finish = slot - 1 + r; exact = true; states = s.states }
+      with Exhausted ->
+        let finish =
+          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead
+        in
+        { finish; exact = false; states = s.states })
+  | Model.Async _ -> (
+      let s = { amemo = Wstbl.create 4096; astates = 0; abudget = budget } in
+      try
+        let finish = async_finish model space s ~w ~slot in
+        { finish; exact = true; states = s.astates }
+      with Exhausted ->
+        let finish =
+          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead
+        in
+        { finish; exact = false; states = s.astates })
+
+(* Plan construction: walk greedily, scoring each choice with the same
+   evaluator the top-level used, so the realised schedule matches the
+   evaluated finish time in exact mode. *)
+let plan model space ~budget ~source ~start =
+  let w0 = Model.initial_w model ~source in
+  check_reachable model ~w:w0;
+  let exact_scorer =
+    match Model.system model with
+    | Model.Sync -> (
+        let s = { memo = Wtbl.create 4096; states = 0; budget } in
+        try
+          ignore (sync_remaining model space s ~w:w0);
+          (* Budget held: score = t + remaining(w') - 1 for advance at t. *)
+          Some (fun ~w' ~t -> t + sync_remaining model space s ~w:w')
+        with Exhausted -> None)
+    | Model.Async _ -> (
+        let s = { amemo = Wstbl.create 4096; astates = 0; abudget = budget } in
+        try
+          ignore (async_finish model space s ~w:w0 ~slot:start);
+          Some (fun ~w' ~t -> async_finish model space s ~w:w' ~slot:(t + 1))
+        with Exhausted -> None)
+  in
+  let fallback ~w' ~t =
+    lookahead_value model space ~budget ~w:w' ~slot:(t + 1) ~depth:budget.lookahead
+  in
+  let score =
+    match exact_scorer with
+    | Some f ->
+        (* Replanning can touch sibling states the root search never
+           expanded; degrade to lookahead if that blows the budget. *)
+        fun ~w' ~t -> ( try f ~w' ~t with Exhausted -> fallback ~w' ~t)
+    | None -> fallback
+  in
+  let rec loop w slot steps =
+    if Model.complete model ~w then List.rev steps
+    else
+      match Model.next_active_slot model ~w ~after:(slot - 1) with
+      | None -> failwith "Mcounter.plan: empty frontier before completion"
+      | Some t -> (
+          let choices = Choices.enumerate model space ~w ~slot:t in
+          let succs = ranked_successors model choices ~w in
+          match succs with
+          | [] -> failwith "Mcounter.plan: active slot without candidates"
+          | _ ->
+              let best =
+                List.fold_left
+                  (fun acc (_, c, w') ->
+                    let v = score ~w' ~t in
+                    match acc with
+                    | Some (bv, _, _) when bv <= v -> acc
+                    | _ -> Some (v, c, w'))
+                  None succs
+              in
+              let _, c, w' = Option.get best in
+              let informed = Bitset.elements (Bitset.diff w' w) in
+              let step = { Schedule.slot = t; senders = c; informed } in
+              loop w' (t + 1) (step :: steps))
+  in
+  let steps = loop w0 start [] in
+  Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps

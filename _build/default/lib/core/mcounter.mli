@@ -1,0 +1,64 @@
+(** The time counter [M] (paper Eq. 4) and the schedule search built on
+    it (Eq. 5–8).
+
+    [M(W, t)] is the earliest finish time of a broadcast whose progress
+    is [W] just before slot [t], assuming every later advance is also
+    chosen optimally within the given choice space:
+
+    - [M(N, t) = t − 1]  (nothing left to send), and
+    - [M(W, t) = min over color sets C of M(W + A_C, t + 1)].
+
+    The paper computes this "with an off-line calculation" in its
+    simulator. We realise it as an exact, memoised branch-and-bound —
+    monotonicity of the model (larger [W] never finishes later) makes
+    the hop-distance lower bound admissible — with a budget on explored
+    states. When an instance exhausts the budget, evaluation degrades to
+    a beam-limited lookahead with greedy-rollout tails, which is the
+    standard realisation of such heuristics; DESIGN.md §4 documents the
+    substitution. The fixture graphs of Tables II–IV are solved exactly.
+
+    Two structural facts the implementation exploits (both are covered
+    by property tests):
+    - {b monotonicity}: [W ⊆ W'] implies [M(W', t) ≤ M(W, t)], so only
+      maximal conflict-free sender sets need be searched, and idling at
+      an active slot is never beneficial;
+    - {b time-shift invariance} (sync only): [M(W, t) − t] depends only
+      on [W], so the memo table can key on [W] alone. *)
+
+module Bitset = Mlbs_util.Bitset
+
+(** Search budget. [max_states]: memo entries before the exact search
+    gives up. [lookahead]: fallback search depth. [beam]: choices
+    expanded per fallback node (ranked by hop lower bound, then
+    coverage). *)
+type budget = { max_states : int; lookahead : int; beam : int }
+
+(** [{ max_states = 200_000; lookahead = 2; beam = 4 }]. *)
+val default_budget : budget
+
+(** Result of evaluating [M]: the finish slot, whether it is exact, and
+    how many memo states the search used. *)
+type evaluation = { finish : int; exact : bool; states : int }
+
+(** [evaluate model space ~budget ~w ~slot] is [M(w, slot)] within the
+    choice space. Raises [Failure] when some node is unreachable (the
+    broadcast cannot complete). *)
+val evaluate :
+  Model.t -> Choices.t -> budget:budget -> w:Bitset.t -> slot:int -> evaluation
+
+(** [plan model space ~budget ~source ~start] runs the search and
+    materialises a schedule achieving the evaluated finish time (exact
+    mode) or the lookahead policy's finish time (fallback mode). *)
+val plan :
+  Model.t -> Choices.t -> budget:budget -> source:int -> start:int -> Schedule.t
+
+(** [rollout_finish model space ~w ~slot] is the finish slot of the
+    cheap deterministic rollout policy (at every state, take the choice
+    minimising the hop lower bound, then maximising coverage) — an upper
+    bound on [M]. *)
+val rollout_finish : Model.t -> Choices.t -> w:Bitset.t -> slot:int -> int
+
+(** [hop_lower_bound model ~w] is the largest hop distance from [W] to
+    an uninformed node — an admissible bound on remaining advances
+    ([max_int] when unreachable, [0] when complete). *)
+val hop_lower_bound : Model.t -> w:Bitset.t -> int

@@ -1,0 +1,101 @@
+module Bitset = Mlbs_util.Bitset
+module Graph = Mlbs_graph.Graph
+module Coloring = Mlbs_graph.Coloring
+module Network = Mlbs_wsn.Network
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+
+type system = Sync | Async of Wake_schedule.t
+
+type t = { net : Network.t; graph : Graph.t; system : system }
+
+let create net system =
+  (match system with
+  | Sync -> ()
+  | Async sched ->
+      if Wake_schedule.n_nodes sched < Network.n_nodes net then
+        invalid_arg "Model.create: wake schedule covers fewer nodes than the network");
+  { net; graph = Network.graph net; system }
+
+let network t = t.net
+let graph t = t.graph
+let system t = t.system
+let n_nodes t = Network.n_nodes t.net
+
+let initial_w t ~source =
+  let n = n_nodes t in
+  if source < 0 || source >= n then invalid_arg "Model.initial_w: source out of range";
+  let w = Bitset.create n in
+  Bitset.add w source;
+  w
+
+let receivers t ~w u =
+  Graph.fold_neighbors t.graph u ~init:[] ~f:(fun acc v ->
+      if Bitset.mem w v then acc else v :: acc)
+  |> List.rev
+
+let n_receivers t ~w u =
+  Graph.fold_neighbors t.graph u ~init:0 ~f:(fun acc v ->
+      if Bitset.mem w v then acc else acc + 1)
+
+let has_receiver t ~w u = n_receivers t ~w u > 0
+
+let awake t u ~slot =
+  match t.system with
+  | Sync -> true
+  | Async sched -> Wake_schedule.awake sched u ~slot
+
+let frontier t ~w =
+  List.rev (Bitset.fold (fun u acc -> if has_receiver t ~w u then u :: acc else acc) w [])
+
+let candidates t ~w ~slot =
+  List.filter (fun u -> awake t u ~slot) (frontier t ~w)
+
+let conflicts t ~w u v =
+  u <> v
+  &&
+  let uninformed = Bitset.complement w in
+  Graph.common_neighbor_in t.graph u v ~candidates:uninformed
+
+(* Allocation-shared variant used inside the colouring loop. *)
+let conflicts_with_uninformed t ~uninformed u v =
+  u <> v && Graph.common_neighbor_in t.graph u v ~candidates:uninformed
+
+let greedy_classes t ~w ~slot =
+  let cands = candidates t ~w ~slot in
+  let uninformed = Bitset.complement w in
+  let count u = n_receivers t ~w u in
+  (* Precompute receiver counts so the sort comparator is O(1). *)
+  let counts = List.map (fun u -> (u, count u)) cands in
+  let order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v in
+  let conflicts (u, _) (v, _) = conflicts_with_uninformed t ~uninformed u v in
+  Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst)
+
+let apply t ~w ~senders =
+  let w' = Bitset.copy w in
+  List.iter
+    (fun u ->
+      if not (Bitset.mem w u) then
+        invalid_arg (Printf.sprintf "Model.apply: sender %d not informed" u);
+      Graph.iter_neighbors t.graph u ~f:(fun v -> Bitset.add w' v))
+    senders;
+  w'
+
+let newly_informed t ~w ~senders =
+  let w' = apply t ~w ~senders in
+  Bitset.elements (Bitset.diff w' w)
+
+let next_active_slot t ~w ~after =
+  match frontier t ~w with
+  | [] -> None
+  | front -> (
+      match t.system with
+      | Sync -> Some (after + 1)
+      | Async sched ->
+          let earliest =
+            List.fold_left
+              (fun acc u -> min acc (Wake_schedule.next_wake sched u ~after))
+              max_int front
+          in
+          Some earliest)
+
+let complete _t ~w = Bitset.is_full w

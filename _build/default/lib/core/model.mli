@@ -1,0 +1,79 @@
+(** The broadcast-state model shared by every scheduler (paper §III–IV).
+
+    A broadcast is a sequence of *advances*: at round/slot [t], a set of
+    informed senders neighbor-casts simultaneously, and every uninformed
+    neighbour of a sender that hears exactly one transmission becomes
+    informed. All scheduling policies manipulate the same three
+    primitives defined here:
+
+    - the candidate set (Eq. 1 constraints 1–2; Eq. 3 adds wake-up),
+    - the conflict predicate [N(u) ∩ N(v) ∩ W̄ ≠ ∅] (constraint 3),
+    - the extended greedy colouring of candidates (Algorithm 1). *)
+
+module Bitset = Mlbs_util.Bitset
+
+(** Which system model the broadcast runs under. *)
+type system =
+  | Sync  (** round-based synchronous: any informed node may send *)
+  | Async of Mlbs_dutycycle.Wake_schedule.t
+      (** asynchronous duty cycle: a node sends only at its wake slots *)
+
+type t
+
+(** [create net system] fixes network and system model. For [Async],
+    the schedule must cover at least [Network.n_nodes net] nodes. *)
+val create : Mlbs_wsn.Network.t -> system -> t
+
+val network : t -> Mlbs_wsn.Network.t
+val graph : t -> Mlbs_graph.Graph.t
+val system : t -> system
+val n_nodes : t -> int
+
+(** [initial_w t ~source] is [W(t_s) = {s}]. *)
+val initial_w : t -> source:int -> Bitset.t
+
+(** [receivers t ~w u] is [N(u) ∩ W̄] — the nodes that would gain the
+    message from [u]'s relay — sorted ascending. *)
+val receivers : t -> w:Bitset.t -> int -> int list
+
+(** [n_receivers t ~w u] is [|N(u) ∩ W̄|] without building the list. *)
+val n_receivers : t -> w:Bitset.t -> int -> int
+
+(** [candidates t ~w ~slot] is every node satisfying Eq. (1) constraints
+    1–2 (informed, with an uninformed neighbour) — and, under [Async],
+    awake at [slot] (Eq. 3). Sorted ascending. *)
+val candidates : t -> w:Bitset.t -> slot:int -> int list
+
+(** [frontier t ~w] is the candidate set ignoring wake-ups — the nodes
+    that could ever still relay from [w]. *)
+val frontier : t -> w:Bitset.t -> int list
+
+(** [conflicts t ~w u v] is the signal-conflict predicate: [u] and [v]
+    share an uninformed common neighbour, which would observe a
+    collision if both sent simultaneously. Symmetric, irreflexive. *)
+val conflicts : t -> w:Bitset.t -> int -> int -> bool
+
+(** [greedy_classes t ~w ~slot] is Algorithm 1: colour classes
+    [C_1 .. C_λ] of the candidates, visiting candidates in descending
+    receiver count (ties: ascending node id, making runs
+    deterministic). *)
+val greedy_classes : t -> w:Bitset.t -> slot:int -> int list list
+
+(** [apply t ~w ~senders] is the new informed set
+    [W + A] = [w ∪ (∪_{u ∈ senders} N(u) ∩ W̄)]. Fresh set; [w] is not
+    mutated. Raises [Invalid_argument] if some sender is not informed
+    in [w]. *)
+val apply : t -> w:Bitset.t -> senders:int list -> Bitset.t
+
+(** [newly_informed t ~w ~senders] is the sorted list of nodes gaining
+    the message — [apply] minus [w]. *)
+val newly_informed : t -> w:Bitset.t -> senders:int list -> int list
+
+(** [next_active_slot t ~w ~after] is, under [Async], the earliest slot
+    > [after] at which some frontier node is awake ([None] when the
+    frontier is empty); under [Sync] it is [after + 1] (every round is
+    active) unless the frontier is empty. *)
+val next_active_slot : t -> w:Bitset.t -> after:int -> int option
+
+(** [complete t ~w] is [W = N]. *)
+val complete : t -> w:Bitset.t -> bool

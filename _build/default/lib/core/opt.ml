@@ -1,0 +1,10 @@
+let default_max_sets = 64
+
+let plan ?(budget = Mcounter.default_budget) ?(max_sets = default_max_sets) model
+    ~source ~start =
+  Mcounter.plan model (Choices.All { max_sets }) ~budget ~source ~start
+
+let finish ?(budget = Mcounter.default_budget) ?(max_sets = default_max_sets) model
+    ~source ~start =
+  let w = Model.initial_w model ~source in
+  Mcounter.evaluate model (Choices.All { max_sets }) ~budget ~w ~slot:start

@@ -1,0 +1,32 @@
+(** OPT (paper Eq. 5 sync / Eq. 6 async): the optimisation target. At
+    every advance, consider {e any} valid color set of Eq. (1) — realised
+    as the maximal conflict-free candidate subsets, which dominate by
+    monotonicity — and pick the set minimising the time counter [M].
+
+    This is the paper's "ultimate goal [...] achieved with an off-line
+    calculation, as we did in the simulator": exact on the fixture
+    graphs and on instances within the state budget, beam-lookahead
+    otherwise (see DESIGN.md §4). *)
+
+(** Cap on the maximal-set enumeration per state (default 64). *)
+val default_max_sets : int
+
+(** [plan ?budget ?max_sets model ~source ~start] computes the OPT
+    broadcast schedule. *)
+val plan :
+  ?budget:Mcounter.budget ->
+  ?max_sets:int ->
+  Model.t ->
+  source:int ->
+  start:int ->
+  Schedule.t
+
+(** [finish ?budget ?max_sets model ~source ~start] evaluates the OPT
+    finish slot. *)
+val finish :
+  ?budget:Mcounter.budget ->
+  ?max_sets:int ->
+  Model.t ->
+  source:int ->
+  start:int ->
+  Mcounter.evaluation

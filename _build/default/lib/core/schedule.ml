@@ -1,0 +1,52 @@
+module Bitset = Mlbs_util.Bitset
+
+type step = { slot : int; senders : int list; informed : int list }
+
+type t = { n_nodes : int; source : int; start : int; steps : step list }
+
+let make ~n_nodes ~source ~start steps =
+  let rec check prev = function
+    | [] -> ()
+    | s :: rest ->
+        if s.slot <= prev then invalid_arg "Schedule.make: slots not strictly increasing";
+        if s.senders = [] then invalid_arg "Schedule.make: empty sender step";
+        check s.slot rest
+  in
+  check (start - 1) steps;
+  { n_nodes; source; start; steps }
+
+let n_nodes t = t.n_nodes
+let source t = t.source
+let start t = t.start
+let steps t = t.steps
+
+let finish t =
+  List.fold_left (fun acc s -> max acc s.slot) t.start t.steps
+
+let elapsed t = if t.steps = [] then 0 else finish t - t.start + 1
+
+let n_transmissions t =
+  List.fold_left (fun acc s -> acc + List.length s.senders) 0 t.steps
+
+let informed_after t ~slot =
+  let w = Bitset.create t.n_nodes in
+  Bitset.add w t.source;
+  List.iter
+    (fun s -> if s.slot <= slot then List.iter (Bitset.add w) s.informed)
+    t.steps;
+  w
+
+let covers_all t = Bitset.is_full (informed_after t ~slot:(finish t))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule: source=%d start=%d finish=%d elapsed=%d@," t.source
+    t.start (finish t) (elapsed t);
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  slot %d: send %a -> inform %a@," s.slot
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+        s.senders
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+        s.informed)
+    t.steps;
+  Format.fprintf ppf "@]"

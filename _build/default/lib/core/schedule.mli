@@ -1,0 +1,51 @@
+(** A computed broadcast schedule: which senders relay at which
+    round/slot, and what that does to the informed set.
+
+    Produced by every policy; consumed by the radio simulator (which
+    re-derives receptions independently and checks that the claims
+    hold), the trace printer and the experiment harness. *)
+
+module Bitset = Mlbs_util.Bitset
+
+(** One advance: the senders launched at [slot] and the nodes they newly
+    informed. Slots with no transmissions (duty-cycle waits) are not
+    recorded. *)
+type step = { slot : int; senders : int list; informed : int list }
+
+type t
+
+(** [make ~n_nodes ~source ~start steps] packages a schedule. Steps must
+    be strictly increasing in slot and start at [start] or later. *)
+val make : n_nodes:int -> source:int -> start:int -> step list -> t
+
+val n_nodes : t -> int
+val source : t -> int
+
+(** [start t] is [t_s], the slot of the source's transmission. *)
+val start : t -> int
+
+(** [finish t] is [t_e] = the slot of the last transmission ([start t]
+    when the schedule is a lone source transmission or empty). *)
+val finish : t -> int
+
+(** [elapsed t] is [finish − start + 1] — the end-to-end latency in
+    rounds/slots, the quantity plotted in the paper's figures — or [0]
+    for a schedule with no transmissions (single-node network). *)
+val elapsed : t -> int
+
+(** [steps t] in ascending slot order. *)
+val steps : t -> step list
+
+(** [n_transmissions t] is the total number of individual sends. *)
+val n_transmissions : t -> int
+
+(** [informed_after t ~slot] is the informed set once every step up to
+    and including [slot] has been applied (the source is informed from
+    the beginning). *)
+val informed_after : t -> slot:int -> Bitset.t
+
+(** [covers_all t] is [true] iff the final informed set is all nodes. *)
+val covers_all : t -> bool
+
+(** [pp] prints a compact multi-line rendering. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type policy =
+  | Baseline
+  | Emodel
+  | Gopt of Mcounter.budget
+  | Opt of { budget : Mcounter.budget; max_sets : int }
+
+let gopt = Gopt Mcounter.default_budget
+
+let opt = Opt { budget = Mcounter.default_budget; max_sets = Opt.default_max_sets }
+
+let name ~system = function
+  | Baseline -> ( match system with Model.Sync -> "26-approx" | Model.Async _ -> "17-approx")
+  | Emodel -> "E-model"
+  | Gopt _ -> "G-OPT"
+  | Opt _ -> "OPT"
+
+let run model policy ~source ~start =
+  match policy with
+  | Baseline -> (
+      match Model.system model with
+      | Model.Sync -> Baseline26.plan model ~source ~start
+      | Model.Async _ -> Baseline17.plan model ~source ~start)
+  | Emodel -> Emodel.plan model ~source ~start
+  | Gopt budget -> Gopt.plan ~budget model ~source ~start
+  | Opt { budget; max_sets } -> Opt.plan ~budget ~max_sets model ~source ~start
+
+let all_policies = [ Baseline; opt; gopt; Emodel ]

@@ -1,0 +1,35 @@
+(** Unified entry point over the four scheduling policies of the paper
+    (Algorithm 3 plus the prior-work baselines) — what the experiment
+    harness, CLI and examples drive. *)
+
+(** A scheduling policy:
+    - [Baseline]: the hop-distance layered scheme — the
+      26-approximation under [Sync], the 17-approximation under
+      [Async];
+    - [Emodel]: greedy colors + Eq. (10) selection by the proactive
+      4-tuple [E];
+    - [Gopt]: greedy colors + exact/bounded [M] search (Eq. 7/8);
+    - [Opt]: all color sets + exact/bounded [M] search (Eq. 5/6). *)
+type policy =
+  | Baseline
+  | Emodel
+  | Gopt of Mcounter.budget
+  | Opt of { budget : Mcounter.budget; max_sets : int }
+
+(** [Gopt]/[Opt] with default budgets. *)
+val gopt : policy
+
+val opt : policy
+
+(** [name p] is the short label used in reports ("26-approx" /
+    "17-approx" / "E-model" / "G-OPT" / "OPT"); the baseline label
+    depends on the model, so [name] takes the system. *)
+val name : system:Model.system -> policy -> string
+
+(** [run model policy ~source ~start] computes the broadcast schedule
+    under the policy. *)
+val run : Model.t -> policy -> source:int -> start:int -> Schedule.t
+
+(** [all_policies] in the order the paper's figures list them:
+    baseline, OPT, G-OPT, E-model. *)
+val all_policies : policy list

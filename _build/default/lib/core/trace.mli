@@ -1,0 +1,37 @@
+(** Step-by-step schedule traces in the style of the paper's Tables
+    II–IV: per advance, the progress [W], the color classes on offer,
+    each class's time counter [M], and the selected advance.
+
+    Used by the walkthrough examples and the golden tests that pin the
+    fixture graphs to the paper's published traces. *)
+
+type class_eval = {
+  members : int list;  (** the color class C_i *)
+  m_value : int;  (** M(W + C_i, t + 1) — the finish slot if chosen *)
+}
+
+type row = {
+  slot : int;  (** t of this advance *)
+  w_before : int list;  (** W at the start of the step *)
+  classes : class_eval list;  (** C_1 .. C_λ with their M values *)
+  chosen : int;  (** index of the selected class *)
+  advance : int list;  (** newly informed nodes A(W, t) *)
+}
+
+type t = { rows : row list; schedule : Schedule.t }
+
+(** [run ?budget model space ~source ~start] executes the M-guided
+    schedule while recording each decision. With [space = Greedy] this
+    reproduces the paper's G-OPT tables. *)
+val run :
+  ?budget:Mcounter.budget ->
+  Model.t ->
+  Choices.t ->
+  source:int ->
+  start:int ->
+  t
+
+(** [render ?node_name trace] is a human-readable multi-line rendering;
+    [node_name] maps ids to labels (the paper calls node 11 "s" in
+    Figure 1). *)
+val render : ?node_name:(int -> string) -> t -> string

@@ -1,0 +1,1 @@
+lib/dutycycle/cwt.ml: Wake_schedule

@@ -1,0 +1,1 @@
+lib/dutycycle/cwt.mli: Wake_schedule

@@ -1,0 +1,1 @@
+lib/dutycycle/wake_schedule.ml: Array Int64 List Mlbs_prng Printf

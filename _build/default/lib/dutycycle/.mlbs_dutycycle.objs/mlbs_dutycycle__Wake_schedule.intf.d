@@ -1,0 +1,1 @@
+lib/dutycycle/wake_schedule.mli:

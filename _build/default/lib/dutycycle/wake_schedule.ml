@@ -1,0 +1,120 @@
+module Splitmix64 = Mlbs_prng.Splitmix64
+
+type family = Uniform_per_frame | Bernoulli | Fixed_phase
+
+type source =
+  | Generated of { family : family; seed : int }
+  | Explicit of int list array
+
+type t = { rate : int; n : int; source : source }
+
+(* Stateless hash of (seed, node, k) -> 64-bit value, so any slot can be
+   queried without materialising the schedule: this is the "predictable
+   pseudo-random sequence with a preset seed" that lets neighbours
+   forecast wake-ups. *)
+let hash64 seed node k =
+  let open Int64 in
+  let g = Splitmix64.create (logxor (of_int seed) (mul (of_int node) 0x9E3779B97F4A7C15L)) in
+  let _ = Splitmix64.next g in
+  let g2 = Splitmix64.create (logxor (Splitmix64.next g) (mul (of_int k) 0xBF58476D1CE4E5B9L)) in
+  Splitmix64.next g2
+
+let hash_mod seed node k m =
+  let v = Int64.logand (hash64 seed node k) (Int64.of_int max_int) in
+  Int64.to_int (Int64.rem v (Int64.of_int m))
+
+let create ?(family = Uniform_per_frame) ~rate ~n_nodes ~seed () =
+  if rate < 1 then invalid_arg "Wake_schedule.create: rate < 1";
+  if n_nodes < 0 then invalid_arg "Wake_schedule.create: n_nodes < 0";
+  { rate; n = n_nodes; source = Generated { family; seed } }
+
+let of_explicit ~rate slots =
+  if rate < 1 then invalid_arg "Wake_schedule.of_explicit: rate < 1";
+  Array.iteri
+    (fun u l ->
+      if l = [] then invalid_arg (Printf.sprintf "Wake_schedule.of_explicit: node %d has no wake slots" u);
+      let rec check prev = function
+        | [] -> ()
+        | s :: rest ->
+            if s <= prev then
+              invalid_arg (Printf.sprintf "Wake_schedule.of_explicit: node %d slots not increasing" u);
+            check s rest
+      in
+      check 0 l)
+    slots;
+  { rate; n = Array.length slots; source = Explicit slots }
+
+let rate t = t.rate
+let n_nodes t = t.n
+
+(* Frame k (k >= 0) covers slots [k*rate + 1, (k+1)*rate]. *)
+let frame_of t slot = (slot - 1) / t.rate
+
+let active_slot_in_frame t seed node k = (k * t.rate) + 1 + hash_mod seed node k t.rate
+
+let check_node t u op =
+  if u < 0 || u >= t.n then invalid_arg (Printf.sprintf "Wake_schedule.%s: node %d" op u)
+
+let explicit_awake t slots slot =
+  let rec mem = function
+    | [] -> false
+    | s :: rest -> s = slot || (s < slot && mem rest)
+  in
+  let last = List.fold_left max 0 slots in
+  if slot > last then (slot - last) mod t.rate = 0 else mem slots
+
+let awake t u ~slot =
+  check_node t u "awake";
+  if slot < 1 then false
+  else
+    match t.source with
+    | Explicit slots -> explicit_awake t slots.(u) slot
+    | Generated { family; seed } -> (
+        match family with
+        | Uniform_per_frame -> active_slot_in_frame t seed u (frame_of t slot) = slot
+        | Bernoulli -> hash_mod seed u slot (t.rate * 1024) < 1024
+        | Fixed_phase -> (slot - 1) mod t.rate = hash_mod seed u 0 t.rate)
+
+let next_wake t u ~after =
+  check_node t u "next_wake";
+  let after = max after 0 in
+  match t.source with
+  | Explicit slots ->
+      let rec scan = function
+        | s :: rest -> if s > after then s else scan rest
+        | [] ->
+            let last = List.fold_left max 0 slots.(u) in
+            let k = ((after - last) / t.rate) + 1 in
+            let cand = last + (k * t.rate) in
+            if cand > after then cand else cand + t.rate
+      in
+      scan slots.(u)
+  | Generated { family; seed } -> (
+      match family with
+      | Uniform_per_frame ->
+          let k = frame_of t (after + 1) in
+          let s = active_slot_in_frame t seed u k in
+          if s > after then s else active_slot_in_frame t seed u (k + 1)
+      | Fixed_phase ->
+          let phase = hash_mod seed u 0 t.rate in
+          let base = ((after - phase) / t.rate * t.rate) + phase + 1 in
+          let rec bump s = if s > after then s else bump (s + t.rate) in
+          bump (base - t.rate)
+      | Bernoulli ->
+          let limit = after + (1024 * t.rate) in
+          let rec scan s =
+            if s > limit then
+              failwith "Wake_schedule.next_wake: no Bernoulli wake-up within bound"
+            else if awake t u ~slot:s then s
+            else scan (s + 1)
+          in
+          scan (after + 1))
+
+let wakes_in t u ~from_ ~until =
+  let rec collect s acc =
+    if s > until then List.rev acc
+    else
+      let w = next_wake t u ~after:(s - 1) in
+      if w > until then List.rev acc else collect (w + 1) (w :: acc)
+  in
+  collect (max 1 from_) []

@@ -1,0 +1,55 @@
+(** Per-node wake-up schedules T(u) for the asynchronous duty-cycle
+    system (paper §III).
+
+    Each node periodically turns its *sending* channel on at slots drawn
+    from "a pseudo-random sequence in the uniform distribution with a
+    preset seed"; the receiving channel is always on. The cycle rate [r]
+    = |T| / |T(u)| means a node is active on average once every [r]
+    slots, "but there is not necessarily a fixed interval r between any
+    two consecutive wake-ups". Neighbours can forecast each other's next
+    active slot from the seed — which is exactly what [next_wake]
+    computes. *)
+
+type t
+
+(** How active slots are drawn. *)
+type family =
+  | Uniform_per_frame
+      (** one active slot, uniform within each consecutive frame of [r]
+          slots — the default; matches the paper's description. *)
+  | Bernoulli  (** each slot independently active with probability 1/r. *)
+  | Fixed_phase
+      (** active exactly at slots ≡ phase (mod r), phase uniform per
+          node — the degenerate schedule used in Theorem 1's worst case
+          discussion; ablation only. *)
+
+(** [create ?family ~rate ~n_nodes ~seed ()] builds schedules for nodes
+    [0 .. n_nodes-1]. [rate] is the cycle rate r ≥ 1. Deterministic in
+    [seed]. Raises [Invalid_argument] for [rate < 1] or
+    [n_nodes < 0]. *)
+val create : ?family:family -> rate:int -> n_nodes:int -> seed:int -> unit -> t
+
+(** [of_explicit ~rate slots] wraps explicit per-node sorted wake-slot
+    lists (fixtures, e.g. Table IV). Slots must be strictly increasing
+    and ≥ 1. The last listed slot is treated as the start of a
+    [Fixed_phase]-like tail repeating every [rate] slots, so forecasts
+    never run out. *)
+val of_explicit : rate:int -> int list array -> t
+
+(** [rate t] is the cycle rate r. *)
+val rate : t -> int
+
+(** [n_nodes t] is the number of nodes covered. *)
+val n_nodes : t -> int
+
+(** [awake t u ~slot] is [true] iff [u]'s sending channel is on at
+    [slot] (slots count from 1, matching the paper's rounds). *)
+val awake : t -> int -> slot:int -> bool
+
+(** [next_wake t u ~after] is the smallest active slot of [u] strictly
+    greater than [after] — the neighbour forecast primitive. *)
+val next_wake : t -> int -> after:int -> int
+
+(** [wakes_in t u ~from_ ~until] lists [u]'s active slots in
+    [[from_, until]], ascending. *)
+val wakes_in : t -> int -> from_:int -> until:int -> int list

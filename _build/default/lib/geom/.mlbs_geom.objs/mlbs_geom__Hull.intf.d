@@ -1,0 +1,1 @@
+lib/geom/hull.mli: Point

@@ -1,0 +1,1 @@
+lib/geom/quadrant.ml: Format Point Printf

@@ -1,0 +1,1 @@
+lib/geom/quadrant.mli: Format Point

@@ -1,0 +1,68 @@
+(* Andrew's monotone chain over indices, so we can report hull membership
+   per node id. *)
+
+let hull_indices points =
+  let n = Array.length points in
+  if n = 0 then []
+  else begin
+    let idx = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = Point.compare points.(i) points.(j) in
+        if c <> 0 then c else compare i j)
+      idx;
+    (* Drop coincident duplicates, keeping the smallest index. *)
+    let distinct = ref [] in
+    Array.iter
+      (fun i ->
+        match !distinct with
+        | j :: _ when Point.equal points.(i) points.(j) -> ()
+        | _ -> distinct := i :: !distinct)
+      idx;
+    let pts = Array.of_list (List.rev !distinct) in
+    let m = Array.length pts in
+    if m <= 2 then Array.to_list pts
+    else begin
+      let hull = Array.make (2 * m) 0 in
+      let k = ref 0 in
+      let push i = hull.(!k) <- i; incr k in
+      let turn_ok i =
+        (* Pop while the last two hull points and [i] do not make a strict
+           counter-clockwise turn (collinear points are dropped). *)
+        !k >= 2
+        && Point.cross points.(hull.(!k - 2)) points.(hull.(!k - 1)) points.(i) <= 0.
+      in
+      (* Lower hull. *)
+      Array.iter
+        (fun i ->
+          while turn_ok i do decr k done;
+          push i)
+        pts;
+      (* Upper hull. *)
+      let lower_size = !k + 1 in
+      for j = m - 2 downto 0 do
+        let i = pts.(j) in
+        while !k >= lower_size
+              && Point.cross points.(hull.(!k - 2)) points.(hull.(!k - 1)) points.(i) <= 0. do
+          decr k
+        done;
+        push i
+      done;
+      (* Last point repeats the first. *)
+      Array.to_list (Array.sub hull 0 (!k - 1))
+    end
+  end
+
+let convex_hull points = List.map (fun i -> points.(i)) (hull_indices points)
+
+let on_hull points =
+  let marks = Array.make (Array.length points) false in
+  let hull = hull_indices points in
+  List.iter (fun i -> marks.(i) <- true) hull;
+  (* Coincident duplicates of a hull point are also on the hull. *)
+  Array.iteri
+    (fun i p ->
+      if not marks.(i) then
+        marks.(i) <- List.exists (fun j -> Point.equal points.(j) p) hull)
+    points;
+  marks

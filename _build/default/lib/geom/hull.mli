@@ -1,0 +1,21 @@
+(** Convex hull of a point set — reference [3] of the paper.
+
+    Algorithm 2 of the paper seeds its boundary construction "from any
+    node that is located on the hull of the entire network". We use
+    Andrew's monotone chain: O(n log n), robust for the float
+    coordinates produced by our deployments. *)
+
+(** [convex_hull points] is the hull in counter-clockwise order starting
+    from the lexicographically smallest point, with no collinear
+    interior points. Degenerate inputs: fewer than three distinct points
+    return the distinct points themselves (sorted). *)
+val convex_hull : Point.t array -> Point.t list
+
+(** [hull_indices points] is the same hull, but as indices into the
+    input array — what the network layer needs to mark hull nodes. Ties
+    between coincident points resolve to the smallest index. *)
+val hull_indices : Point.t array -> int list
+
+(** [on_hull points] is a boolean array marking hull membership per
+    index. *)
+val on_hull : Point.t array -> bool array

@@ -1,0 +1,22 @@
+type t = { x : float; y : float }
+
+let v x y = { x; y }
+let origin = { x = 0.; y = 0. }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let sub a b = { x = a.x -. b.x; y = a.y -. b.y }
+
+let cross o a b = ((a.x -. o.x) *. (b.y -. o.y)) -. ((a.y -. o.y) *. (b.x -. o.x))
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Float.compare a.x b.x in
+  if c <> 0 then c else Float.compare a.y b.y
+
+let pp ppf p = Format.fprintf ppf "(%.2f, %.2f)" p.x p.y

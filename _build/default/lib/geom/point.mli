@@ -1,0 +1,34 @@
+(** 2-D points in the deployment plane (units: feet, per the paper's
+    50 ft × 50 ft interest area). *)
+
+type t = { x : float; y : float }
+
+(** [v x y] is the point (x, y). *)
+val v : float -> float -> t
+
+(** [origin] is (0, 0). *)
+val origin : t
+
+(** [dist a b] is the Euclidean distance. *)
+val dist : t -> t -> float
+
+(** [dist2 a b] is the squared distance — use for radius comparisons to
+    avoid the sqrt on the UDG construction hot path. *)
+val dist2 : t -> t -> float
+
+(** [sub a b] is the displacement vector a − b as a point. *)
+val sub : t -> t -> t
+
+(** [cross o a b] is the z-component of (a − o) × (b − o): positive when
+    the turn o→a→b is counter-clockwise. The convex-hull primitive. *)
+val cross : t -> t -> t -> float
+
+(** [equal a b] is exact coordinate equality (deployments never
+    duplicate coordinates; fixtures use exact constants). *)
+val equal : t -> t -> bool
+
+(** [compare] orders lexicographically by (x, y). *)
+val compare : t -> t -> int
+
+(** [pp] formats as "(x, y)" with two decimals. *)
+val pp : Format.formatter -> t -> unit

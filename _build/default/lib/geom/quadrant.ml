@@ -1,0 +1,27 @@
+type t = Q1 | Q2 | Q3 | Q4
+
+let all = [ Q1; Q2; Q3; Q4 ]
+
+let to_index = function Q1 -> 0 | Q2 -> 1 | Q3 -> 2 | Q4 -> 3
+
+let of_index = function
+  | 0 -> Q1
+  | 1 -> Q2
+  | 2 -> Q3
+  | 3 -> Q4
+  | i -> invalid_arg (Printf.sprintf "Quadrant.of_index: %d" i)
+
+let classify ~origin p =
+  let d = Point.sub p origin in
+  let dx = d.Point.x and dy = d.Point.y in
+  if dx = 0. && dy = 0. then None
+  else if dx > 0. && dy >= 0. then Some Q1
+  else if dx <= 0. && dy > 0. then Some Q2
+  else if dx < 0. && dy <= 0. then Some Q3
+  else Some Q4
+
+let opposite = function Q1 -> Q3 | Q2 -> Q4 | Q3 -> Q1 | Q4 -> Q2
+
+let to_string = function Q1 -> "Q1" | Q2 -> "Q2" | Q3 -> "Q3" | Q4 -> "Q4"
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

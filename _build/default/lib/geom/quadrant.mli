@@ -1,0 +1,37 @@
+(** Quadrants Q1..Q4 around a node, used by the E-model.
+
+    The paper's 4-tuple [E_i(u)] estimates the delay from [u] to the
+    network edge within quadrant [Q_i(u)], [1 <= i <= 4]. We use
+    half-open quadrants so every neighbour at a distinct position lands
+    in exactly one quadrant (an axis-aligned neighbour would otherwise
+    be double-counted or dropped):
+
+    - [Q1]: dx > 0,  dy >= 0   (east to north, excluding due north)
+    - [Q2]: dx <= 0, dy > 0    (north to west, excluding due west)
+    - [Q3]: dx < 0,  dy <= 0   (west to south, excluding due south)
+    - [Q4]: dx >= 0, dy < 0    (south to east, excluding due east) *)
+
+type t = Q1 | Q2 | Q3 | Q4
+
+(** [all] is [[Q1; Q2; Q3; Q4]]. *)
+val all : t list
+
+(** [to_index q] maps Q1..Q4 to 0..3 (array indexing). *)
+val to_index : t -> int
+
+(** [of_index i] inverts [to_index]. Raises [Invalid_argument] outside
+    0..3. *)
+val of_index : int -> t
+
+(** [classify ~origin p] is the quadrant of [p] relative to [origin], or
+    [None] when the two points coincide. *)
+val classify : origin:Point.t -> Point.t -> t option
+
+(** [opposite q] is the diagonally opposite quadrant (Q1↔Q3, Q2↔Q4). *)
+val opposite : t -> t
+
+(** [pp] prints "Q1".."Q4". *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string q] is "Q1".."Q4". *)
+val to_string : t -> string

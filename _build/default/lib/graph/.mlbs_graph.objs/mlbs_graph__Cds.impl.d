@@ -1,0 +1,1 @@
+lib/graph/cds.ml: Components Graph List Mlbs_util Queue

@@ -1,0 +1,1 @@
+lib/graph/indep.ml: Array List Mlbs_util

@@ -1,0 +1,53 @@
+module Bitset = Mlbs_util.Bitset
+
+type result = { dist : int array; parent : int array }
+
+let run_multi g ~sources =
+  let n = Graph.n_nodes g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg (Printf.sprintf "Bfs.run_multi: source %d" s);
+      if dist.(s) = max_int then begin
+        dist.(s) <- 0;
+        Queue.add s q
+      end)
+    sources;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    Graph.iter_neighbors g u ~f:(fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+  done;
+  { dist; parent }
+
+let run g ~source = run_multi g ~sources:[ source ]
+
+let layers g ~source =
+  let r = run g ~source in
+  let n = Graph.n_nodes g in
+  let maxd = Array.fold_left (fun acc d -> if d <> max_int then max acc d else acc) 0 r.dist in
+  let buckets = Array.make (maxd + 1) [] in
+  for v = n - 1 downto 0 do
+    if r.dist.(v) <> max_int then buckets.(r.dist.(v)) <- v :: buckets.(r.dist.(v))
+  done;
+  Array.to_list buckets
+
+let eccentricity g ~source =
+  let r = run g ~source in
+  Array.fold_left
+    (fun acc d ->
+      if d = max_int then invalid_arg "Bfs.eccentricity: disconnected graph" else max acc d)
+    0 r.dist
+
+let max_dist_in r ~within =
+  Bitset.fold
+    (fun v acc ->
+      let d = r.dist.(v) in
+      if d = max_int || acc = max_int then max_int else max acc d)
+    within 0

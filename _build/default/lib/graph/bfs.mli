@@ -1,0 +1,34 @@
+(** Breadth-first search: hop distances, layers, parents.
+
+    BFS drives the baseline schedulers (layer-synchronised broadcast of
+    [2] and [12]), the admissible lower bound of the M-counter search
+    (hop distance from the informed set to the farthest uninformed
+    node), and source selection (the paper picks sources 5–8 hops from
+    the farthest node). *)
+
+(** Result of a BFS: [dist.(v)] is the hop distance from the source set
+    ([max_int] when unreachable); [parent.(v)] is a predecessor on a
+    shortest path ([-1] for sources and unreachable nodes). *)
+type result = { dist : int array; parent : int array }
+
+(** [run g ~source] is single-source BFS. *)
+val run : Graph.t -> source:int -> result
+
+(** [run_multi g ~sources] is BFS from a set of sources at distance 0 —
+    used to lower-bound remaining broadcast time from an informed set. *)
+val run_multi : Graph.t -> sources:int list -> result
+
+(** [layers g ~source] groups nodes by hop distance: element [k] is the
+    sorted list of nodes at distance [k]. Unreachable nodes are
+    omitted. *)
+val layers : Graph.t -> source:int -> int list list
+
+(** [eccentricity g ~source] is the maximum finite hop distance from
+    [source]; raises [Invalid_argument] if some node is unreachable
+    (callers should check connectivity first). *)
+val eccentricity : Graph.t -> source:int -> int
+
+(** [max_dist_in r ~within] is the maximum distance in [r] over the
+    members of [within], or 0 when [within] is empty; [max_int] if any
+    member is unreachable. *)
+val max_dist_in : result -> within:Mlbs_util.Bitset.t -> int

@@ -1,0 +1,85 @@
+module Bitset = Mlbs_util.Bitset
+
+(* Guha–Khuller greedy: colors are white (undominated), gray (dominated,
+   not in the set), black (in the set). Start from a maximum-degree
+   node; repeatedly blacken the gray node with the most white
+   neighbours. Ties break to the smaller id for determinism. *)
+let greedy g =
+  let n = Graph.n_nodes g in
+  if n = 0 then invalid_arg "Cds.greedy: empty graph";
+  if not (Components.is_connected g) then invalid_arg "Cds.greedy: disconnected graph";
+  if n = 1 then [ 0 ]
+  else begin
+    let white = Bitset.full n in
+    let gray = Bitset.create n in
+    let black = Bitset.create n in
+    let white_degree u =
+      Graph.fold_neighbors g u ~init:0 ~f:(fun acc v ->
+          if Bitset.mem white v then acc + 1 else acc)
+    in
+    let blacken u =
+      Bitset.remove white u;
+      Bitset.remove gray u;
+      Bitset.add black u;
+      Graph.iter_neighbors g u ~f:(fun v ->
+          if Bitset.mem white v then begin
+            Bitset.remove white v;
+            Bitset.add gray v
+          end)
+    in
+    (* Seed: maximum-degree node. *)
+    let seed = ref 0 in
+    for u = 1 to n - 1 do
+      if Graph.degree g u > Graph.degree g !seed then seed := u
+    done;
+    blacken !seed;
+    while not (Bitset.is_empty white) do
+      let best = ref (-1) and best_score = ref (-1) in
+      Bitset.iter
+        (fun u ->
+          let s = white_degree u in
+          if s > !best_score then begin
+            best := u;
+            best_score := s
+          end)
+        gray;
+      if !best < 0 || !best_score = 0 then
+        (* Cannot happen on a connected graph: some gray node always
+           borders the white region. *)
+        failwith "Cds.greedy: stuck (internal invariant violated)";
+      blacken !best
+    done;
+    Bitset.elements black
+  end
+
+let is_dominating g set =
+  let n = Graph.n_nodes g in
+  let members = Bitset.of_list n set in
+  let dominated v =
+    Bitset.mem members v
+    || Graph.fold_neighbors g v ~init:false ~f:(fun acc u -> acc || Bitset.mem members u)
+  in
+  let rec check v = v >= n || (dominated v && check (v + 1)) in
+  check 0
+
+let is_connected_subset g set =
+  match set with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+      let n = Graph.n_nodes g in
+      let members = Bitset.of_list n set in
+      let seen = Bitset.create n in
+      let q = Queue.create () in
+      Bitset.add seen first;
+      Queue.add first q;
+      while not (Queue.is_empty q) do
+        let u = Queue.take q in
+        Graph.iter_neighbors g u ~f:(fun v ->
+            if Bitset.mem members v && not (Bitset.mem seen v) then begin
+              Bitset.add seen v;
+              Queue.add v q
+            end)
+      done;
+      List.for_all (Bitset.mem seen) set
+
+let is_cds g set = is_dominating g set && is_connected_subset g set

@@ -1,0 +1,26 @@
+(** Connected dominating sets (CDS) — the backbone structure the related
+    work builds broadcast trees on (Gandhi et al. [4]; Guha & Khuller
+    [7] in the paper's references).
+
+    A CDS is a connected node subset such that every node is either in
+    the set or adjacent to it: relays can be restricted to the backbone
+    and every leaf still hears the message. We implement Guha &
+    Khuller's first greedy algorithm (grow a black tree by repeatedly
+    blackening the gray node with the most white neighbours), which
+    gives an O(ln Δ)-approximate CDS on connected graphs. *)
+
+(** [greedy g] is a connected dominating set of the connected graph [g],
+    sorted ascending. Raises [Invalid_argument] when [g] is disconnected
+    or empty. For a single-node graph the CDS is that node. *)
+val greedy : Graph.t -> int list
+
+(** [is_dominating g set] checks every node is in [set] or adjacent to a
+    member. *)
+val is_dominating : Graph.t -> int list -> bool
+
+(** [is_connected_subset g set] checks the subgraph induced by [set] is
+    connected (vacuously true for empty/singleton sets). *)
+val is_connected_subset : Graph.t -> int list -> bool
+
+(** [is_cds g set] is both checks. *)
+val is_cds : Graph.t -> int list -> bool

@@ -1,0 +1,34 @@
+let greedy ~order ~conflicts items =
+  let sorted = List.stable_sort order items in
+  let rec assign remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        (* One pass: pick a maximal prefix-greedy conflict-free class. *)
+        let cls, rest =
+          List.fold_left
+            (fun (cls, rest) item ->
+              if List.exists (fun c -> conflicts c item) cls then (cls, item :: rest)
+              else (item :: cls, rest))
+            ([], []) remaining
+        in
+        assign (List.rev rest) (List.rev cls :: acc)
+  in
+  assign sorted []
+
+let classes_valid ~conflicts classes =
+  let rec pairwise_free = function
+    | [] -> true
+    | x :: rest -> (not (List.exists (conflicts x) rest)) && pairwise_free rest
+  in
+  let all_free = List.for_all pairwise_free classes in
+  let rec blocked earlier = function
+    | [] -> true
+    | cls :: rest ->
+        let ok =
+          earlier = []
+          || List.for_all (fun x -> List.exists (fun e -> conflicts e x) earlier) cls
+        in
+        ok && blocked (earlier @ cls) rest
+  in
+  all_free && blocked [] classes

@@ -1,0 +1,46 @@
+module Union_find = Mlbs_util.Union_find
+
+let labels g =
+  let n = Graph.n_nodes g in
+  let uf = Union_find.create n in
+  List.iter (fun (u, v) -> ignore (Union_find.union uf u v)) (Graph.edges g);
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let root = Union_find.find uf v in
+    if label.(root) = -1 then begin
+      label.(root) <- !next;
+      incr next
+    end;
+    label.(v) <- label.(root)
+  done;
+  label
+
+let count g =
+  let n = Graph.n_nodes g in
+  if n = 0 then 0
+  else begin
+    let l = labels g in
+    1 + Array.fold_left max 0 l
+  end
+
+let is_connected g = count g <= 1
+
+let largest g =
+  let n = Graph.n_nodes g in
+  if n = 0 then []
+  else begin
+    let l = labels g in
+    let k = 1 + Array.fold_left max 0 l in
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) l;
+    let best = ref 0 in
+    for c = 1 to k - 1 do
+      if sizes.(c) > sizes.(!best) then best := c
+    done;
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if l.(v) = !best then acc := v :: !acc
+    done;
+    !acc
+  end

@@ -1,0 +1,20 @@
+(** Connected components.
+
+    The paper's deployments are implicitly connected (a broadcast must
+    reach every node); the deployment generator resamples until the UDG
+    is connected, and these helpers provide the check. *)
+
+(** [labels g] assigns each node a component id in [0 .. k-1]; nodes
+    share an id iff connected. *)
+val labels : Graph.t -> int array
+
+(** [count g] is the number of connected components (0 for the empty
+    graph). *)
+val count : Graph.t -> int
+
+(** [is_connected g] is [count g <= 1]. *)
+val is_connected : Graph.t -> bool
+
+(** [largest g] is the node list of a largest component (ties broken by
+    smallest label), [] for the empty graph. *)
+val largest : Graph.t -> int list

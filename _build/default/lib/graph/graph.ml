@@ -1,0 +1,95 @@
+module Bitset = Mlbs_util.Bitset
+
+type t = {
+  n : int;
+  m : int;
+  adj : int array array; (* sorted neighbour lists *)
+  sets : Bitset.t array; (* same adjacency as bit sets *)
+}
+
+let build n adj_lists =
+  let adj =
+    Array.map
+      (fun l ->
+        let arr = Array.of_list (List.sort_uniq compare l) in
+        arr)
+      adj_lists
+  in
+  let sets =
+    Array.map
+      (fun arr ->
+        let s = Bitset.create n in
+        Array.iter (Bitset.add s) arr;
+        s)
+      adj
+  in
+  let m = Array.fold_left (fun acc arr -> acc + Array.length arr) 0 adj / 2 in
+  { n; m; adj; sets }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let adj_lists = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg (Printf.sprintf "Graph.of_edges: edge (%d,%d) outside [0,%d)" u v n);
+      if u = v then invalid_arg (Printf.sprintf "Graph.of_edges: self-loop at %d" u);
+      adj_lists.(u) <- v :: adj_lists.(u);
+      adj_lists.(v) <- u :: adj_lists.(v))
+    edges;
+  build n adj_lists
+
+let of_adjacency adj_lists =
+  let n = Array.length adj_lists in
+  let g = build n adj_lists in
+  (* Verify symmetry: u ∈ N(v) ⟺ v ∈ N(u); also reject self-loops. *)
+  Array.iteri
+    (fun u arr ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            invalid_arg (Printf.sprintf "Graph.of_adjacency: neighbour %d of %d out of range" v u);
+          if v = u then invalid_arg (Printf.sprintf "Graph.of_adjacency: self-loop at %d" u);
+          if not (Bitset.mem g.sets.(v) u) then
+            invalid_arg (Printf.sprintf "Graph.of_adjacency: asymmetric edge %d->%d" u v))
+        arr)
+    g.adj;
+  g
+
+let n_nodes g = g.n
+let n_edges g = g.m
+let degree g u = Array.length g.adj.(u)
+let neighbors g u = g.adj.(u)
+let neighbor_set g u = g.sets.(u)
+
+let mem_edge g u v = Bitset.mem g.sets.(u) v
+
+let iter_neighbors g u ~f = Array.iter f g.adj.(u)
+
+let fold_neighbors g u ~init ~f = Array.fold_left f init g.adj.(u)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let arr = g.adj.(u) in
+    for i = Array.length arr - 1 downto 0 do
+      if u < arr.(i) then acc := (u, arr.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let max_degree g = Array.fold_left (fun acc arr -> max acc (Array.length arr)) 0 g.adj
+
+let common_neighbor_in g u v ~candidates =
+  (* Scan the smaller adjacency list; probe the other's bit set and the
+     candidate set. *)
+  let a, b = if degree g u <= degree g v then (u, v) else (v, u) in
+  let arr = g.adj.(a) in
+  let other = g.sets.(b) in
+  let rec loop i =
+    i < Array.length arr
+    && ((Bitset.mem other arr.(i) && Bitset.mem candidates arr.(i)) || loop (i + 1))
+  in
+  loop 0
+
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

@@ -1,0 +1,60 @@
+(** Immutable undirected graphs over nodes [0 .. n-1], CSR-style.
+
+    This is the topology substrate shared by the WSN network layer, the
+    schedulers and the radio simulator. Adjacency is stored as sorted
+    arrays (compressed sparse rows) for cache-friendly neighbour scans,
+    plus per-node [Bitset]s for O(1) membership and O(words) neighbour
+    intersections — the conflict test [N(u) ∩ N(v) ∩ W̄ ≠ ∅] runs
+    millions of times per experiment. *)
+
+type t
+
+(** [of_edges ~n edges] builds the graph with node count [n] from an
+    undirected edge list. Self-loops are rejected, duplicates collapse.
+    Raises [Invalid_argument] for endpoints outside [0, n). *)
+val of_edges : n:int -> (int * int) list -> t
+
+(** [of_adjacency adj] builds from an explicit neighbour list per node
+    (must be symmetric; raises [Invalid_argument] if not). *)
+val of_adjacency : int list array -> t
+
+(** [n_nodes g] is the node count. *)
+val n_nodes : t -> int
+
+(** [n_edges g] is the undirected edge count. *)
+val n_edges : t -> int
+
+(** [degree g u] is [|N(u)|]. *)
+val degree : t -> int -> int
+
+(** [neighbors g u] is the sorted neighbour array of [u]. The returned
+    array is the internal one: callers must not mutate it. *)
+val neighbors : t -> int -> int array
+
+(** [neighbor_set g u] is [N(u)] as a bit set (internal, do not
+    mutate). *)
+val neighbor_set : t -> int -> Mlbs_util.Bitset.t
+
+(** [mem_edge g u v] is O(log degree) edge membership. *)
+val mem_edge : t -> int -> int -> bool
+
+(** [iter_neighbors g u ~f] applies [f] to each neighbour of [u]. *)
+val iter_neighbors : t -> int -> f:(int -> unit) -> unit
+
+(** [fold_neighbors g u ~init ~f] folds over neighbours of [u]. *)
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+(** [edges g] lists each undirected edge once as [(u, v)] with
+    [u < v]. *)
+val edges : t -> (int * int) list
+
+(** [max_degree g] is the maximum degree, 0 for an empty graph. *)
+val max_degree : t -> int
+
+(** [common_neighbor_in g u v ~candidates] is [true] iff some node in
+    [candidates] is adjacent to both [u] and [v] — the paper's conflict
+    predicate with [candidates = W̄]. Allocation-free. *)
+val common_neighbor_in : t -> int -> int -> candidates:Mlbs_util.Bitset.t -> bool
+
+(** [pp] prints a summary "graph(n=…, m=…)". *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module Bitset = Mlbs_util.Bitset
+
+exception Limit_reached
+
+(* Maximal independent sets of [conflict] = maximal cliques of its
+   complement. Classic Bron–Kerbosch with a pivot chosen to minimise the
+   branching set P \ N(pivot). *)
+let maximal ~n ~conflict ~limit =
+  if limit <= 0 then invalid_arg "Indep.maximal: limit <= 0";
+  if n = 0 then [ [] ]
+  else begin
+    (* Complement adjacency: compatible (non-conflicting) pairs. *)
+    let compat =
+      Array.init n (fun i ->
+          let s = Bitset.create n in
+          for j = 0 to n - 1 do
+            if i <> j && not (conflict i j) then Bitset.add s j
+          done;
+          s)
+    in
+    let results = ref [] in
+    let count = ref 0 in
+    let report r =
+      results := List.rev r :: !results;
+      incr count;
+      if !count >= limit then raise Limit_reached
+    in
+    let rec bk r p x =
+      if Bitset.is_empty p && Bitset.is_empty x then report r
+      else begin
+        let pivot =
+          (* Pivot with most compatibilities inside P shrinks branching. *)
+          let best = ref (-1) and best_score = ref (-1) in
+          let consider v =
+            let score = Bitset.cardinal (Bitset.inter p compat.(v)) in
+            if score > !best_score then begin
+              best := v;
+              best_score := score
+            end
+          in
+          Bitset.iter consider p;
+          Bitset.iter consider x;
+          !best
+        in
+        let branch = Bitset.diff p compat.(pivot) in
+        Bitset.iter
+          (fun v ->
+            if Bitset.mem p v then begin
+              bk (v :: r) (Bitset.inter p compat.(v)) (Bitset.inter x compat.(v));
+              Bitset.remove p v;
+              Bitset.add x v
+            end)
+          branch
+      end
+    in
+    (try bk [] (Bitset.full n) (Bitset.create n) with Limit_reached -> ());
+    List.rev !results
+  end

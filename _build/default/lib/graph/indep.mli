@@ -1,0 +1,18 @@
+(** Enumeration of maximal independent sets under an explicit symmetric
+    relation.
+
+    The OPT scheduler's choice space at each step is "any possible color
+    set" (Eq. 1): any conflict-free subset of the relay candidates.
+    Because informing more nodes never hurts (the model is monotone —
+    see [Mcounter]), only *maximal* conflict-free subsets need be
+    considered; those are exactly the maximal independent sets of the
+    conflict graph, enumerated here by Bron–Kerbosch with pivoting on
+    the complement graph. *)
+
+(** [maximal ~n ~conflict ~limit] enumerates maximal independent sets of
+    the relation [conflict] over items [0 .. n-1], stopping after
+    [limit] sets. [conflict] must be symmetric and irreflexive. Each set
+    is ascending; the enumeration order is deterministic. Raises
+    [Invalid_argument] when [limit <= 0]. For [n = 0], the only maximal
+    set is [[]]. *)
+val maximal : n:int -> conflict:(int -> int -> bool) -> limit:int -> int list list

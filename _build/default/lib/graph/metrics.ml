@@ -1,0 +1,21 @@
+let eccentricities g =
+  Array.init (Graph.n_nodes g) (fun v -> Bfs.eccentricity g ~source:v)
+
+let diameter g =
+  if Graph.n_nodes g = 0 then 0 else Array.fold_left max 0 (eccentricities g)
+
+let radius g =
+  if Graph.n_nodes g = 0 then 0
+  else Array.fold_left min max_int (eccentricities g)
+
+let average_degree g =
+  let n = Graph.n_nodes g in
+  if n = 0 then 0. else 2. *. float_of_int (Graph.n_edges g) /. float_of_int n
+
+let degree_histogram g =
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to Graph.n_nodes g - 1 do
+    let d = Graph.degree g v in
+    Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d))
+  done;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,52 @@
+type t = { gen : Xoshiro256.t; seeder : Splitmix64.t }
+
+let create seed =
+  let seeder = Splitmix64.create (Int64.of_int seed) in
+  { gen = Xoshiro256.create (Splitmix64.next seeder); seeder }
+
+let split t =
+  let child_seed = Splitmix64.next t.seeder in
+  let seeder = Splitmix64.create (Splitmix64.next t.seeder) in
+  { gen = Xoshiro256.create child_seed; seeder }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let x = Int64.to_int (Int64.logand (Xoshiro256.next t.gen) mask) in
+    let r = x mod bound in
+    if x - r + (bound - 1) >= 0 then r else draw ()
+  in
+  draw ()
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let x = Int64.shift_right_logical (Xoshiro256.next t.gen) 11 in
+  Int64.to_float x /. 9007199254740992.0 *. bound
+
+let bool t ~p =
+  if p <= 0. then false else if p >= 1. then true else float t 1.0 < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let sample t ~k xs =
+  let n = List.length xs in
+  if k >= n then xs
+  else begin
+    let arr = Array.of_list xs in
+    shuffle t arr;
+    Array.to_list (Array.sub arr 0 k)
+  end

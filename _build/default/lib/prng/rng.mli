@@ -1,0 +1,41 @@
+(** High-level deterministic random interface for the whole library.
+
+    Every stochastic component (deployment sampling, source selection,
+    wake schedules) takes an [Rng.t] so that experiments are exactly
+    reproducible from an integer seed, per the paper's "preset seed"
+    model. Backed by xoshiro256**. *)
+
+type t
+
+(** [create seed] is a fresh deterministic stream. *)
+val create : int -> t
+
+(** [split t] derives an independent child stream, advancing [t]; use
+    one child per node/component so that adding draws in one place does
+    not perturb another. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument]
+    when [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t ~lo ~hi] is uniform in [lo, hi] inclusive. Raises
+    [Invalid_argument] when [hi < lo]. *)
+val int_in : t -> lo:int -> hi:int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** [bool t ~p] is [true] with probability [p] (clamped to [0,1]). *)
+val bool : t -> p:float -> bool
+
+(** [shuffle t arr] permutes [arr] uniformly in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t xs] is a uniform element of [xs]. Raises [Invalid_argument]
+    on an empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [sample t ~k xs] draws [k] distinct elements uniformly (reservoir);
+    returns all of [xs] when [k >= length]. *)
+val sample : t -> k:int -> 'a list -> 'a list

@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The reference finaliser: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let next_int g ~bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound <= 0";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let x = Int64.to_int (Int64.logand (next g) mask) in
+    let r = x mod bound in
+    if x - r + (bound - 1) >= 0 then r else draw ()
+  in
+  draw ()
+
+let next_float g =
+  (* 53 high bits -> [0, 1). *)
+  let x = Int64.shift_right_logical (next g) 11 in
+  Int64.to_float x /. 9007199254740992.0
+
+let split g =
+  let seed = next g in
+  create (mix seed)

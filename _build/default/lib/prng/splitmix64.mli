@@ -1,0 +1,33 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    The paper's duty-cycle model gives each node "a predictable
+    pseudo-random sequence [...] with a preset seed"; neighbours forecast
+    each other's wake-ups from the seed. SplitMix64 is the seeding /
+    splitting primitive: it turns one 64-bit seed into an arbitrary
+    number of well-distributed streams, so every node's wake schedule is
+    an independent, reproducible stream derived from (experiment seed,
+    node id). *)
+
+type t
+
+(** [create seed] is a generator whose state is exactly [seed]. Equal
+    seeds yield equal sequences. *)
+val create : int64 -> t
+
+(** [copy g] duplicates the state; the copy evolves independently. *)
+val copy : t -> t
+
+(** [next g] advances the state and returns the next 64-bit output. *)
+val next : t -> int64
+
+(** [next_int g ~bound] is a uniform integer in [0, bound) using
+    rejection sampling (no modulo bias). Raises [Invalid_argument] when
+    [bound <= 0]. *)
+val next_int : t -> bound:int -> int
+
+(** [next_float g] is a uniform float in [0, 1) with 53 random bits. *)
+val next_float : t -> float
+
+(** [split g] derives a new, statistically independent generator and
+    advances [g]. *)
+val split : t -> t

@@ -1,0 +1,25 @@
+(** xoshiro256** pseudo-random generator (Blackman & Vigna 2018).
+
+    The workhorse generator for deployment sampling: better equi-
+    distribution than SplitMix64 for bulk draws, seeded from a
+    SplitMix64 stream as its authors recommend. *)
+
+type t
+
+(** [create seed] seeds the 256-bit state from [seed] via SplitMix64. *)
+val create : int64 -> t
+
+(** [of_state s] builds a generator from an explicit 4-word state.
+    Raises [Invalid_argument] if the state is all zero (a fixed point of
+    the transition). *)
+val of_state : int64 * int64 * int64 * int64 -> t
+
+(** [copy g] duplicates the state. *)
+val copy : t -> t
+
+(** [next g] is the next 64-bit output. *)
+val next : t -> int64
+
+(** [jump g] advances [g] by 2^128 steps in place — equivalent to that
+    many [next] calls — used to carve non-overlapping substreams. *)
+val jump : t -> unit

@@ -1,0 +1,1 @@
+lib/proto/broadcast_protocol.ml: Array E_protocol Fun Hashtbl Hello List Mlbs_core Mlbs_dutycycle Mlbs_geom Mlbs_graph Mlbs_util Printf

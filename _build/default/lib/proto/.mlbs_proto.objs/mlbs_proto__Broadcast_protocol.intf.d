@@ -1,0 +1,1 @@
+lib/proto/broadcast_protocol.mli: Mlbs_core

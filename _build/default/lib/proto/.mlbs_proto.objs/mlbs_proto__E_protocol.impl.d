@@ -1,0 +1,1 @@
+lib/proto/e_protocol.ml: Array Hashtbl Hello List Mlbs_core Mlbs_geom Printf

@@ -1,0 +1,1 @@
+lib/proto/e_protocol.mli: Hello Mlbs_core

@@ -1,0 +1,1 @@
+lib/proto/hello.ml: Array List Mlbs_geom Mlbs_wsn

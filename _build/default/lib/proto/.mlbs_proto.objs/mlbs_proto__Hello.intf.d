@@ -1,0 +1,1 @@
+lib/proto/hello.mli: Mlbs_geom Mlbs_wsn

@@ -1,0 +1,317 @@
+module Bitset = Mlbs_util.Bitset
+module Coloring = Mlbs_graph.Coloring
+module Quadrant = Mlbs_geom.Quadrant
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+
+type stats = {
+  schedule : Schedule.t;
+  latency : int;
+  collisions : int;
+  retransmissions : int;
+  beacon_messages : int;
+  e_messages : int;
+}
+
+(* What one node believes about another: message-holding is monotone
+   (once believed true, never revoked); request counts and scores carry
+   the latest value heard, first-hand beacons overriding digests. *)
+type belief = { mutable holds : bool; mutable requests : int; mutable score : int }
+
+type nstate = {
+  view : Hello.view;
+  e : int array;
+  beliefs : (int, belief) Hashtbl.t;
+  known : int array;  (** the node's 2-hop universe (excluding itself), sorted *)
+  local_index : (int, int) Hashtbl.t;  (** id -> index into the local universe *)
+  adj : Mlbs_util.Bitset.t array;
+      (** per universe index, the certifiable-adjacency mask (universe
+          = known ++ [self], self at the last index) *)
+  mutable has_msg : bool;
+  mutable attempts : int;
+  mutable silent_until : int;
+  mutable stalled : int;
+      (** eligible slots in a row during which this node neither sent
+          nor heard any data — divergent local selections can deadlock
+          (everyone defers to someone else's class); after
+          [stall_limit] such slots the node transmits unconditionally *)
+}
+
+let stall_limit = 4
+
+let belief_of st x =
+  match Hashtbl.find_opt st.beliefs x with
+  | Some b -> b
+  | None ->
+      let b = { holds = false; requests = 0; score = 0 } in
+      Hashtbl.add st.beliefs x b;
+      b
+
+(* First-hand data about self, computed from beliefs about neighbours. *)
+let own_requests st =
+  Array.fold_left
+    (fun acc w -> if (belief_of st w).holds then acc else acc + 1)
+    0 st.view.Hello.neighbors
+
+let max_applicable_e st =
+  (* The largest E_k over quadrants still containing a believed-
+     uninformed neighbour — the node's own Eq. (10) score. *)
+  let best = ref (-1) in
+  List.iter
+    (fun (w, pos) ->
+      if not (belief_of st w).holds then
+        match Quadrant.classify ~origin:st.view.Hello.position pos with
+        | Some q -> best := max !best st.e.(Quadrant.to_index q)
+        | None -> ())
+    st.view.Hello.neighbor_position;
+  !best
+
+(* Deterministic exponential back-off, as in [Mlbs_core.Localized]. *)
+let backoff u attempts =
+  let window = 1 lsl min attempts 6 in
+  let h = (u * 2654435761) lxor (attempts * 40503) in
+  (h land max_int) mod window
+
+let run ?max_slots model ~source ~start =
+  let n = Model.n_nodes model in
+  let rate =
+    match Model.system model with Model.Sync -> 1 | Model.Async s -> Wake_schedule.rate s
+  in
+  let max_slots = match max_slots with Some m -> m | None -> 64 * n * rate in
+  let { Hello.views; messages = hello_messages } = Hello.discover (Model.network model) in
+  let e_result = E_protocol.construct model views in
+  let states =
+    Array.init n (fun u ->
+        let view = views.(u) in
+        let known = Array.of_list (Hello.two_hop view) in
+        let size = Array.length known + 1 in
+        let local_index = Hashtbl.create (2 * size) in
+        Array.iteri (fun i x -> Hashtbl.add local_index x i) known;
+        Hashtbl.add local_index u (size - 1);
+        (* Certifiable edges: (u, nbr) from the view itself, and
+           (nbr, x) from each neighbour's reported list. *)
+        let adj = Array.init size (fun _ -> Mlbs_util.Bitset.create size) in
+        let add_edge a b =
+          match (Hashtbl.find_opt local_index a, Hashtbl.find_opt local_index b) with
+          | Some ia, Some ib ->
+              Mlbs_util.Bitset.add adj.(ia) ib;
+              Mlbs_util.Bitset.add adj.(ib) ia
+          | _ -> ()
+        in
+        Array.iter (fun nbr -> add_edge u nbr) view.Hello.neighbors;
+        List.iter
+          (fun (nbr, l) -> Array.iter (fun x -> if x <> u then add_edge nbr x) l)
+          view.Hello.neighbor_lists;
+        {
+          view;
+          e = e_result.E_protocol.values.(u);
+          beliefs = Hashtbl.create 16;
+          known;
+          local_index;
+          adj;
+          has_msg = u = source;
+          attempts = 0;
+          silent_until = 0;
+          stalled = 0;
+        })
+  in
+  let awake u ~slot =
+    match Model.system model with
+    | Model.Sync -> true
+    | Model.Async sched -> Wake_schedule.awake sched u ~slot
+  in
+  let nth_wake u t k =
+    let rec go t k =
+      if k <= 0 then t
+      else
+        let t' =
+          match Model.system model with
+          | Model.Sync -> t + 1
+          | Model.Async sched -> Wake_schedule.next_wake sched u ~after:t
+        in
+        go t' (k - 1)
+    in
+    go t k
+  in
+  let beacon_messages = ref hello_messages in
+  let collisions = ref 0 in
+  let steps = ref [] in
+  (* Ground truth, used by the radio and the stop condition only. *)
+  let truly_informed = Bitset.create n in
+  Bitset.add truly_informed source;
+
+  let beacon_phase () =
+    (* Each node broadcasts (holds, requests, score) for itself plus a
+       digest of its 1-hop beliefs; neighbours integrate. Digests are
+       applied first so first-hand data wins within the slot. *)
+    let payloads =
+      Array.map
+        (fun st ->
+          let digest =
+            Array.to_list
+              (Array.map
+                 (fun w ->
+                   let b = belief_of st w in
+                   (w, b.holds, b.requests, b.score))
+                 st.view.Hello.neighbors)
+          in
+          (st.view.Hello.id, st.has_msg, own_requests st, max_applicable_e st, digest))
+        states
+    in
+    Array.iteri
+      (fun u st ->
+        incr beacon_messages;
+        ignore st;
+        Array.iter
+          (fun v ->
+            let dst = states.(v) in
+            let id, holds, requests, score, digest = payloads.(u) in
+            List.iter
+              (fun (w, h, r, s) ->
+                if w <> v then begin
+                  let b = belief_of dst w in
+                  b.holds <- b.holds || h;
+                  (* Second-hand counts only fill in 2-hop nodes. *)
+                  if not (Array.exists (( = ) w) dst.view.Hello.neighbors) then begin
+                    b.requests <- r;
+                    b.score <- s
+                  end
+                end)
+              digest;
+            let b = belief_of dst id in
+            b.holds <- b.holds || holds;
+            b.requests <- requests;
+            b.score <- score)
+          states.(u).view.Hello.neighbors)
+      states
+  in
+
+  let eligible u ~slot =
+    let st = states.(u) in
+    st.has_msg && awake u ~slot && st.silent_until <= slot && own_requests st > 0
+  in
+  let decide u ~slot =
+    let st = states.(u) in
+    if not (eligible u ~slot) then false
+    else if st.stalled >= stall_limit then true
+    else begin
+      (* Candidates this node can see: itself plus believed holders with
+         requests in its 2-hop view, filtered by wake forecast. *)
+      let mine = (u, own_requests st) in
+      let others =
+        List.filter_map
+          (fun x ->
+            let b = belief_of st x in
+            if b.holds && b.requests > 0 && awake x ~slot then Some (x, b.requests)
+            else None)
+          (Array.to_list st.known)
+      in
+      let cands = mine :: others in
+      (* Believed-uninformed mask over the local universe; the conflict
+         test is then two bitset intersections. *)
+      let size = Array.length st.known + 1 in
+      let uninformed = Bitset.create size in
+      Array.iteri
+        (fun i x -> if not (belief_of st x).holds then Bitset.add uninformed i)
+        st.known;
+      let order (a, ca) (b, cb) = if ca <> cb then compare cb ca else compare a b in
+      let conflict (a, _) (b, _) =
+        a <> b
+        &&
+        match (Hashtbl.find_opt st.local_index a, Hashtbl.find_opt st.local_index b) with
+        | Some ia, Some ib ->
+            Bitset.intersects (Bitset.inter st.adj.(ia) st.adj.(ib)) uninformed
+        | _ -> false
+      in
+      let classes = Coloring.greedy ~order ~conflicts:conflict cands in
+      let score cls =
+        List.fold_left
+          (fun acc (x, _) ->
+            max acc (if x = u then max_applicable_e st else (belief_of st x).score))
+          (-1) cls
+      in
+      match classes with
+      | [] -> false
+      | first :: _ ->
+          let best = ref first and best_score = ref (score first) in
+          List.iter
+            (fun cls ->
+              let s = score cls in
+              if s > !best_score then begin
+                best := cls;
+                best_score := s
+              end)
+            classes;
+          List.mem_assoc u !best
+    end
+  in
+
+  let rec loop slot =
+    if Bitset.is_full truly_informed then slot - 1
+    else if slot - start >= max_slots then
+      failwith
+        (Printf.sprintf "Broadcast_protocol.run: no coverage within %d slots" max_slots)
+    else begin
+      beacon_phase ();
+      let senders = List.filter (fun u -> decide u ~slot) (List.init n Fun.id) in
+      (* Stall accounting: an eligible node that deferred and heard no
+         data this slot edges toward its unconditional escalation. *)
+      let heard u =
+        List.exists
+          (fun s -> s = u || Mlbs_graph.Graph.mem_edge (Model.graph model) s u)
+          senders
+      in
+      for u = 0 to n - 1 do
+        if List.mem u senders then states.(u).stalled <- 0
+        else if eligible u ~slot && not (heard u) then
+          states.(u).stalled <- states.(u).stalled + 1
+        else if heard u then states.(u).stalled <- 0
+      done;
+      if senders = [] then loop (slot + 1)
+      else begin
+        let received = ref [] in
+        for v = 0 to n - 1 do
+          if not (Bitset.mem truly_informed v) then begin
+            match
+              List.filter
+                (fun u -> Mlbs_graph.Graph.mem_edge (Model.graph model) u v)
+                senders
+            with
+            | [] -> ()
+            | [ u ] ->
+                received := v :: !received;
+                let dst = states.(v) in
+                dst.has_msg <- true;
+                (belief_of dst u).holds <- true
+            | _ -> incr collisions
+          end
+        done;
+        List.iter
+          (fun u ->
+            let st = states.(u) in
+            st.attempts <- st.attempts + 1;
+            (* Transmit-then-listen: back off and let the next beacons
+               say whether requests remain. *)
+            st.silent_until <- nth_wake u slot (backoff u st.attempts + 1))
+          senders;
+        List.iter (Bitset.add truly_informed) !received;
+        steps :=
+          { Schedule.slot; senders; informed = List.sort compare !received } :: !steps;
+        loop (slot + 1)
+      end
+    end
+  in
+  let finish = loop start in
+  let schedule = Schedule.make ~n_nodes:n ~source ~start (List.rev !steps) in
+  let retransmissions =
+    Array.fold_left (fun acc st -> acc + max 0 (st.attempts - 1)) 0 states
+  in
+  {
+    schedule;
+    latency = finish - start + 1;
+    collisions = !collisions;
+    retransmissions;
+    beacon_messages = !beacon_messages;
+    e_messages = e_result.E_protocol.messages;
+  }

@@ -1,0 +1,46 @@
+(** The conflict-aware broadcast as a fully distributed protocol: every
+    decision is taken from state a node built out of received messages.
+
+    This is the end of the road the paper points down in §VII ("a
+    localized color scheme and its selection to provide a more reliable
+    and scalable solution"): unlike [Mlbs_core.Localized] — which scopes
+    the *decision* to 2 hops but still reads the true informed set —
+    nothing here touches global state except the radio itself.
+
+    Per slot:
+
+    + {b beacons} (the §III routine exchange, on the always-on receiving
+      channel): each node broadcasts its status — whether it holds the
+      message, how many of its neighbours still request it, its Eq.-10
+      score — plus a digest of what it believes about its own
+      neighbours, which is how information reaches 2 hops. Belief in
+      "node x holds the message" is monotone (never revoked), so stale
+      digests are harmless.
+    + {b decisions}: every awake holder with requesting neighbours
+      colors the candidates it can see (itself, and 1-/2-hop nodes it
+      believes to be holders with requests), using only edges its
+      {!Hello.view} can certify, and transmits iff it places itself in
+      the class its (distributed) E values select.
+    + {b radio}: one audible transmission delivers; several collide.
+      A sender cannot observe its receivers directly — it backs off
+      after each attempt and learns the outcome from the next beacons;
+      unresolved requests trigger a retransmission.
+
+    Imperfect knowledge (one-slot lag, uncertifiable edges) causes real
+    collisions; back-off resolves them. Convergence is checked against
+    the ground truth only to stop the simulation. *)
+
+type stats = {
+  schedule : Mlbs_core.Schedule.t;  (** data transmissions actually made *)
+  latency : int;
+  collisions : int;
+  retransmissions : int;
+  beacon_messages : int;  (** control-channel broadcasts *)
+  e_messages : int;  (** announcements spent building E (Theorem 3) *)
+}
+
+(** [run ?max_slots model ~source ~start] discovers neighbourhoods
+    ({!Hello}), builds E distributedly ({!E_protocol}), then runs the
+    broadcast. Raises [Failure] when the protocol has not covered the
+    network within [max_slots] (default [64 * n * r]). *)
+val run : ?max_slots:int -> Mlbs_core.Model.t -> source:int -> start:int -> stats

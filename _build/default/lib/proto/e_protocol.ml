@@ -1,0 +1,92 @@
+module Quadrant = Mlbs_geom.Quadrant
+module Model = Mlbs_core.Model
+module Emodel = Mlbs_core.Emodel
+
+type result = { values : int array array; rounds : int; messages : int }
+
+let infinity_ = max_int
+
+let construct ?(cwt_frames = 4) model views =
+  let n = Array.length views in
+  if n <> Model.n_nodes model then invalid_arg "E_protocol.construct: view count mismatch";
+  (* Each node's quadrant partition of its neighbours, from its own
+     view (positions learned by beaconing). *)
+  let quadrant_nbrs =
+    Array.map
+      (fun (v : Hello.view) ->
+        let buckets = Array.make 4 [] in
+        List.iter
+          (fun (u, pos) ->
+            match Quadrant.classify ~origin:v.Hello.position pos with
+            | Some q ->
+                let k = Quadrant.to_index q in
+                buckets.(k) <- u :: buckets.(k)
+            | None -> ())
+          v.Hello.neighbor_position;
+        buckets)
+      views
+  in
+  let weight u v = Emodel.edge_weight model ~cwt_frames u v in
+  (* Local state: own tuple, plus the last tuple received from each
+     neighbour (node-indexed table of per-neighbour copies). *)
+  let e =
+    Array.init n (fun u ->
+        Array.init 4 (fun k -> if quadrant_nbrs.(u).(k) = [] then 0 else infinity_))
+  in
+  let known : (int, int array) Hashtbl.t array = Array.init n (fun _ -> Hashtbl.create 8) in
+  let relax u =
+    let changed = ref false in
+    for k = 0 to 3 do
+      match quadrant_nbrs.(u).(k) with
+      | [] -> () (* stays seeded at 0 *)
+      | nbrs ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match Hashtbl.find_opt known.(u) v with
+                | Some tup when tup.(k) <> infinity_ -> min acc (weight u v + tup.(k))
+                | _ -> acc)
+              infinity_ nbrs
+          in
+          if best < e.(u).(k) then begin
+            e.(u).(k) <- best;
+            changed := true
+          end
+    done;
+    !changed
+  in
+  let messages = ref 0 and rounds = ref 0 in
+  (* Initially, every node with a finite entry has something to say. *)
+  let to_announce = ref [] in
+  for u = n - 1 downto 0 do
+    if Array.exists (fun x -> x <> infinity_) e.(u) then to_announce := u :: !to_announce
+  done;
+  while !to_announce <> [] do
+    incr rounds;
+    (* Deliver announcements. *)
+    List.iter
+      (fun u ->
+        incr messages;
+        Array.iter
+          (fun v -> Hashtbl.replace known.(v) u (Array.copy e.(u)))
+          views.(u).Hello.neighbors)
+      !to_announce;
+    (* Everyone re-relaxes; improvements are announced next round. *)
+    let next = ref [] in
+    for u = n - 1 downto 0 do
+      if relax u then next := u :: !next
+    done;
+    to_announce := !next
+  done;
+  (* The quadrant relations are DAGs with all sinks seeded, so every
+     value is finite at quiescence. *)
+  Array.iteri
+    (fun u tup ->
+      Array.iteri
+        (fun k x ->
+          if x = infinity_ then
+            failwith
+              (Printf.sprintf "E_protocol.construct: node %d quadrant %d never settled" u k))
+        tup)
+    e;
+  { values = e; rounds = !rounds; messages = !messages }

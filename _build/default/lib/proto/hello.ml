@@ -1,0 +1,60 @@
+module Point = Mlbs_geom.Point
+module Network = Mlbs_wsn.Network
+
+type view = {
+  id : int;
+  position : Point.t;
+  neighbors : int array;
+  neighbor_position : (int * Point.t) list;
+  neighbor_lists : (int * int array) list;
+}
+
+type result = { views : view array; messages : int }
+
+(* Round 1: every node broadcasts (id, position); every neighbour
+   records it. Round 2: every node broadcasts its recorded neighbour id
+   list; every neighbour records that. The control channel is the
+   always-on receiving channel of §III, so delivery is reliable. *)
+let discover net =
+  let n = Network.n_nodes net in
+  (* Round 1 deliveries. *)
+  let heard = Array.make n [] in
+  for sender = 0 to n - 1 do
+    Array.iter
+      (fun v -> heard.(v) <- (sender, Network.position net sender) :: heard.(v))
+      (Network.neighbors net sender)
+  done;
+  let neighbor_position = Array.map (List.sort compare) heard in
+  let neighbors =
+    Array.map (fun l -> Array.of_list (List.map fst l)) neighbor_position
+  in
+  (* Round 2 deliveries: each node broadcasts its [neighbors] array. *)
+  let lists = Array.make n [] in
+  for sender = 0 to n - 1 do
+    Array.iter
+      (fun v -> lists.(v) <- (sender, neighbors.(sender)) :: lists.(v))
+      neighbors.(sender)
+  done;
+  let views =
+    Array.init n (fun id ->
+        {
+          id;
+          position = Network.position net id;
+          neighbors = neighbors.(id);
+          neighbor_position = neighbor_position.(id);
+          neighbor_lists = List.sort compare lists.(id);
+        })
+  in
+  { views; messages = 2 * n }
+
+let two_hop v =
+  let acc = ref [] in
+  Array.iter (fun u -> acc := u :: !acc) v.neighbors;
+  List.iter (fun (_, l) -> Array.iter (fun u -> acc := u :: !acc) l) v.neighbor_lists;
+  List.filter (fun u -> u <> v.id) (List.sort_uniq compare !acc)
+
+let knows_edge v a b =
+  let listed x ys = Array.exists (( = ) x) ys in
+  (a = v.id && listed b v.neighbors)
+  || (b = v.id && listed a v.neighbors)
+  || List.exists (fun (u, l) -> (u = a && listed b l) || (u = b && listed a l)) v.neighbor_lists

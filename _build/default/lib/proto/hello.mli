@@ -1,0 +1,38 @@
+(** Neighbourhood discovery by beaconing — the paper's §III: "each time
+    it wakes up, a beaconing process is initiated to connect nodes
+    within its communication range. [...] When a node receives the
+    beacon message from its neighbor, it will respond with its own
+    status information, including the location, last wake-up time,
+    metric values, etc."
+
+    Two exchange rounds on the (always-on, reliable) control channel
+    give every node its 1-hop neighbours with positions, and their
+    neighbour lists — the 2-hop view every distributed component of
+    [Mlbs_proto] works from. Nothing here reads the global topology
+    except to deliver the simulated beacons. *)
+
+(** What one node has learned. All arrays are sorted by id. *)
+type view = {
+  id : int;
+  position : Mlbs_geom.Point.t;
+  neighbors : int array;  (** 1-hop ids *)
+  neighbor_position : (int * Mlbs_geom.Point.t) list;  (** per 1-hop neighbour *)
+  neighbor_lists : (int * int array) list;
+      (** per 1-hop neighbour, its own neighbour ids *)
+}
+
+type result = { views : view array; messages : int }
+
+(** [discover net] simulates the two beacon rounds and returns every
+    node's local view. [messages] counts one broadcast per node per
+    round (2·n). *)
+val discover : Mlbs_wsn.Network.t -> result
+
+(** [two_hop v] is the set of ids within two hops of [v.id] (excluding
+    itself), sorted — derived purely from the view. *)
+val two_hop : view -> int list
+
+(** [knows_edge v a b] is [true] when the view can certify the edge
+    [a–b]: either [a] is a neighbour whose reported list contains [b],
+    or vice versa. *)
+val knows_edge : view -> int -> int -> bool

@@ -1,0 +1,1 @@
+lib/sim/energy.ml: Array List Mlbs_core Radio

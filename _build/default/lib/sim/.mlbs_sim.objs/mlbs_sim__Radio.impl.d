@@ -1,0 +1,1 @@
+lib/sim/radio.ml: List Mlbs_core Mlbs_dutycycle Mlbs_graph Mlbs_util Printf

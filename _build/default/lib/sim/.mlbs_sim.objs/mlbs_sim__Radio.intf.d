@@ -1,0 +1,1 @@
+lib/sim/radio.mli: Mlbs_core Mlbs_util

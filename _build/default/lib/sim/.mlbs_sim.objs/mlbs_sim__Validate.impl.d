@@ -1,0 +1,1 @@
+lib/sim/validate.ml: List Mlbs_core Mlbs_util Printf Radio String

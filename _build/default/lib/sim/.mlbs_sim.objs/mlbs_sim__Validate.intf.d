@@ -1,0 +1,1 @@
+lib/sim/validate.mli: Mlbs_core Mlbs_util

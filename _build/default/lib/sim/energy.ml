@@ -1,0 +1,44 @@
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+
+type prices = { tx : float; rx : float; idle_per_slot : float }
+
+let default_prices = { tx = 20.; rx = 5.; idle_per_slot = 0.1 }
+
+type report = {
+  total : float;
+  tx_energy : float;
+  rx_energy : float;
+  idle_energy : float;
+  per_node : float array;
+}
+
+let charge ?(prices = default_prices) model schedule =
+  let n = Model.n_nodes model in
+  let per_node = Array.make n 0. in
+  let outcome = Radio.replay model schedule in
+  let tx_energy = ref 0. and rx_energy = ref 0. in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun u ->
+          per_node.(u) <- per_node.(u) +. prices.tx;
+          tx_energy := !tx_energy +. prices.tx)
+        e.Radio.senders;
+      List.iter
+        (fun v ->
+          per_node.(v) <- per_node.(v) +. prices.rx;
+          rx_energy := !rx_energy +. prices.rx)
+        e.Radio.received)
+    outcome.Radio.events;
+  let duration = float_of_int (max 0 (Schedule.elapsed schedule)) in
+  let idle_one = prices.idle_per_slot *. duration in
+  Array.iteri (fun i e -> per_node.(i) <- e +. idle_one) per_node;
+  let idle_energy = idle_one *. float_of_int n in
+  {
+    total = !tx_energy +. !rx_energy +. idle_energy;
+    tx_energy = !tx_energy;
+    rx_energy = !rx_energy;
+    idle_energy;
+    per_node;
+  }

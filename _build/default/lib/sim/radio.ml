@@ -1,0 +1,80 @@
+module Bitset = Mlbs_util.Bitset
+module Graph = Mlbs_graph.Graph
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+
+type slot_event = {
+  slot : int;
+  senders : int list;
+  received : int list;
+  collided : (int * int list) list;
+}
+
+type outcome = {
+  events : slot_event list;
+  informed : Bitset.t;
+  violations : string list;
+  dropped : (int * int) list;
+}
+
+let replay ?(allow_resend = false) ?failed model schedule =
+  let g = Model.graph model in
+  let n = Model.n_nodes model in
+  let failed = match failed with Some f -> f | None -> Bitset.create n in
+  let inject_failures = not (Bitset.is_empty failed) in
+  let w = Bitset.create n in
+  Bitset.add w (Schedule.source schedule);
+  let has_sent = Bitset.create n in
+  let violations = ref [] in
+  let dropped = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let events =
+    List.map
+      (fun (step : Schedule.step) ->
+        let slot = step.Schedule.slot in
+        (* Failed senders emit nothing. *)
+        let senders, lost =
+          List.partition (fun u -> not (Bitset.mem failed u)) step.Schedule.senders
+        in
+        List.iter (fun u -> dropped := (slot, u) :: !dropped) lost;
+        List.iter
+          (fun u ->
+            if not (Bitset.mem w u) then
+              violate "slot %d: sender %d does not hold the message" slot u;
+            if Bitset.mem has_sent u && not allow_resend then
+              violate "slot %d: sender %d already transmitted" slot u;
+            (match Model.system model with
+            | Model.Sync -> ()
+            | Model.Async sched ->
+                if not (Wake_schedule.awake sched u ~slot) then
+                  violate "slot %d: sender %d is asleep" slot u);
+            Bitset.add has_sent u)
+          senders;
+        (* A sender that does not hold the message has nothing to emit:
+           it is flagged above but cannot deliver (or interfere). *)
+        let effective = List.filter (fun u -> Bitset.mem w u) senders in
+        (* Reception: an uninformed node hearing exactly one transmission
+           receives; hearing several is a collision. Failed nodes hear
+           nothing. *)
+        let received = ref [] and collided = ref [] in
+        for v = n - 1 downto 0 do
+          if (not (Bitset.mem w v)) && not (Bitset.mem failed v) then begin
+            let hearers = List.filter (fun u -> Graph.mem_edge g u v) effective in
+            match hearers with
+            | [] -> ()
+            | [ _ ] -> received := v :: !received
+            | several -> collided := (v, several) :: !collided
+          end
+        done;
+        List.iter (Bitset.add w) !received;
+        (* Cross-check the scheduler's claim against the replay (not
+           meaningful when failures were injected). *)
+        if
+          (not inject_failures)
+          && !received <> List.sort_uniq compare step.Schedule.informed
+        then violate "slot %d: claimed informed set differs from radio outcome" slot;
+        { slot; senders; received = !received; collided = !collided })
+      (Schedule.steps schedule)
+  in
+  { events; informed = w; violations = List.rev !violations; dropped = List.rev !dropped }

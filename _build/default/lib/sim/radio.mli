@@ -1,0 +1,50 @@
+(** Slot-level radio replay — the custom simulator's ground truth.
+
+    Schedulers claim which nodes each advance informs; this module does
+    not trust them. It replays a schedule transmission by transmission
+    under the model of §III: a transmission reaches every neighbour of
+    the sender; an uninformed node that hears exactly one transmission
+    in a slot receives the message; two or more overlapping
+    transmissions collide at their common neighbour and deliver
+    nothing. Senders must hold the message, be awake (duty cycle), and
+    transmit at most once overall (each relay's neighbourhood empties
+    after its cast, so a correct scheduler never re-sends). *)
+
+module Bitset = Mlbs_util.Bitset
+
+(** What happened at one slot of the replay. *)
+type slot_event = {
+  slot : int;
+  senders : int list;
+  received : int list;  (** newly informed, ascending *)
+  collided : (int * int list) list;
+      (** (node, the ≥2 senders it heard) — the node stays uninformed *)
+}
+
+type outcome = {
+  events : slot_event list;  (** ascending by slot *)
+  informed : Bitset.t;  (** final informed set *)
+  violations : string list;  (** empty iff the schedule was well-formed *)
+  dropped : (int * int) list;  (** (slot, node): sends lost to injected failures *)
+}
+
+(** [replay ?allow_resend ?failed model schedule] runs the radio
+    simulation. Never raises on a malformed schedule — problems are
+    reported in [violations] (and collisions in the per-slot events) so
+    tests can assert on them.
+
+    [allow_resend] (default false) suppresses the send-once violation:
+    lossy protocols such as [Mlbs_core.Localized] legitimately
+    retransmit after collisions.
+
+    [failed] injects crash failures: a failed node's transmissions are
+    silently dropped (reported in [dropped], not as violations) and it
+    never receives. With a non-empty [failed] set the per-slot claim
+    check is skipped — diverging from the scheduler's claims is the
+    point of the experiment. *)
+val replay :
+  ?allow_resend:bool ->
+  ?failed:Bitset.t ->
+  Mlbs_core.Model.t ->
+  Mlbs_core.Schedule.t ->
+  outcome

@@ -1,0 +1,50 @@
+module Bitset = Mlbs_util.Bitset
+
+type report = {
+  ok : bool;
+  collisions : int;
+  missing : int list;
+  violations : string list;
+}
+
+let summarize outcome ~collision_free =
+  let collisions =
+    List.fold_left (fun acc e -> acc + List.length e.Radio.collided) 0 outcome.Radio.events
+  in
+  let missing = Bitset.elements (Bitset.complement outcome.Radio.informed) in
+  let ok =
+    ((not collision_free) || collisions = 0)
+    && missing = []
+    && outcome.Radio.violations = []
+  in
+  { ok; collisions; missing; violations = outcome.Radio.violations }
+
+let check model schedule = summarize (Radio.replay model schedule) ~collision_free:true
+
+let check_lossy model schedule =
+  summarize (Radio.replay ~allow_resend:true model schedule) ~collision_free:false
+
+let surviving_coverage model ~failed schedule =
+  let outcome = Radio.replay ~allow_resend:true ~failed model schedule in
+  let n = Mlbs_core.Model.n_nodes model in
+  let informed_alive = ref 0 and alive = ref 0 in
+  for v = 0 to n - 1 do
+    if not (Bitset.mem failed v) then begin
+      incr alive;
+      if Bitset.mem outcome.Radio.informed v then incr informed_alive
+    end
+  done;
+  (!informed_alive, !alive)
+
+let check_exn model schedule =
+  let r = check model schedule in
+  if not r.ok then begin
+    let parts =
+      (if r.collisions > 0 then [ Printf.sprintf "%d collisions" r.collisions ] else [])
+      @ (if r.missing <> [] then
+           [ Printf.sprintf "%d nodes never informed" (List.length r.missing) ]
+         else [])
+      @ r.violations
+    in
+    failwith ("Validate.check_exn: invalid schedule: " ^ String.concat "; " parts)
+  end

@@ -1,0 +1,34 @@
+(** Schedule validation on top of the radio replay.
+
+    A valid broadcast schedule must (a) be well-formed (informed, awake,
+    send-once senders and truthful claims), (b) be collision-free —
+    conflict awareness is the paper's whole point — and (c) inform every
+    node. Every scheduler's output is pushed through this check in the
+    test suite and (optionally) in the experiment harness. *)
+
+type report = {
+  ok : bool;
+  collisions : int;  (** collided (node, slot) pairs observed *)
+  missing : int list;  (** nodes never informed *)
+  violations : string list;  (** well-formedness problems *)
+}
+
+(** [check model schedule] replays and summarises. *)
+val check : Mlbs_core.Model.t -> Mlbs_core.Schedule.t -> report
+
+(** [check_exn model schedule] raises [Failure] with a descriptive
+    message when the schedule is invalid. *)
+val check_exn : Mlbs_core.Model.t -> Mlbs_core.Schedule.t -> unit
+
+(** [check_lossy model schedule] validates the run of a lossy protocol
+    (e.g. [Mlbs_core.Localized]): collisions and retransmissions are
+    tolerated and merely counted; [ok] still requires full coverage,
+    truthful per-slot claims, and senders that are informed and awake. *)
+val check_lossy : Mlbs_core.Model.t -> Mlbs_core.Schedule.t -> report
+
+(** [surviving_coverage model ~failed schedule] replays the schedule
+    with the crash failures injected and reports which {e alive} nodes
+    the broadcast still reaches — the failure-injection measurement.
+    Returns (alive nodes informed, alive nodes total). *)
+val surviving_coverage :
+  Mlbs_core.Model.t -> failed:Mlbs_util.Bitset.t -> Mlbs_core.Schedule.t -> int * int

@@ -1,0 +1,1 @@
+lib/util/chart.ml: Array Buffer Char Float List Printf String

@@ -1,0 +1,159 @@
+(* Flat int-array bit set, 63 bits per word (sign bit left clear). *)
+
+let bits_per_word = 63
+
+type t = { capacity : int; words : int array }
+
+let words_for capacity = (capacity + bits_per_word - 1) / bits_per_word
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; words = Array.make (max 1 (words_for capacity)) 0 }
+
+let cap s = s.capacity
+
+let copy s = { s with words = Array.copy s.words }
+
+let check s i op =
+  if i < 0 || i >= s.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" op i s.capacity)
+
+let add s i =
+  check s i "add";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl b)
+
+let remove s i =
+  check s i "remove";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl b)
+
+let mem s i =
+  if i < 0 || i >= s.capacity then false
+  else
+    let w = i / bits_per_word and b = i mod bits_per_word in
+    s.words.(w) land (1 lsl b) <> 0
+
+(* Kernighan popcount per word; the word count is small (≤ 5 for n = 300)
+   so a table-driven popcount is not worth the cache pressure. *)
+let popcount_word x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount_word w) 0 s.words
+
+let is_empty s =
+  let rec loop i = i >= Array.length s.words || (s.words.(i) = 0 && loop (i + 1)) in
+  loop 0
+
+let is_full s = cardinal s = s.capacity
+
+let same_cap a b op =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)" op a.capacity b.capacity)
+
+let union_into ~into src =
+  same_cap into src "union_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor src.words.(i)
+  done
+
+let union a b =
+  let r = copy a in
+  union_into ~into:r b;
+  r
+
+let inter a b =
+  same_cap a b "inter";
+  let r = copy a in
+  for i = 0 to Array.length r.words - 1 do
+    r.words.(i) <- r.words.(i) land b.words.(i)
+  done;
+  r
+
+let diff a b =
+  same_cap a b "diff";
+  let r = copy a in
+  for i = 0 to Array.length r.words - 1 do
+    r.words.(i) <- r.words.(i) land lnot b.words.(i)
+  done;
+  r
+
+(* Mask for the last word so complement never sets bits past [capacity). *)
+let last_word_mask capacity =
+  let rem = capacity mod bits_per_word in
+  if rem = 0 then (1 lsl bits_per_word) - 1 else (1 lsl rem) - 1
+
+let complement s =
+  let r = copy s in
+  let n = Array.length r.words in
+  for i = 0 to n - 1 do
+    r.words.(i) <- lnot r.words.(i) land ((1 lsl bits_per_word) - 1)
+  done;
+  if s.capacity > 0 then r.words.(n - 1) <- r.words.(n - 1) land last_word_mask s.capacity
+  else r.words.(0) <- 0;
+  r
+
+let intersects a b =
+  same_cap a b "intersects";
+  let rec loop i =
+    i < Array.length a.words && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1))
+  in
+  loop 0
+
+let subset a b =
+  same_cap a b "subset";
+  let rec loop i =
+    i >= Array.length a.words || (a.words.(i) land lnot b.words.(i) = 0 && loop (i + 1))
+  in
+  loop 0
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let compare a b =
+  let c = compare a.capacity b.capacity in
+  if c <> 0 then c else compare a.words b.words
+
+let hash s =
+  (* FNV-style mix over words; content-based so equal sets collide. *)
+  let h = ref 0x811c9dc5 in
+  Array.iter (fun w -> h := (!h lxor w) * 0x01000193 land max_int) s.words;
+  !h lxor s.capacity
+
+let iter f s =
+  for w = 0 to Array.length s.words - 1 do
+    let word = s.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list capacity xs =
+  let s = create capacity in
+  List.iter (add s) xs;
+  s
+
+let full capacity =
+  let s = create capacity in
+  for i = 0 to capacity - 1 do
+    add s i
+  done;
+  s
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_int) (elements s)

@@ -1,0 +1,94 @@
+(** Fixed-capacity bit sets over the integers [0, capacity).
+
+    The scheduler search spaces of this library are keyed by the set [W] of
+    informed nodes, so bit sets are on the hot path: they must support O(1)
+    membership, cheap unions, and fast hashing/equality for memo tables.
+    The representation is a flat [int array] with 63 usable bits per word
+    (we deliberately avoid the sign bit so that [compare] on words matches
+    unsigned order). *)
+
+type t
+
+(** [create capacity] is the empty set able to hold elements in
+    [0 .. capacity - 1]. Raises [Invalid_argument] if [capacity < 0]. *)
+val create : int -> t
+
+(** [cap s] is the capacity given at creation time. *)
+val cap : t -> int
+
+(** [copy s] is a fresh set equal to [s] that shares no storage with it. *)
+val copy : t -> t
+
+(** [add s i] sets bit [i]. Raises [Invalid_argument] when out of range. *)
+val add : t -> int -> unit
+
+(** [remove s i] clears bit [i]. *)
+val remove : t -> int -> unit
+
+(** [mem s i] is [true] iff bit [i] is set. Out-of-range indices are
+    [false] rather than an error so that callers can probe freely. *)
+val mem : t -> int -> bool
+
+(** [cardinal s] is the number of set bits (population count). *)
+val cardinal : t -> int
+
+(** [is_empty s] is [cardinal s = 0], without counting every word. *)
+val is_empty : t -> bool
+
+(** [is_full s] is [true] iff every bit in [0 .. cap s - 1] is set. *)
+val is_full : t -> bool
+
+(** [union_into ~into src] adds every element of [src] to [into].
+    The two sets must have the same capacity. *)
+val union_into : into:t -> t -> unit
+
+(** [union a b] is a fresh set holding [a ∪ b]. *)
+val union : t -> t -> t
+
+(** [inter a b] is a fresh set holding [a ∩ b]. *)
+val inter : t -> t -> t
+
+(** [diff a b] is a fresh set holding [a \ b]. *)
+val diff : t -> t -> t
+
+(** [complement s] is a fresh set holding [{0..cap-1} \ s]. *)
+val complement : t -> t
+
+(** [intersects a b] is [true] iff [a ∩ b ≠ ∅], allocation-free. *)
+val intersects : t -> t -> bool
+
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [equal a b] is structural equality of contents (same capacity
+    required). *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order compatible with [equal], usable as a
+    [Map.OrderedType]. *)
+val compare : t -> t -> int
+
+(** [hash s] is a content hash suitable for [Hashtbl] keying. Equal sets
+    hash equally. *)
+val hash : t -> int
+
+(** [iter f s] applies [f] to each member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over members in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [elements s] is the sorted list of members. *)
+val elements : t -> int list
+
+(** [of_list capacity xs] builds a set from a member list. *)
+val of_list : int -> int list -> t
+
+(** [full capacity] is the set containing all of [0 .. capacity - 1]. *)
+val full : int -> t
+
+(** [choose s] is the smallest member, or [None] when empty. *)
+val choose : t -> int option
+
+(** [pp] formats as "{1, 4, 7}". *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type series = { label : string; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 16) ?(y_label = "") series =
+  if width < 2 || height < 2 then invalid_arg "Chart.render: dimensions too small";
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Chart.render: no points";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+  let x0 = fmin xs and x1 = fmax xs in
+  let y0 = fmin ys and y1 = fmax ys in
+  let xr = if x1 > x0 then x1 -. x0 else 1. in
+  let yr = if y1 > y0 then y1 -. y0 else 1. in
+  let cell x y =
+    let cx = int_of_float (Float.round ((x -. x0) /. xr *. float_of_int (width - 1))) in
+    let cy = int_of_float (Float.round ((y -. y0) /. yr *. float_of_int (height - 1))) in
+    (max 0 (min (width - 1) cx), max 0 (min (height - 1) cy))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun i s ->
+      let marker = Char.chr (Char.code 'a' + (i mod 26)) in
+      List.iter
+        (fun (x, y) ->
+          let cx, cy = cell x y in
+          grid.(cy).(cx) <- (if grid.(cy).(cx) = ' ' then marker else '#'))
+        s.points)
+    series;
+  let buf = Buffer.create 1024 in
+  if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+  for row = height - 1 downto 0 do
+    let axis =
+      if row = height - 1 then Printf.sprintf "%10.1f |" y1
+      else if row = 0 then Printf.sprintf "%10.1f |" y0
+      else Printf.sprintf "%10s |" ""
+    in
+    Buffer.add_string buf axis;
+    Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+  let left = Printf.sprintf "%.3g" x0 and right = Printf.sprintf "%.3g" x1 in
+  let gap = max 1 (width - String.length left - String.length right) in
+  Buffer.add_string buf
+    (Printf.sprintf "%10s  %s%s%s\n" "" left (String.make gap ' ') right);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%12s = %s\n"
+           (String.make 1 (Char.chr (Char.code 'a' + (i mod 26))))
+           s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Minimal ASCII line charts for the experiment reports.
+
+    The paper's evaluation is figures, not tables; this renderer lets
+    the benchmark harness show each figure's *shape* (who wins, where
+    curves bend) directly in the terminal, alongside the exact numbers.
+    Pure and deterministic, so it is testable. *)
+
+type series = { label : string; points : (float * float) list }
+
+(** [render ?width ?height ?y_label series] plots all series on a common
+    scale. Each series is drawn with its own marker ('a', 'b', …, taken
+    in order); coinciding points show the marker of the earliest series
+    ('#' when two series overlap exactly). Axes are annotated with the
+    data ranges; a legend maps markers to labels. Defaults: 64×16
+    plotting cells.
+
+    Raises [Invalid_argument] when no series has a point or a dimension
+    is smaller than 2. *)
+val render : ?width:int -> ?height:int -> ?y_label:string -> series list -> string

@@ -1,0 +1,36 @@
+(** Binary min-heaps, parameterised by an explicit comparison.
+
+    Used as the frontier for best-first scheduler search and for the
+    CWT-weighted relaxation in the asynchronous E-model (a Dijkstra-style
+    pass over wake schedules). *)
+
+type 'a t
+
+(** [create ~cmp] is an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+(** [length h] is the number of stored elements. *)
+val length : 'a t -> int
+
+(** [is_empty h] is [length h = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]; amortised O(log n). *)
+val push : 'a t -> 'a -> unit
+
+(** [peek h] is the minimum element, or [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum, or [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn h] removes and returns the minimum. Raises [Not_found] when
+    empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [of_list ~cmp xs] heapifies [xs] in O(n). *)
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+(** [to_sorted_list h] drains a copy of [h] into an ascending list,
+    leaving [h] untouched. *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,63 @@
+type t = { title : string; headers : string list; mutable rows : string list list }
+
+let create ~title headers =
+  if headers = [] then invalid_arg "Tab.create: no headers";
+  { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Tab.add_row: %d cells for %d headers" (List.length cells)
+         (List.length t.headers));
+  t.rows <- t.rows @ [ cells ]
+
+let add_float_row t ~label values =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") values)
+
+let widths t =
+  let all = t.headers :: t.rows in
+  let ncols = List.length t.headers in
+  let w = Array.make ncols 0 in
+  let measure row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  List.iter measure all;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 1024 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf " %-*s " w.(i) cell);
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then Buffer.add_string buf (t.title ^ "\n");
+  sep ();
+  row t.headers;
+  sep ();
+  List.iter row t.rows;
+  sep ();
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line t.headers :: List.map line t.rows) ^ "\n"
+
+let print t = print_string (render t)

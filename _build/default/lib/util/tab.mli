@@ -1,0 +1,30 @@
+(** ASCII table rendering for experiment reports.
+
+    The benchmark harness regenerates each figure of the paper as a table
+    of series (one column per scheduling policy, one row per density
+    point); this module renders those tables with aligned columns, and
+    can also emit CSV for external plotting. *)
+
+type t
+
+(** [create ~title headers] starts a table with the given column
+    headers. Raises [Invalid_argument] on an empty header list. *)
+val create : title:string -> string list -> t
+
+(** [add_row t cells] appends a row; the cell count must match the
+    header count. *)
+val add_row : t -> string list -> unit
+
+(** [add_float_row t ~label values] formats a label cell followed by
+    numeric cells with two decimals. *)
+val add_float_row : t -> label:string -> float list -> unit
+
+(** [render t] is the boxed ASCII rendering, ending with a newline. *)
+val render : t -> string
+
+(** [to_csv t] is a CSV rendering (header line first, comma separated,
+    fields containing commas or quotes are quoted). *)
+val to_csv : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit

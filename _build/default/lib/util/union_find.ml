@@ -1,0 +1,40 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    (if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+     else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+     else begin
+       t.parent.(rj) <- ri;
+       t.rank.(ri) <- t.rank.(ri) + 1
+     end);
+    t.classes <- t.classes - 1;
+    true
+  end
+
+let same t i j = find t i = find t j
+
+let count t = t.classes
+
+let class_sizes t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find t i in
+      Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+    t.parent;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

@@ -1,0 +1,27 @@
+(** Disjoint-set forests with union by rank and path compression.
+
+    Used to check deployment connectivity quickly before running the
+    (more expensive) BFS-based analyses, and by the boundary walker to
+    group perimeter fragments. *)
+
+type t
+
+(** [create n] is a structure over elements [0 .. n-1], each in its own
+    singleton class. *)
+val create : int -> t
+
+(** [find t i] is the canonical representative of [i]'s class. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the classes of [i] and [j]; returns [true] when
+    the classes were distinct (i.e. an actual merge happened). *)
+val union : t -> int -> int -> bool
+
+(** [same t i j] is [true] iff [i] and [j] are in the same class. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of distinct classes. *)
+val count : t -> int
+
+(** [class_sizes t] maps each representative to its class size. *)
+val class_sizes : t -> (int * int) list

@@ -1,0 +1,1 @@
+lib/workload/ablation.ml: Array Config Experiment Fun List Mlbs_core Mlbs_dutycycle Mlbs_graph Mlbs_prng Mlbs_proto Mlbs_sim Mlbs_util Mlbs_wsn Printf

@@ -1,0 +1,1 @@
+lib/workload/ablation.mli: Config Mlbs_core Mlbs_util

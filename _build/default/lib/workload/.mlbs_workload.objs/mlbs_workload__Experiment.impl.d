@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Config List Mlbs_core Mlbs_dutycycle Mlbs_graph Mlbs_prng Mlbs_sim Mlbs_util Mlbs_wsn

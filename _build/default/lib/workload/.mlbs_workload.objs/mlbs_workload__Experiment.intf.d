@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Config Mlbs_wsn

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Config Experiment Fixtures List Mlbs_core Mlbs_util Printf String

@@ -1,0 +1,1 @@
+lib/workload/fixtures.ml: Mlbs_dutycycle Mlbs_geom Mlbs_graph Mlbs_wsn

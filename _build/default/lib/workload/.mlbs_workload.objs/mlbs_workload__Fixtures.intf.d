@@ -1,0 +1,1 @@
+lib/workload/fixtures.mli: Mlbs_dutycycle Mlbs_wsn

@@ -1,0 +1,1 @@
+lib/workload/persist.ml: Array Fun List Mlbs_core Mlbs_geom Mlbs_graph Mlbs_wsn Printf String

@@ -1,0 +1,1 @@
+lib/workload/persist.mli: Mlbs_core Mlbs_wsn

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Figures Filename List Mlbs_util Option Printf String

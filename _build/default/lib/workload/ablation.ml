@@ -1,0 +1,361 @@
+module Bitset = Mlbs_util.Bitset
+module Tab = Mlbs_util.Tab
+module Stats = Mlbs_util.Stats
+module Bfs = Mlbs_graph.Bfs
+module Coloring = Mlbs_graph.Coloring
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Model = Mlbs_core.Model
+module Emodel = Mlbs_core.Emodel
+module Gopt = Mlbs_core.Gopt
+module Mcounter = Mlbs_core.Mcounter
+module Schedule = Mlbs_core.Schedule
+
+type selector = By_emodel | By_hop_to_source | First_class
+
+(* Generic pipelined loop: greedy classes at every active slot, class
+   chosen by [select]. *)
+let pipeline_plan model ~classes_of ~select ~source ~start =
+  let rec loop w slot steps =
+    if Model.complete model ~w then List.rev steps
+    else
+      match Model.next_active_slot model ~w ~after:(slot - 1) with
+      | None -> failwith "Ablation: empty frontier before completion"
+      | Some t -> (
+          match classes_of ~w ~slot:t with
+          | [] -> failwith "Ablation: active slot without candidates"
+          | classes ->
+              let senders = List.nth classes (select ~w ~classes) in
+              let w' = Model.apply model ~w ~senders in
+              let informed = Bitset.elements (Bitset.diff w' w) in
+              loop w' (t + 1) ({ Schedule.slot = t; senders; informed } :: steps))
+  in
+  let steps = loop (Model.initial_w model ~source) start [] in
+  Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps
+
+let plan_with_selector model sel ~source ~start =
+  match sel with
+  | By_emodel -> Emodel.plan model ~source ~start
+  | First_class ->
+      pipeline_plan model
+        ~classes_of:(fun ~w ~slot -> Model.greedy_classes model ~w ~slot)
+        ~select:(fun ~w:_ ~classes:_ -> 0)
+        ~source ~start
+  | By_hop_to_source ->
+      let dist = (Bfs.run (Model.graph model) ~source).Bfs.dist in
+      let score cls = List.fold_left (fun acc u -> max acc dist.(u)) (-1) cls in
+      pipeline_plan model
+        ~classes_of:(fun ~w ~slot -> Model.greedy_classes model ~w ~slot)
+        ~select:(fun ~w:_ ~classes ->
+          let best = ref 0 and best_score = ref (score (List.hd classes)) in
+          List.iteri
+            (fun i cls ->
+              if i > 0 then begin
+                let s = score cls in
+                if s > !best_score then begin
+                  best := i;
+                  best_score := s
+                end
+              end)
+            classes;
+          !best)
+        ~source ~start
+
+(* Algorithm 1 with ascending-id visiting order instead of Eq. (2)'s
+   most-receivers-first sort. *)
+let id_order_classes model ~w ~slot =
+  let cands = Model.candidates model ~w ~slot in
+  Coloring.greedy ~order:compare
+    ~conflicts:(fun u v -> Model.conflicts model ~w u v)
+    cands
+
+let plan_with_id_order model ~source ~start =
+  pipeline_plan model
+    ~classes_of:(id_order_classes model)
+    ~select:(fun ~w:_ ~classes:_ -> 0)
+    ~source ~start
+
+(* --------------------------- tables -------------------------------- *)
+
+let mean_latency cfg ~n ~plan =
+  Stats.mean
+    (List.map
+       (fun seed ->
+         let inst = Experiment.make_instance cfg ~n ~seed in
+         float_of_int (Schedule.elapsed (plan ~seed inst)))
+       cfg.Config.seeds)
+
+let selector_table cfg ~n =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: class selection, sync, n=%d (mean rounds over %d seeds)" n
+           (List.length cfg.Config.seeds))
+      [ "strategy"; "latency" ]
+  in
+  let sync_plan f ~seed:_ (inst : Experiment.instance) =
+    let model = Model.create inst.Experiment.net Model.Sync in
+    f model ~source:inst.Experiment.source ~start:1
+  in
+  List.iter
+    (fun (label, f) -> Tab.add_float_row tab ~label [ mean_latency cfg ~n ~plan:(sync_plan f) ])
+    [
+      ("E-model (Eq. 10: to edge)", fun m -> plan_with_selector m By_emodel);
+      ("hop distance to source", fun m -> plan_with_selector m By_hop_to_source);
+      ("always largest class", fun m -> plan_with_selector m First_class);
+      ("id-order coloring", plan_with_id_order);
+      ("G-OPT (M search)", fun m -> Gopt.plan ~budget:cfg.Config.budget m);
+    ];
+  tab
+
+let wake_family_table cfg ~n ~rate =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf "Ablation: wake-schedule family, r=%d, n=%d (mean slots)" rate n)
+      [ "family"; "G-OPT"; "E-model" ]
+  in
+  List.iter
+    (fun (label, family) ->
+      let plan_with policy ~seed (inst : Experiment.instance) =
+        let sched = Wake_schedule.create ~family ~rate ~n_nodes:n ~seed:(seed * 31) () in
+        let model = Model.create inst.Experiment.net (Model.Async sched) in
+        policy model ~source:inst.Experiment.source ~start:1
+      in
+      let g =
+        mean_latency cfg ~n ~plan:(plan_with (fun m -> Gopt.plan ~budget:cfg.Config.budget m))
+      in
+      let e = mean_latency cfg ~n ~plan:(plan_with (fun m -> Emodel.plan ?tuples:None m)) in
+      Tab.add_float_row tab ~label [ g; e ])
+    [
+      ("uniform per frame", Wake_schedule.Uniform_per_frame);
+      ("bernoulli", Wake_schedule.Bernoulli);
+      ("fixed phase", Wake_schedule.Fixed_phase);
+    ];
+  tab
+
+let relay_set_table cfg ~n =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf "Ablation: relay set and layering, sync, n=%d (means over %d seeds)"
+           n (List.length cfg.Config.seeds))
+      [ "scheme"; "latency"; "transmissions" ]
+  in
+  let stats plan_of =
+    let runs =
+      List.map
+        (fun seed ->
+          let inst = Experiment.make_instance cfg ~n ~seed in
+          let model = Model.create inst.Experiment.net Model.Sync in
+          plan_of model ~source:inst.Experiment.source ~start:1)
+        cfg.Config.seeds
+    in
+    ( Stats.mean (List.map (fun p -> float_of_int (Schedule.elapsed p)) runs),
+      Stats.mean (List.map (fun p -> float_of_int (Schedule.n_transmissions p)) runs) )
+  in
+  List.iter
+    (fun (label, plan_of) ->
+      let l, tx = stats plan_of in
+      Tab.add_float_row tab ~label [ l; tx ])
+    [
+      ("layered, all relays (26-approx)", Mlbs_core.Baseline26.plan);
+      ("layered, CDS backbone [4]", Mlbs_core.Baseline_cds.plan);
+      ("pipelined (G-OPT)", fun m -> Gopt.plan ~budget:cfg.Config.budget m);
+    ];
+  tab
+
+let localized_table cfg ~n ~rate =
+  let system_of ~seed =
+    match rate with
+    | None -> Model.Sync
+    | Some r ->
+        Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed:(seed * 17) ())
+  in
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf "Ablation: localized protocol vs centralized E-model, %s, n=%d"
+           (match rate with None -> "sync" | Some r -> Printf.sprintf "r=%d" r)
+           n)
+      [ "protocol"; "latency"; "collisions"; "retransmissions" ]
+  in
+  let runs =
+    List.map
+      (fun seed ->
+        let inst = Experiment.make_instance cfg ~n ~seed in
+        let model = Model.create inst.Experiment.net (system_of ~seed) in
+        let local = Mlbs_core.Localized.run model ~source:inst.Experiment.source ~start:1 in
+        let central =
+          Emodel.plan model ~source:inst.Experiment.source ~start:1 |> Schedule.elapsed
+        in
+        (local, central))
+      cfg.Config.seeds
+  in
+  let meanf f = Stats.mean (List.map f runs) in
+  Tab.add_float_row tab ~label:"localized (2-hop views)"
+    [
+      meanf (fun (l, _) -> float_of_int l.Mlbs_core.Localized.latency);
+      meanf (fun (l, _) -> float_of_int l.Mlbs_core.Localized.collisions);
+      meanf (fun (l, _) -> float_of_int l.Mlbs_core.Localized.retransmissions);
+    ];
+  Tab.add_float_row tab ~label:"centralized E-model"
+    [ meanf (fun (_, c) -> float_of_int c); 0.; 0. ];
+  tab
+
+let shape_table cfg ~n =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf "Robustness: deployment shapes, sync, n=%d (mean rounds)" n)
+      [ "shape"; "26-approx"; "G-OPT"; "E-model" ]
+  in
+  let module Deployment = Mlbs_wsn.Deployment in
+  List.iter
+    (fun (label, shape) ->
+      let run policy seed =
+        let rng = Mlbs_prng.Rng.create (seed * 7919) in
+        let spec = { (Deployment.paper_spec ~n_nodes:n) with Deployment.shape } in
+        let net = Deployment.generate rng spec in
+        let source =
+          Deployment.select_source rng net ~min_ecc:cfg.Config.min_ecc
+            ~max_ecc:cfg.Config.max_ecc
+        in
+        let model = Model.create net Model.Sync in
+        float_of_int
+          (Schedule.elapsed (Mlbs_core.Scheduler.run model policy ~source ~start:1))
+      in
+      let mean policy = Stats.mean (List.map (run policy) cfg.Config.seeds) in
+      Tab.add_float_row tab ~label
+        [
+          mean Mlbs_core.Scheduler.Baseline;
+          mean (Mlbs_core.Scheduler.Gopt cfg.Config.budget);
+          mean Mlbs_core.Scheduler.Emodel;
+        ])
+    [
+      ("uniform (paper)", Deployment.Uniform);
+      ("clustered (4 hotspots)", Deployment.Clustered { clusters = 4; spread = 6. });
+      ("corridor (12 ft strip)", Deployment.Corridor { breadth = 12. });
+      ("jittered grid", Deployment.Grid_jitter { jitter = 2.5 });
+    ];
+  tab
+
+let protocol_table cfg ~n =
+  let tab =
+    Tab.create
+      ~title:(Printf.sprintf "Protocol comparison, sync, n=%d (means over seeds)" n)
+      [ "protocol"; "latency"; "collisions"; "retransmissions"; "coverage" ]
+  in
+  let insts =
+    List.map (fun seed -> Experiment.make_instance cfg ~n ~seed) cfg.Config.seeds
+  in
+  let row label runs =
+    let m f = Stats.mean (List.map f runs) in
+    Tab.add_float_row tab ~label
+      [
+        m (fun (l, _, _, _) -> l);
+        m (fun (_, c, _, _) -> c);
+        m (fun (_, _, r, _) -> r);
+        m (fun (_, _, _, cov) -> cov);
+      ]
+  in
+  let flood variant (inst : Experiment.instance) =
+    let model = Model.create inst.Experiment.net Model.Sync in
+    let r = Mlbs_core.Flooding.run model variant ~source:inst.Experiment.source ~start:1 in
+    ( float_of_int r.Mlbs_core.Flooding.latency,
+      float_of_int r.Mlbs_core.Flooding.collisions,
+      float_of_int r.Mlbs_core.Flooding.retransmissions,
+      float_of_int r.Mlbs_core.Flooding.informed /. float_of_int n )
+  in
+  let localized (inst : Experiment.instance) =
+    let model = Model.create inst.Experiment.net Model.Sync in
+    let r = Mlbs_core.Localized.run model ~source:inst.Experiment.source ~start:1 in
+    ( float_of_int r.Mlbs_core.Localized.latency,
+      float_of_int r.Mlbs_core.Localized.collisions,
+      float_of_int r.Mlbs_core.Localized.retransmissions,
+      1. )
+  in
+  let distributed (inst : Experiment.instance) =
+    let model = Model.create inst.Experiment.net Model.Sync in
+    let r =
+      Mlbs_proto.Broadcast_protocol.run model ~source:inst.Experiment.source ~start:1
+    in
+    ( float_of_int r.Mlbs_proto.Broadcast_protocol.latency,
+      float_of_int r.Mlbs_proto.Broadcast_protocol.collisions,
+      float_of_int r.Mlbs_proto.Broadcast_protocol.retransmissions,
+      1. )
+  in
+  let central policy (inst : Experiment.instance) =
+    let model = Model.create inst.Experiment.net Model.Sync in
+    let plan = Mlbs_core.Scheduler.run model policy ~source:inst.Experiment.source ~start:1 in
+    (float_of_int (Schedule.elapsed plan), 0., 0., 1.)
+  in
+  row "blind flooding (once)" (List.map (flood Mlbs_core.Flooding.Once) insts);
+  row "flooding (p = 0.3)" (List.map (flood (Mlbs_core.Flooding.Persistent 0.3)) insts);
+  row "localized (2-hop oracle)" (List.map localized insts);
+  row "distributed (beacons only)" (List.map distributed insts);
+  row "centralized E-model" (List.map (central Mlbs_core.Scheduler.Emodel) insts);
+  row "centralized G-OPT"
+    (List.map (central (Mlbs_core.Scheduler.Gopt cfg.Config.budget)) insts);
+  tab
+
+let resilience_table cfg ~n ~kill_fraction =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf
+           "Failure injection: %.0f%% of nodes crash after scheduling, sync, n=%d \
+            (mean surviving coverage)"
+           (100. *. kill_fraction) n)
+      [ "policy"; "alive nodes reached" ]
+  in
+  let coverage policy =
+    Stats.mean
+      (List.map
+         (fun seed ->
+           let inst = Experiment.make_instance cfg ~n ~seed in
+           let model = Model.create inst.Experiment.net Model.Sync in
+           let plan =
+             Mlbs_core.Scheduler.run model policy ~source:inst.Experiment.source ~start:1
+           in
+           (* Kill a seeded sample of non-source nodes. *)
+           let rng = Mlbs_prng.Rng.create (seed * 31337) in
+           let victims =
+             Mlbs_prng.Rng.sample rng
+               ~k:(int_of_float (kill_fraction *. float_of_int n))
+               (List.filter (fun v -> v <> inst.Experiment.source) (List.init n Fun.id))
+           in
+           let failed = Mlbs_util.Bitset.of_list n victims in
+           let informed, alive =
+             Mlbs_sim.Validate.surviving_coverage model ~failed plan
+           in
+           float_of_int informed /. float_of_int alive)
+         cfg.Config.seeds)
+  in
+  List.iter
+    (fun (label, policy) -> Tab.add_float_row tab ~label [ coverage policy ])
+    [
+      ("26-approx (all relays)", Mlbs_core.Scheduler.Baseline);
+      ("G-OPT", Mlbs_core.Scheduler.Gopt cfg.Config.budget);
+      ("E-model", Mlbs_core.Scheduler.Emodel);
+    ];
+  tab
+
+let lookahead_table cfg ~n =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf
+           "Ablation: fallback lookahead depth (exact search disabled), sync, n=%d" n)
+      [ "lookahead"; "latency" ]
+  in
+  List.iter
+    (fun depth ->
+      let budget = { Mcounter.max_states = 0; lookahead = depth; beam = 4 } in
+      let plan ~seed:_ (inst : Experiment.instance) =
+        let model = Model.create inst.Experiment.net Model.Sync in
+        Gopt.plan ~budget model ~source:inst.Experiment.source ~start:1
+      in
+      Tab.add_float_row tab ~label:(string_of_int depth) [ mean_latency cfg ~n ~plan ])
+    [ 0; 1; 2; 3 ];
+  tab

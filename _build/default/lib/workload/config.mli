@@ -1,0 +1,27 @@
+(** Experiment configuration for regenerating the paper's evaluation
+    (§V.A): node counts spanning densities 0.02–0.12 over a 50×50 sq-ft
+    area with radius 10 ft, sources of eccentricity 5–8, several seeded
+    deployments per point. *)
+
+type t = {
+  node_counts : int list;  (** one figure column per count *)
+  seeds : int list;  (** deployment seeds averaged per point *)
+  width : float;
+  height : float;
+  radius : float;
+  min_ecc : int;  (** source eccentricity window, paper: 5 *)
+  max_ecc : int;  (** paper: 8 *)
+  budget : Mlbs_core.Mcounter.budget;  (** M-search budget for OPT/G-OPT *)
+  opt_max_sets : int;  (** color-set enumeration cap for OPT *)
+  validate : bool;  (** radio-replay every schedule *)
+}
+
+(** The paper's full sweep: n ∈ {50,100,150,200,250,300}, 5 seeds. *)
+val default : t
+
+(** A reduced sweep (3 node counts, 2 seeds, tighter budgets) for smoke
+    tests and [--quick] bench runs. *)
+val quick : t
+
+(** [densities t] is [node_counts] expressed as nodes per sq ft. *)
+val densities : t -> float list

@@ -1,0 +1,39 @@
+(** Running scheduling policies over seeded deployments and collecting
+    the per-instance measurements behind each figure. *)
+
+(** One deployed instance: the network, the chosen source, and [d], the
+    source's eccentricity (the hop distance to the farthest node, used
+    by the analytical bounds). *)
+type instance = { net : Mlbs_wsn.Network.t; source : int; d : int }
+
+(** [make_instance cfg ~n ~seed] deterministically generates the
+    deployment and source for one (node count, seed) point. *)
+val make_instance : Config.t -> n:int -> seed:int -> instance
+
+(** Result of one policy on one instance. [exactish] is false when the
+    M-search fell back to lookahead (baselines and E-model are always
+    search-free, reported as true). *)
+type measurement = {
+  policy : string;
+  elapsed : int;  (** end-to-end latency in rounds/slots *)
+  transmissions : int;
+  valid : bool;  (** radio replay verdict (true when validation is off) *)
+}
+
+(** [run_sync cfg inst] measures the paper's four synchronous policies
+    (26-approx, OPT, G-OPT, E-model) on the instance. Because the
+    greedy classes are a subset of OPT's choice space, the reported OPT
+    latency is the better of the OPT and G-OPT schedules — the budget-
+    bounded OPT search must never appear worse than its own
+    restriction. *)
+val run_sync : Config.t -> instance -> measurement list
+
+(** [run_async cfg ~rate inst] measures the duty-cycle policies
+    (17-approx, OPT, G-OPT, E-model) with a wake schedule derived
+    deterministically from the instance (seeded per node count). *)
+val run_async : Config.t -> rate:int -> inst_seed:int -> instance -> measurement list
+
+(** [mean_by_policy runs] averages elapsed latency per policy label over
+    a list of per-instance measurement lists, preserving policy
+    order. *)
+val mean_by_policy : measurement list list -> (string * float) list

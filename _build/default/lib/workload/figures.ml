@@ -1,0 +1,168 @@
+module Tab = Mlbs_util.Tab
+module Stats = Mlbs_util.Stats
+module Model = Mlbs_core.Model
+module Bounds = Mlbs_core.Bounds
+module Choices = Mlbs_core.Choices
+module Trace = Mlbs_core.Trace
+
+type series = { label : string; values : float list }
+
+type figure = {
+  id : string;
+  title : string;
+  x_label : string;
+  x_values : float list;
+  series : series list;
+}
+
+(* Collect one figure point (a node count): run every seed, average per
+   policy, and also report the mean analytical bound via [bound_of_d]. *)
+let sweep cfg ~run ~bounds =
+  let per_count n =
+    let runs_and_ds =
+      List.map
+        (fun seed ->
+          let inst = Experiment.make_instance cfg ~n ~seed in
+          (run seed inst, inst.Experiment.d))
+        cfg.Config.seeds
+    in
+    let runs = List.map fst runs_and_ds in
+    let ds = List.map snd runs_and_ds in
+    let policy_means = Experiment.mean_by_policy runs in
+    let bound_means =
+      List.map
+        (fun (label, f) ->
+          (label, Stats.mean (List.map (fun d -> float_of_int (f ~d)) ds)))
+        bounds
+    in
+    policy_means @ bound_means
+  in
+  let per_count_results = List.map per_count cfg.Config.node_counts in
+  match per_count_results with
+  | [] -> []
+  | first :: _ ->
+      List.map
+        (fun (label, _) ->
+          {
+            label;
+            values =
+              List.map
+                (fun point ->
+                  match List.assoc_opt label point with
+                  | Some v -> v
+                  | None -> invalid_arg "Figures.sweep: ragged points")
+                per_count_results;
+          })
+        first
+
+let fig3 cfg =
+  let series =
+    sweep cfg
+      ~run:(fun _seed inst -> Experiment.run_sync cfg inst)
+      ~bounds:[ ("OPT-analysis (d+2)", fun ~d -> Bounds.opt_sync ~d) ]
+  in
+  {
+    id = "fig3";
+    title = "Figure 3: P(A) in the round-based synchronous system (rounds)";
+    x_label = "density (nodes/sqft)";
+    x_values = Config.densities cfg;
+    series;
+  }
+
+let fig_async cfg ~id ~rate =
+  let series =
+    sweep cfg
+      ~run:(fun seed inst -> Experiment.run_async cfg ~rate ~inst_seed:seed inst)
+      ~bounds:[]
+  in
+  {
+    id;
+    title =
+      Printf.sprintf "Figure %s: P(A) in the duty cycle system with r = %d (slots)"
+        (String.sub id 3 (String.length id - 3))
+        rate;
+    x_label = "density (nodes/sqft)";
+    x_values = Config.densities cfg;
+    series;
+  }
+
+let fig4 cfg = fig_async cfg ~id:"fig4" ~rate:10
+
+let fig6 cfg = fig_async cfg ~id:"fig6" ~rate:50
+
+(* Analytical figures need only the deployments' d values. *)
+let fig_bounds cfg ~id ~rate =
+  let series =
+    sweep cfg
+      ~run:(fun _seed _inst -> [])
+      ~bounds:
+        [
+          ("OPT-analysis (2r(d+2))", fun ~d -> Bounds.opt_async ~d ~rate);
+          ("Bound of [12] (17kd)", fun ~d -> Bounds.jiao17 ~d ~rate);
+        ]
+  in
+  {
+    id;
+    title =
+      Printf.sprintf
+        "Figure %s: analytical upper bounds in the duty cycle system with r = %d (slots)"
+        (String.sub id 3 (String.length id - 3))
+        rate;
+    x_label = "density (nodes/sqft)";
+    x_values = Config.densities cfg;
+    series;
+  }
+
+let fig5 cfg = fig_bounds cfg ~id:"fig5" ~rate:10
+
+let fig7 cfg = fig_bounds cfg ~id:"fig7" ~rate:50
+
+let to_tab f =
+  let headers = "density" :: List.map (fun s -> s.label) f.series in
+  let tab = Tab.create ~title:f.title headers in
+  List.iteri
+    (fun i x ->
+      let cells =
+        Printf.sprintf "%.2f" x
+        :: List.map (fun s -> Printf.sprintf "%.2f" (List.nth s.values i)) f.series
+      in
+      Tab.add_row tab cells)
+    f.x_values;
+  tab
+
+let improvements f ~baseline =
+  match List.find_opt (fun s -> s.label = baseline) f.series with
+  | None -> invalid_arg ("Figures.improvements: no baseline series " ^ baseline)
+  | Some base ->
+      List.filter_map
+        (fun s ->
+          if s.label = baseline then None
+          else
+            Some
+              ( s.label,
+                Stats.mean
+                  (List.map2
+                     (fun b v -> Stats.improvement ~baseline:b ~ours:v)
+                     base.values s.values) ))
+        f.series
+
+(* ----------------------- Tables II-IV ----------------------------- *)
+
+let table_of fixture system =
+  let { Fixtures.net; source; start; name } = fixture in
+  let model = Model.create net system in
+  let trace = Trace.run model Choices.Greedy ~source ~start in
+  Trace.render ~node_name:name trace
+
+let table2 () =
+  "Table II: schedule for Figure 2(a), synchronous, t_s = 1\n"
+  ^ table_of Fixtures.fig2 Model.Sync
+
+let table3 () =
+  "Table III: schedule for Figure 1(c), synchronous, t_s = 1\n"
+  ^ table_of Fixtures.fig1 Model.Sync
+
+let table4 () =
+  let fixture, sched = Fixtures.fig2_dc in
+  "Table IV: schedule for Figure 2(e), duty cycle r = 10, t_s = 2\n"
+  ^ table_of fixture (Model.Async sched)

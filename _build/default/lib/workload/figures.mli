@@ -1,0 +1,49 @@
+(** Per-figure drivers: each function regenerates one figure of the
+    paper's §V as a set of series over the density sweep (plus the
+    walkthrough tables). See DESIGN.md §3 for the experiment index. *)
+
+(** One plotted line. *)
+type series = { label : string; values : float list }
+
+type figure = {
+  id : string;  (** "fig3" .. "fig7", "table2" .. "table4" *)
+  title : string;
+  x_label : string;
+  x_values : float list;  (** densities (nodes / sq ft) *)
+  series : series list;
+}
+
+(** Figure 3: experimental [P(A)] in the round-based synchronous system
+    — 26-approx / OPT / G-OPT / E-model, plus the OPT-analysis bound
+    [d + 2] of Theorem 1. *)
+val fig3 : Config.t -> figure
+
+(** Figure 4: experimental [P(A)] in the duty-cycle system, [r = 10]. *)
+val fig4 : Config.t -> figure
+
+(** Figure 5: analytical upper bounds, [r = 10] — Theorem 1's
+    [2r(d + 2)] against the [17·k·d] bound of [12]. *)
+val fig5 : Config.t -> figure
+
+(** Figure 6: experimental [P(A)] in the light duty-cycle system,
+    [r = 50]. *)
+val fig6 : Config.t -> figure
+
+(** Figure 7: analytical upper bounds, [r = 50]. *)
+val fig7 : Config.t -> figure
+
+(** [to_tab f] renders a figure as an aligned ASCII table (densities as
+    rows, series as columns). *)
+val to_tab : figure -> Mlbs_util.Tab.t
+
+(** [improvements f ~baseline] is, per non-baseline series, the mean
+    fractional latency reduction against [baseline] across the sweep —
+    the "70% improvement" numbers of §V.C. *)
+val improvements : figure -> baseline:string -> (string * float) list
+
+(** Tables II–IV: the fixture-graph schedule traces rendered as the
+    paper prints them. *)
+val table2 : unit -> string
+
+val table3 : unit -> string
+val table4 : unit -> string

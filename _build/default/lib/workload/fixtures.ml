@@ -1,0 +1,94 @@
+module Point = Mlbs_geom.Point
+module Graph = Mlbs_graph.Graph
+module Network = Mlbs_wsn.Network
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+
+type t = {
+  net : Network.t;
+  source : int;
+  start : int;
+  name : int -> string;
+}
+
+(* --------------------------- Figure 1 ----------------------------- *)
+(* Ids 0..10 are the paper's nodes 0..10; id 11 is the source s. The
+   adjacency is taken from the coverage sets published in Table III
+   (e.g. relaying from 0 informs {3,5,6,7}; from 1 informs {3,4,10});
+   the coordinates realise the quadrant structure behind the published
+   E_2 values: the network extends up-left (quadrant Q2) from s in the
+   bottom-right corner, with 7, 8, 9 forming the far edge. *)
+
+let fig1_source = 11
+
+let fig1_edges =
+  [
+    (11, 0); (11, 1); (11, 2);           (* s reaches 0,1,2 *)
+    (0, 3); (1, 3); (2, 3);              (* the conflict clique at 3 *)
+    (0, 5); (0, 6); (0, 7);
+    (1, 4); (1, 10);
+    (3, 6); (3, 9);
+    (4, 8); (4, 9); (4, 10);
+    (6, 9);                              (* the 0 -> 6 -> 9 -> 4 path *)
+    (5, 7);
+    (8, 10); (8, 9);
+  ]
+
+let fig1_points =
+  [|
+    Point.v 22. 6. (* 0 *);
+    Point.v 28. 6. (* 1 *);
+    Point.v 24. 2. (* 2 *);
+    Point.v 25. 10. (* 3 *);
+    Point.v 26. 14. (* 4 *);
+    Point.v 14. 16. (* 5 *);
+    Point.v 20. 16. (* 6 *);
+    Point.v 12. 24. (* 7 *);
+    Point.v 24. 24. (* 8 *);
+    Point.v 18. 23. (* 9 *);
+    Point.v 30. 12. (* 10 *);
+    Point.v 30. 0. (* s *);
+  |]
+
+let fig1 =
+  let graph = Graph.of_edges ~n:12 fig1_edges in
+  {
+    net = Network.of_graph ~radius:10. ~points:fig1_points graph;
+    source = fig1_source;
+    start = 1;
+    name = (fun i -> if i = fig1_source then "s" else string_of_int i);
+  }
+
+(* --------------------------- Figure 2 ----------------------------- *)
+(* Id k is the paper's node k+1. A true unit-disk embedding: with
+   radius 10 these coordinates produce exactly the edges of the figure
+   (1-2, 1-3, 2-4, 3-4, 2-5), with the interference clique at node 4. *)
+
+let fig2_points =
+  [|
+    Point.v 0. 0. (* node 1 *);
+    Point.v 8. 0. (* node 2 *);
+    Point.v 0. 8. (* node 3 *);
+    Point.v 8. 8. (* node 4 *);
+    Point.v 17. 0. (* node 5 *);
+  |]
+
+let fig2 =
+  {
+    net = Network.create ~radius:10. fig2_points;
+    source = 0;
+    start = 1;
+    name = (fun i -> string_of_int (i + 1));
+  }
+
+(* Figure 2(e): same topology under the duty-cycle model, r = 10. The
+   wake slots are the ones the Table IV trace exercises: the source
+   (node 1) wakes at t_s = 2; nodes 2 and 3 both wake at slot 4 (forcing
+   the color decision); node 2 wakes again only at r + 3 = 13, which is
+   what makes the wrong choice at slot 4 so costly. Nodes 4 and 5 never
+   need to relay; their wake slots are immaterial. *)
+let fig2_dc =
+  let sched =
+    Wake_schedule.of_explicit ~rate:10
+      [| [ 2 ]; [ 4; 13 ]; [ 4 ]; [ 5 ]; [ 6 ] |]
+  in
+  ({ fig2 with start = 2 }, sched)

@@ -1,0 +1,40 @@
+(** The paper's worked examples as concrete networks.
+
+    The figures in the paper are schematic: they publish the adjacency
+    behaviour (who informs whom, which relays conflict) through the
+    schedule traces of Tables II–IV, but not coordinates. These fixtures
+    reconstruct concrete instances whose traces reproduce the published
+    ones; the golden tests in [test/] pin them.
+
+    Note (also in DESIGN.md): under the strict reading of Eq. (1)
+    constraint 3 — conflict iff a common {e uninformed} neighbour exists
+    — one row of the paper's Table III splits {3} and {10} into two
+    classes although they no longer share an uninformed neighbour at
+    that point; our trace keeps them in one class, which changes neither
+    the selected advance nor [P(A)]. *)
+
+(** A fixture: the network, the broadcast source, the start slot, and a
+    node-naming function matching the paper's labels. *)
+type t = {
+  net : Mlbs_wsn.Network.t;
+  source : int;
+  start : int;
+  name : int -> string;
+}
+
+(** Figure 1 (and Table III): 12 nodes [s, 0..10]; node ids 0..10 map to
+    the paper's 0..10 and id 11 is [s]. Synchronous; [t_s = 1];
+    published optimum [P(A) = 3]. The published E-model values
+    ([E_2(1) = 2] maximal, etc.) hold for this embedding. *)
+val fig1 : t
+
+(** Figure 2(a) (and Table II): 5 nodes; id [k] is the paper's node
+    [k+1]. A genuine unit-disk graph (radius 10). Synchronous;
+    [t_s = 1]; published optimum [P(A) = 2]. *)
+val fig2 : t
+
+(** Figure 2(e) (and Table IV): the [fig2] graph under the duty-cycle
+    model with [r = 10] and the explicit wake schedule of the example —
+    node 1 wakes at slot 2, nodes 2 and 3 at slot 4, node 2 again at
+    [r + 3 = 13]. [t_s = 2]; published optimum [P(A) = 4]. *)
+val fig2_dc : t * Mlbs_dutycycle.Wake_schedule.t

@@ -1,0 +1,110 @@
+module Point = Mlbs_geom.Point
+module Graph = Mlbs_graph.Graph
+module Network = Mlbs_wsn.Network
+module Schedule = Mlbs_core.Schedule
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let fail_at lineno fmt =
+  Printf.ksprintf (fun s -> failwith (Printf.sprintf "Persist: line %d: %s" lineno s)) fmt
+
+let tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* --------------------------- network -------------------------------- *)
+
+let save_network path net =
+  with_out path (fun oc ->
+      let n = Network.n_nodes net in
+      Printf.fprintf oc "mlbs-network 1 %d %.17g\n" n (Network.radius net);
+      for u = 0 to n - 1 do
+        let p = Network.position net u in
+        Printf.fprintf oc "node %d %.17g %.17g\n" u p.Point.x p.Point.y
+      done;
+      List.iter
+        (fun (u, v) -> Printf.fprintf oc "edge %d %d\n" u v)
+        (Graph.edges (Network.graph net)))
+
+let load_network path =
+  match read_lines path with
+  | [] -> failwith "Persist: empty network file"
+  | header :: rest -> (
+      match tokens header with
+      | [ "mlbs-network"; "1"; n_s; radius_s ] ->
+          let n = int_of_string n_s and radius = float_of_string radius_s in
+          let points = Array.make n Point.origin in
+          let seen = Array.make n false in
+          let edges = ref [] in
+          List.iteri
+            (fun i line ->
+              let lineno = i + 2 in
+              match tokens line with
+              | [ "node"; id_s; x_s; y_s ] ->
+                  let id = int_of_string id_s in
+                  if id < 0 || id >= n then fail_at lineno "node id %d out of range" id;
+                  if seen.(id) then fail_at lineno "duplicate node %d" id;
+                  seen.(id) <- true;
+                  points.(id) <- Point.v (float_of_string x_s) (float_of_string y_s)
+              | [ "edge"; u_s; v_s ] ->
+                  edges := (int_of_string u_s, int_of_string v_s) :: !edges
+              | [] -> ()
+              | tok :: _ -> fail_at lineno "unexpected record %S" tok)
+            rest;
+          Array.iteri (fun id ok -> if not ok then failwith (Printf.sprintf "Persist: node %d missing" id)) seen;
+          Network.of_graph ~radius ~points (Graph.of_edges ~n !edges)
+      | _ -> failwith "Persist: not a mlbs-network v1 file")
+
+(* --------------------------- schedule ------------------------------- *)
+
+let save_schedule path schedule =
+  with_out path (fun oc ->
+      Printf.fprintf oc "mlbs-schedule 1 %d %d %d\n" (Schedule.n_nodes schedule)
+        (Schedule.source schedule) (Schedule.start schedule);
+      List.iter
+        (fun (s : Schedule.step) ->
+          Printf.fprintf oc "step %d | %s | %s\n" s.Schedule.slot
+            (String.concat " " (List.map string_of_int s.Schedule.senders))
+            (String.concat " " (List.map string_of_int s.Schedule.informed)))
+        (Schedule.steps schedule))
+
+let load_schedule path =
+  match read_lines path with
+  | [] -> failwith "Persist: empty schedule file"
+  | header :: rest -> (
+      match tokens header with
+      | [ "mlbs-schedule"; "1"; n_s; source_s; start_s ] ->
+          let n = int_of_string n_s
+          and source = int_of_string source_s
+          and start = int_of_string start_s in
+          let parse_step lineno line =
+            match String.split_on_char '|' line with
+            | [ head; senders_s; informed_s ] -> (
+                match tokens head with
+                | [ "step"; slot_s ] ->
+                    {
+                      Schedule.slot = int_of_string slot_s;
+                      senders = List.map int_of_string (tokens senders_s);
+                      informed = List.map int_of_string (tokens informed_s);
+                    }
+                | _ -> fail_at lineno "malformed step header")
+            | _ -> fail_at lineno "malformed step record"
+          in
+          let steps =
+            List.filteri (fun _ line -> tokens line <> []) rest
+            |> List.mapi (fun i line -> parse_step (i + 2) line)
+          in
+          Schedule.make ~n_nodes:n ~source ~start steps
+      | _ -> failwith "Persist: not a mlbs-schedule v1 file")

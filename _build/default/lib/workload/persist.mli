@@ -1,0 +1,33 @@
+(** Plain-text persistence for networks and schedules, so experiments
+    can be archived and reproduced outside the generating process
+    (`mlbs generate --save` / `mlbs schedule --load`).
+
+    Formats are line-oriented and versioned:
+
+    {v
+    mlbs-network 1 <n> <radius>
+    node <id> <x> <y>          (n lines)
+    edge <u> <v>               (one per undirected edge)
+    v}
+
+    {v
+    mlbs-schedule 1 <n> <source> <start>
+    step <slot> | <senders...> | <informed...>
+    v}
+
+    Loading validates structure and raises [Failure] with a line number
+    on malformed input. *)
+
+(** [save_network path net] writes positions and the (possibly
+    non-geometric, fixture-style) edge set. *)
+val save_network : string -> Mlbs_wsn.Network.t -> unit
+
+(** [load_network path] rebuilds the network via
+    [Network.of_graph] — the adjacency is taken from the file, not
+    re-derived from the radius, so fixtures survive the round trip. *)
+val load_network : string -> Mlbs_wsn.Network.t
+
+(** [save_schedule path schedule] / [load_schedule path]. *)
+val save_schedule : string -> Mlbs_core.Schedule.t -> unit
+
+val load_schedule : string -> Mlbs_core.Schedule.t

@@ -1,0 +1,51 @@
+module Tab = Mlbs_util.Tab
+
+let baseline_label (f : Figures.figure) =
+  List.find_opt
+    (fun (s : Figures.series) ->
+      let n = String.length s.Figures.label in
+      n >= 6 && String.sub s.Figures.label (n - 6) 6 = "approx")
+    f.Figures.series
+  |> Option.map (fun (s : Figures.series) -> s.Figures.label)
+
+let figure_chart f =
+  let series =
+    List.map
+      (fun (s : Figures.series) ->
+        { Mlbs_util.Chart.label = s.Figures.label;
+          points = List.combine f.Figures.x_values s.Figures.values })
+      f.Figures.series
+  in
+  match series with
+  | [] -> ""
+  | _ ->
+      Mlbs_util.Chart.render
+        ~y_label:(Printf.sprintf "  [y: P(A); x: %s]" f.Figures.x_label)
+        series
+
+let render_figure f =
+  let table = Tab.render (Figures.to_tab f) ^ figure_chart f in
+  match baseline_label f with
+  | None -> table
+  | Some baseline ->
+      let imps = Figures.improvements f ~baseline in
+      let lines =
+        List.map
+          (fun (label, frac) ->
+            Printf.sprintf "  %-22s %5.1f%% mean latency reduction vs %s" label
+              (100. *. frac) baseline)
+          imps
+      in
+      table ^ String.concat "\n" lines ^ "\n"
+
+let figure_csv f = Tab.to_csv (Figures.to_tab f)
+
+let write_csv ~dir f =
+  let path = Filename.concat dir (f.Figures.id ^ ".csv") in
+  let oc = open_out path in
+  (try output_string oc (figure_csv f)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  path

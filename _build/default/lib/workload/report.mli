@@ -1,0 +1,19 @@
+(** Rendering experiment output: figure tables, improvement summaries,
+    CSV export. The benchmark harness prints these; EXPERIMENTS.md
+    records them against the paper's claims. *)
+
+(** [render_figure f] is the ASCII table, an ASCII chart of the series
+    (the figure's shape), and — when the figure has a baseline series
+    (its label ends in "approx") — an improvement summary line per
+    policy, the paper's "≥70%" numbers. *)
+val render_figure : Figures.figure -> string
+
+(** [figure_chart f] is just the ASCII chart ("" for an empty figure). *)
+val figure_chart : Figures.figure -> string
+
+(** [figure_csv f] is a CSV rendering of the same table. *)
+val figure_csv : Figures.figure -> string
+
+(** [write_csv ~dir f] writes [figure_csv] to [dir/<id>.csv] and
+    returns the path. *)
+val write_csv : dir:string -> Figures.figure -> string

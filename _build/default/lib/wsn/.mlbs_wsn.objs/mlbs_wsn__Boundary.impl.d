@@ -1,0 +1,1 @@
+lib/wsn/boundary.ml: Array Float List Mlbs_geom Network Option

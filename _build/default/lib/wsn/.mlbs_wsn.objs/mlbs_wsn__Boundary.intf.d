@@ -1,0 +1,1 @@
+lib/wsn/boundary.mli: Network

@@ -1,0 +1,1 @@
+lib/wsn/deployment.ml: Array Float Mlbs_geom Mlbs_graph Mlbs_prng Network Printf

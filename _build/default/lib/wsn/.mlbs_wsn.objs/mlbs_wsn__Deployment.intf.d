@@ -1,0 +1,1 @@
+lib/wsn/deployment.mli: Mlbs_prng Network

@@ -1,0 +1,1 @@
+lib/wsn/grid.ml: Array Hashtbl List Mlbs_geom Option

@@ -1,0 +1,1 @@
+lib/wsn/grid.mli: Mlbs_geom

@@ -1,0 +1,1 @@
+lib/wsn/network.ml: Array Format Grid Hashtbl List Mlbs_geom Mlbs_graph Printf

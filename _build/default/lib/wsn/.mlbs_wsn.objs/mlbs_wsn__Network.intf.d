@@ -1,0 +1,1 @@
+lib/wsn/network.mli: Format Mlbs_geom Mlbs_graph

@@ -1,0 +1,81 @@
+module Point = Mlbs_geom.Point
+module Quadrant = Mlbs_geom.Quadrant
+module Hull = Mlbs_geom.Hull
+
+let edge_nodes net =
+  Array.init (Network.n_nodes net) (fun u ->
+      Array.init 4 (fun k ->
+          Array.length (Network.neighbors_in_quadrant net u (Quadrant.of_index k)) = 0))
+
+let is_edge_node net u =
+  List.exists
+    (fun q -> Array.length (Network.neighbors_in_quadrant net u q) = 0)
+    Quadrant.all
+
+(* Right-hand-rule perimeter walk: from the current directed edge
+   (prev -> cur), the next edge is the neighbour of [cur] making the
+   smallest clockwise angle from the reversed incoming direction. *)
+let outer_boundary net =
+  let points = Network.positions net in
+  let hull = Hull.hull_indices points in
+  match hull with
+  | [] -> []
+  | start :: _ ->
+      let angle_from (a : Point.t) (b : Point.t) =
+        atan2 (b.Point.y -. a.Point.y) (b.Point.x -. a.Point.x)
+      in
+      let next prev cur =
+        let base = angle_from points.(cur) points.(prev) in
+        let best = ref None in
+        Array.iter
+          (fun v ->
+            if v <> prev || Array.length (Network.neighbors net cur) = 1 then begin
+              let a = angle_from points.(cur) points.(v) in
+              (* Clockwise offset from the incoming direction, in (0, 2π]. *)
+              let off =
+                let d = base -. a in
+                let d = if d <= 0. then d +. (2. *. Float.pi) else d in
+                if d > 2. *. Float.pi then d -. (2. *. Float.pi) else d
+              in
+              match !best with
+              | Some (best_off, _) when best_off <= off -> ()
+              | _ -> best := Some (off, v)
+            end)
+          (Network.neighbors net cur);
+        Option.map snd !best
+      in
+      (* Virtual predecessor: a point due south of the start so the walk
+         begins heading counter-clockwise around the perimeter. *)
+      let virtual_prev = Point.v (points.(start)).Point.x ((points.(start)).Point.y -. 1.) in
+      let first =
+        let base = atan2 (virtual_prev.Point.y -. (points.(start)).Point.y)
+                     (virtual_prev.Point.x -. (points.(start)).Point.x) in
+        let best = ref None in
+        Array.iter
+          (fun v ->
+            let a = angle_from points.(start) points.(v) in
+            let off =
+              let d = base -. a in
+              if d <= 0. then d +. (2. *. Float.pi) else d
+            in
+            match !best with
+            | Some (best_off, _) when best_off <= off -> ()
+            | _ -> best := Some (off, v))
+          (Network.neighbors net start);
+        Option.map snd !best
+      in
+      let limit = 4 * Network.n_nodes net in
+      let rec walk prev cur acc steps =
+        if steps > limit then None
+        else if cur = start then Some (List.rev acc)
+        else
+          match next prev cur with
+          | None -> None
+          | Some v -> walk cur v (cur :: acc) (steps + 1)
+      in
+      let result =
+        match first with
+        | None -> None
+        | Some f -> if f = start then Some [ start ] else walk start f [ start ] 1
+      in
+      (match result with Some cycle -> cycle | None -> hull)

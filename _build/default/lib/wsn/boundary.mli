@@ -1,0 +1,24 @@
+(** Network boundary construction — reference [6] of the paper.
+
+    Algorithm 2 "appl[ies] the hull algorithm and the boundary
+    construction algorithm to constitute the edge of the networks". The
+    *edge nodes* that seed the E-model are the nodes with an empty
+    neighbourhood in some quadrant; this module additionally identifies
+    the outer boundary of the deployment (perimeter walk from a hull
+    node) for reporting and for ablation against the quadrant rule. *)
+
+(** [edge_nodes net] marks, per node and quadrant, whether
+    [N(u) ∩ Q_i(u) = ∅] — exactly the initialisation condition of
+    Algorithm 2, step 2. Result is indexed [node].[quadrant index]. *)
+val edge_nodes : Network.t -> bool array array
+
+(** [is_edge_node net u] is [true] when some quadrant of [u] is empty
+    of neighbours. *)
+val is_edge_node : Network.t -> int -> bool
+
+(** [outer_boundary net] walks the perimeter starting from a convex-hull
+    node, repeatedly taking the most counter-clockwise neighbour (a
+    right-hand-rule walk on the UDG). Returns the closed walk as a node
+    list (first node not repeated). Falls back to the hull vertices if
+    the walk degenerates (possible on very sparse graphs). *)
+val outer_boundary : Network.t -> int list

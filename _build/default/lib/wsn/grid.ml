@@ -1,0 +1,51 @@
+module Point = Mlbs_geom.Point
+
+type t = {
+  cell : float;
+  points : Point.t array;
+  buckets : (int * int, int list) Hashtbl.t;
+  min_x : float;
+  min_y : float;
+}
+
+let cell_of t (p : Point.t) =
+  (int_of_float (floor ((p.Point.x -. t.min_x) /. t.cell)),
+   int_of_float (floor ((p.Point.y -. t.min_y) /. t.cell)))
+
+let create ~cell points =
+  if cell <= 0. then invalid_arg "Grid.create: cell <= 0";
+  let min_x = Array.fold_left (fun acc p -> min acc p.Point.x) 0. points in
+  let min_y = Array.fold_left (fun acc p -> min acc p.Point.y) 0. points in
+  let t = { cell; points; buckets = Hashtbl.create (max 16 (Array.length points)); min_x; min_y } in
+  Array.iteri
+    (fun i p ->
+      let key = cell_of t p in
+      Hashtbl.replace t.buckets key (i :: Option.value ~default:[] (Hashtbl.find_opt t.buckets key)))
+    points;
+  t
+
+let neighbors_within t i ~radius =
+  if radius > t.cell +. 1e-9 then invalid_arg "Grid.neighbors_within: radius exceeds cell size";
+  let p = t.points.(i) in
+  let cx, cy = cell_of t p in
+  let r2 = radius *. radius in
+  let acc = ref [] in
+  for dx = -1 to 1 do
+    for dy = -1 to 1 do
+      match Hashtbl.find_opt t.buckets (cx + dx, cy + dy) with
+      | None -> ()
+      | Some members ->
+          List.iter
+            (fun j -> if j <> i && Point.dist2 p t.points.(j) <= r2 then acc := j :: !acc)
+            members
+    done
+  done;
+  !acc
+
+let pairs_within t ~radius =
+  let acc = ref [] in
+  Array.iteri
+    (fun i _ ->
+      List.iter (fun j -> if i < j then acc := (i, j) :: !acc) (neighbors_within t i ~radius))
+    t.points;
+  !acc

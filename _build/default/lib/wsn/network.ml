@@ -1,0 +1,79 @@
+module Point = Mlbs_geom.Point
+module Quadrant = Mlbs_geom.Quadrant
+module Hull = Mlbs_geom.Hull
+module Graph = Mlbs_graph.Graph
+module Components = Mlbs_graph.Components
+
+type t = {
+  radius : float;
+  points : Point.t array;
+  graph : Graph.t;
+  hull : bool array;
+  by_quadrant : int array array array; (* node -> quadrant index -> sorted neighbours *)
+}
+
+let check_distinct points =
+  let tbl = Hashtbl.create (Array.length points) in
+  Array.iteri
+    (fun i p ->
+      match Hashtbl.find_opt tbl (p.Point.x, p.Point.y) with
+      | Some j ->
+          invalid_arg (Printf.sprintf "Network: nodes %d and %d share position" j i)
+      | None -> Hashtbl.add tbl (p.Point.x, p.Point.y) i)
+    points
+
+let partition_quadrants points graph =
+  Array.mapi
+    (fun u origin ->
+      let buckets = Array.make 4 [] in
+      Array.iter
+        (fun v ->
+          match Quadrant.classify ~origin points.(v) with
+          | Some q ->
+              let k = Quadrant.to_index q in
+              buckets.(k) <- v :: buckets.(k)
+          | None -> ())
+        (Graph.neighbors graph u);
+      Array.map (fun l -> Array.of_list (List.rev l)) buckets)
+    points
+
+let of_graph ~radius ~points graph =
+  if radius <= 0. then invalid_arg "Network.of_graph: radius <= 0";
+  if Array.length points <> Graph.n_nodes graph then
+    invalid_arg "Network.of_graph: points/graph size mismatch";
+  check_distinct points;
+  {
+    radius;
+    points;
+    graph;
+    hull = Hull.on_hull points;
+    by_quadrant = partition_quadrants points graph;
+  }
+
+let create ~radius points =
+  if radius <= 0. then invalid_arg "Network.create: radius <= 0";
+  check_distinct points;
+  let grid = Grid.create ~cell:radius points in
+  let graph = Graph.of_edges ~n:(Array.length points) (Grid.pairs_within grid ~radius) in
+  of_graph ~radius ~points graph
+
+let graph t = t.graph
+let n_nodes t = Array.length t.points
+let radius t = t.radius
+let position t u = t.points.(u)
+let positions t = t.points
+let neighbors t u = Graph.neighbors t.graph u
+
+let neighbors_in_quadrant t u q = t.by_quadrant.(u).(Quadrant.to_index q)
+
+let on_hull t u = t.hull.(u)
+
+let is_connected t = Components.is_connected t.graph
+
+let density t ~area =
+  if area <= 0. then invalid_arg "Network.density: area <= 0";
+  float_of_int (n_nodes t) /. area
+
+let pp ppf t =
+  Format.fprintf ppf "network(n=%d, r=%.1f, m=%d)" (n_nodes t) t.radius
+    (Graph.n_edges t.graph)

@@ -1,0 +1,55 @@
+(** A deployed WSN: node positions plus the induced unit-disk graph.
+
+    This is the paper's network model (§III): [N(u)] is every node
+    within the communication radius of [u]. The graph, hull membership
+    and per-quadrant neighbour partition are all precomputed here
+    because the schedulers consult them constantly. *)
+
+type t
+
+(** [create ~radius points] builds the UDG over [points]. Raises
+    [Invalid_argument] when [radius <= 0] or two nodes coincide (the
+    UDG and quadrant models assume distinct positions). *)
+val create : radius:float -> Mlbs_geom.Point.t array -> t
+
+(** [of_graph ~radius ~points g] wraps a pre-built graph (used by
+    fixtures whose adjacency is specified explicitly rather than
+    geometrically). [points] still drive quadrants and hull. Raises
+    [Invalid_argument] when sizes disagree. *)
+val of_graph : radius:float -> points:Mlbs_geom.Point.t array -> Mlbs_graph.Graph.t -> t
+
+(** [graph t] is the connectivity graph. *)
+val graph : t -> Mlbs_graph.Graph.t
+
+(** [n_nodes t] is the node count. *)
+val n_nodes : t -> int
+
+(** [radius t] is the communication radius. *)
+val radius : t -> float
+
+(** [position t u] is node [u]'s coordinates. *)
+val position : t -> int -> Mlbs_geom.Point.t
+
+(** [positions t] is the full coordinate array (internal; do not
+    mutate). *)
+val positions : t -> Mlbs_geom.Point.t array
+
+(** [neighbors t u] is [N(u)], sorted. *)
+val neighbors : t -> int -> int array
+
+(** [neighbors_in_quadrant t u q] is [N(u) ∩ Q_q(u)], sorted — the set
+    Algorithm 2 relaxes over. *)
+val neighbors_in_quadrant : t -> int -> Mlbs_geom.Quadrant.t -> int array
+
+(** [on_hull t u] is [true] iff [u] lies on the convex hull of the
+    deployment. *)
+val on_hull : t -> int -> bool
+
+(** [is_connected t] is connectivity of the UDG. *)
+val is_connected : t -> bool
+
+(** [density t ~area] is nodes per unit area. *)
+val density : t -> area:float -> float
+
+(** [pp] prints a short summary. *)
+val pp : Format.formatter -> t -> unit

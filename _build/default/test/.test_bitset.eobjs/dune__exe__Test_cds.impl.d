@@ -1,0 +1,1 @@
+test/test_cds.ml: Alcotest List Mlbs_core Mlbs_graph Mlbs_sim Mlbs_workload QCheck2 QCheck_alcotest Test_support

@@ -1,0 +1,1 @@
+test/test_core_extras.ml: Alcotest Array List Mlbs_core Mlbs_dutycycle Mlbs_geom Mlbs_util Mlbs_workload Mlbs_wsn Printf String

@@ -1,0 +1,1 @@
+test/test_dutycycle.ml: Alcotest List Mlbs_dutycycle Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Fun List Mlbs_core Mlbs_dutycycle Mlbs_geom Mlbs_sim Mlbs_util Mlbs_wsn Printf

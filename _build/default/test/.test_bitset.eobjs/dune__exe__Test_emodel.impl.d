@@ -1,0 +1,1 @@
+test/test_emodel.ml: Alcotest Array Fun List Mlbs_core Mlbs_dutycycle Mlbs_geom Mlbs_sim Mlbs_util Mlbs_workload Mlbs_wsn Printf QCheck2 QCheck_alcotest Test_support

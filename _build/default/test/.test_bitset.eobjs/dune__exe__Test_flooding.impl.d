@@ -1,0 +1,1 @@
+test/test_flooding.ml: Alcotest Array Hashtbl List Mlbs_core Mlbs_geom Mlbs_sim Mlbs_util Mlbs_workload Mlbs_wsn Option QCheck2 QCheck_alcotest Test_support

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Array List Mlbs_geom Option Printf QCheck2 QCheck_alcotest

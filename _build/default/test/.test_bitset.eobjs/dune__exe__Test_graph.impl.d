@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Mlbs_graph Mlbs_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest List Mlbs_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_localized.ml: Alcotest Mlbs_core Mlbs_graph Mlbs_sim Mlbs_workload QCheck2 QCheck_alcotest Test_support

@@ -1,0 +1,1 @@
+test/test_mcounter.ml: Alcotest List Mlbs_core Mlbs_geom Mlbs_sim Mlbs_util Mlbs_workload Mlbs_wsn QCheck2 QCheck_alcotest Test_support

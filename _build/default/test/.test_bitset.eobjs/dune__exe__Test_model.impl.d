@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest List Mlbs_core Mlbs_dutycycle Mlbs_graph Mlbs_util Mlbs_workload QCheck2 QCheck_alcotest Test_support

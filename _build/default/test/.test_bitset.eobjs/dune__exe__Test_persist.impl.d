@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Filename List Mlbs_core Mlbs_geom Mlbs_graph Mlbs_sim Mlbs_workload Mlbs_wsn Printf QCheck2 QCheck_alcotest Sys Test_support

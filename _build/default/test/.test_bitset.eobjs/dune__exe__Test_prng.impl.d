@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun List Mlbs_prng Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Fun List Mlbs_core Mlbs_geom Mlbs_proto Mlbs_sim Mlbs_util Mlbs_workload Mlbs_wsn Printf QCheck2 QCheck_alcotest Test_support

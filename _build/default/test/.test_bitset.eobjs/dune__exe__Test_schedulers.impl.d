@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Array Hashtbl List Mlbs_core Mlbs_dutycycle Mlbs_graph Mlbs_sim Mlbs_workload Option Printf QCheck2 QCheck_alcotest Test_support

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Mlbs_core Mlbs_dutycycle Mlbs_sim Mlbs_util Mlbs_workload

@@ -1,0 +1,1 @@
+test/test_tab.ml: Alcotest List Mlbs_util QCheck2 QCheck_alcotest String

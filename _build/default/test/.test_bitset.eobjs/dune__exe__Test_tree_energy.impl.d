@@ -1,0 +1,1 @@
+test/test_tree_energy.ml: Alcotest Array List Mlbs_core Mlbs_graph Mlbs_sim Mlbs_util Mlbs_workload Printf QCheck2 QCheck_alcotest Test_support

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Fun List Mlbs_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Filename List Mlbs_core Mlbs_dutycycle Mlbs_sim Mlbs_util Mlbs_workload Mlbs_wsn String Sys

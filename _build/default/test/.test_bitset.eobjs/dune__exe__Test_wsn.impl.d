@@ -1,0 +1,1 @@
+test/test_wsn.ml: Alcotest Array Fun List Mlbs_geom Mlbs_graph Mlbs_prng Mlbs_wsn Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,115 @@
+module Graph = Mlbs_graph.Graph
+module Cds = Mlbs_graph.Cds
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+module Baseline_cds = Mlbs_core.Baseline_cds
+module Baseline26 = Mlbs_core.Baseline26
+module Validate = Mlbs_sim.Validate
+module Fixtures = Mlbs_workload.Fixtures
+
+let test_star () =
+  (* Star: centre 0 dominates everything; CDS = {0}. *)
+  let g = Graph.of_edges ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  Alcotest.(check (list int)) "centre only" [ 0 ] (Cds.greedy g)
+
+let test_path () =
+  (* Path 0-1-2-3-4: internal nodes form the minimum CDS. *)
+  let g = Graph.of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let cds = Cds.greedy g in
+  Alcotest.(check bool) "is cds" true (Cds.is_cds g cds);
+  Alcotest.(check bool) "no endpoints needed" true
+    (not (List.mem 0 cds) && not (List.mem 4 cds))
+
+let test_single_node () =
+  let g = Graph.of_edges ~n:1 [] in
+  Alcotest.(check (list int)) "singleton" [ 0 ] (Cds.greedy g)
+
+let test_complete_graph () =
+  let edges = List.concat_map (fun i -> List.init i (fun j -> (j, i))) [ 1; 2; 3 ] in
+  let g = Graph.of_edges ~n:4 edges in
+  let cds = Cds.greedy g in
+  Alcotest.(check int) "one node suffices" 1 (List.length cds);
+  Alcotest.(check bool) "valid" true (Cds.is_cds g cds)
+
+let test_disconnected_rejected () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.check_raises "disconnected" (Invalid_argument "Cds.greedy: disconnected graph")
+    (fun () -> ignore (Cds.greedy g))
+
+let test_checkers () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check bool) "dominating" true (Cds.is_dominating g [ 1; 2 ]);
+  Alcotest.(check bool) "not dominating" false (Cds.is_dominating g [ 0 ]);
+  Alcotest.(check bool) "connected subset" true (Cds.is_connected_subset g [ 1; 2 ]);
+  Alcotest.(check bool) "disconnected subset" false (Cds.is_connected_subset g [ 0; 3 ]);
+  Alcotest.(check bool) "empty subset connected" true (Cds.is_connected_subset g [])
+
+(* ---------------------- CDS baseline ------------------------------- *)
+
+let test_baseline_cds_fig1 () =
+  let { Fixtures.net; source; start; _ } = Fixtures.fig1 in
+  let m = Model.create net Model.Sync in
+  let plan = Baseline_cds.plan m ~source ~start in
+  Validate.check_exn m plan;
+  Alcotest.(check bool) "covers" true (Schedule.covers_all plan)
+
+let test_baseline_cds_fewer_transmissions () =
+  (* Restricting relays to the backbone must not use more transmissions
+     than relaying from every frontier node of the plain layered
+     scheme. *)
+  let { Fixtures.net; source; start; _ } = Fixtures.fig1 in
+  let m = Model.create net Model.Sync in
+  let cds_plan = Baseline_cds.plan m ~source ~start in
+  let plain = Baseline26.plan m ~source ~start in
+  Alcotest.(check bool) "tx(CDS) <= tx(plain)" true
+    (Schedule.n_transmissions cds_plan <= Schedule.n_transmissions plain)
+
+let test_baseline_cds_rejects_async () =
+  let fixture, sched = Fixtures.fig2_dc in
+  let m = Model.create fixture.Fixtures.net (Model.Async sched) in
+  Alcotest.check_raises "async"
+    (Invalid_argument "Baseline_cds.plan: synchronous model required") (fun () ->
+      ignore (Baseline_cds.plan m ~source:0 ~start:1))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:80 ~name gen f)
+
+let props =
+  [
+    prop "greedy CDS is always a valid CDS" Test_support.gen_sync_model
+      (fun (model, _) ->
+        let g = Model.graph model in
+        Cds.is_cds g (Cds.greedy g));
+    prop "CDS baseline schedules are valid and complete" Test_support.gen_sync_model
+      (fun (model, _) ->
+        let plan = Baseline_cds.plan model ~source:0 ~start:1 in
+        Schedule.covers_all plan && (Validate.check model plan).Validate.ok);
+    prop "only backbone (or source) nodes relay" Test_support.gen_sync_model
+      (fun (model, _) ->
+        let g = Model.graph model in
+        let backbone = 0 :: Cds.greedy g in
+        let plan = Baseline_cds.plan model ~source:0 ~start:1 in
+        List.for_all
+          (fun s -> List.for_all (fun u -> List.mem u backbone) s.Schedule.senders)
+          (Schedule.steps plan));
+  ]
+
+let () =
+  Alcotest.run "cds"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "single node" `Quick test_single_node;
+          Alcotest.test_case "complete graph" `Quick test_complete_graph;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_rejected;
+          Alcotest.test_case "checkers" `Quick test_checkers;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "fig1" `Quick test_baseline_cds_fig1;
+          Alcotest.test_case "fewer transmissions" `Quick test_baseline_cds_fewer_transmissions;
+          Alcotest.test_case "rejects async" `Quick test_baseline_cds_rejects_async;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,99 @@
+module Chart = Mlbs_util.Chart
+
+let render series = Chart.render ~width:20 ~height:8 series
+
+let lines s = String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+
+let test_single_series () =
+  let s = render [ { Chart.label = "up"; points = [ (0., 0.); (1., 10.) ] } ] in
+  let ls = lines s in
+  (* 8 plot rows + axis + x labels + 1 legend line. *)
+  Alcotest.(check int) "line count" 11 (List.length ls);
+  (* Max annotated on the top row, min on the bottom plot row. *)
+  Alcotest.(check bool) "top label" true
+    (String.length (List.hd ls) > 0 && String.trim (List.hd ls) <> "");
+  Alcotest.(check bool) "has marker a" true (String.contains s 'a');
+  Alcotest.(check bool) "legend" true
+    (List.exists (fun l -> String.trim l = "a = up") ls)
+
+let test_corners () =
+  let s = render [ { Chart.label = "x"; points = [ (0., 0.); (1., 1.) ] } ] in
+  let ls = lines s in
+  let top = List.hd ls in
+  let bottom_plot = List.nth ls 7 in
+  (* (1,1) maps to the last column of the top row, (0,0) to the first
+     column of the bottom row. *)
+  Alcotest.(check char) "top right" 'a' top.[String.length top - 1];
+  Alcotest.(check char) "bottom left" 'a' bottom_plot.[String.index bottom_plot '|' + 1]
+
+let test_overlap_marker () =
+  let s =
+    render
+      [
+        { Chart.label = "one"; points = [ (0., 0.); (1., 1.) ] };
+        { Chart.label = "two"; points = [ (0., 0.); (1., 0.) ] };
+      ]
+  in
+  Alcotest.(check bool) "overlap shown as #" true (String.contains s '#');
+  Alcotest.(check bool) "second marker b" true (String.contains s 'b')
+
+let test_constant_series () =
+  (* Degenerate ranges must not divide by zero. *)
+  let s = render [ { Chart.label = "flat"; points = [ (2., 5.); (2., 5.) ] } ] in
+  Alcotest.(check bool) "renders" true (String.contains s 'a')
+
+let test_errors () =
+  Alcotest.check_raises "no points" (Invalid_argument "Chart.render: no points")
+    (fun () -> ignore (render [ { Chart.label = "e"; points = [] } ]));
+  Alcotest.check_raises "tiny" (Invalid_argument "Chart.render: dimensions too small")
+    (fun () ->
+      ignore (Chart.render ~width:1 ~height:8 [ { Chart.label = "e"; points = [ (0., 0.) ] } ]))
+
+let test_y_label () =
+  let s =
+    Chart.render ~width:20 ~height:8 ~y_label:"latency"
+      [ { Chart.label = "x"; points = [ (0., 1.) ] } ]
+  in
+  Alcotest.(check string) "first line" "latency" (List.hd (lines s))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let gen_points =
+  QCheck2.Gen.(
+    list_size (int_range 1 30)
+      (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+
+let props =
+  [
+    prop "all markers stay inside the plot box" gen_points (fun pts ->
+        let s = render [ { Chart.label = "p"; points = pts } ] in
+        let ls = lines s in
+        (* Marker 'a' never appears left of the axis bar. *)
+        List.for_all
+          (fun l ->
+            match String.index_opt l 'a' with
+            | None -> true
+            | Some i -> (
+                match String.index_opt l '|' with
+                | Some bar -> i > bar || String.trim l = "a = p"
+                | None -> String.trim l = "a = p"))
+          ls);
+    prop "every distinct point lands somewhere" gen_points (fun pts ->
+        let s = render [ { Chart.label = "p"; points = pts } ] in
+        String.contains s 'a' || String.contains s '#');
+  ]
+
+let () =
+  Alcotest.run "chart"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single series" `Quick test_single_series;
+          Alcotest.test_case "corners" `Quick test_corners;
+          Alcotest.test_case "overlap" `Quick test_overlap_marker;
+          Alcotest.test_case "constant" `Quick test_constant_series;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "y label" `Quick test_y_label;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,161 @@
+module Point = Mlbs_geom.Point
+module Hull = Mlbs_geom.Hull
+module Quadrant = Mlbs_geom.Quadrant
+
+let feq = Alcotest.float 1e-9
+
+let test_dist () =
+  Alcotest.check feq "3-4-5" 5. (Point.dist (Point.v 0. 0.) (Point.v 3. 4.));
+  Alcotest.check feq "dist2" 25. (Point.dist2 (Point.v 0. 0.) (Point.v 3. 4.));
+  Alcotest.check feq "self" 0. (Point.dist (Point.v 1. 2.) (Point.v 1. 2.))
+
+let test_cross () =
+  let o = Point.v 0. 0. in
+  Alcotest.(check bool) "ccw positive" true (Point.cross o (Point.v 1. 0.) (Point.v 0. 1.) > 0.);
+  Alcotest.(check bool) "cw negative" true (Point.cross o (Point.v 0. 1.) (Point.v 1. 0.) < 0.);
+  Alcotest.check feq "collinear" 0. (Point.cross o (Point.v 1. 1.) (Point.v 2. 2.))
+
+let square =
+  [| Point.v 0. 0.; Point.v 4. 0.; Point.v 4. 4.; Point.v 0. 4.; Point.v 2. 2. |]
+
+let test_hull_square () =
+  let hull = Hull.hull_indices square in
+  Alcotest.(check (list int)) "corners only, CCW from lex-min" [ 0; 1; 2; 3 ] hull;
+  let marks = Hull.on_hull square in
+  Alcotest.(check bool) "interior excluded" false marks.(4);
+  Alcotest.(check bool) "corner included" true marks.(0)
+
+let test_hull_collinear () =
+  let pts = [| Point.v 0. 0.; Point.v 1. 0.; Point.v 2. 0.; Point.v 3. 0. |] in
+  let hull = Hull.hull_indices pts in
+  (* Degenerate: all collinear; the hull is the two extremes. *)
+  Alcotest.(check (list int)) "extremes" [ 0; 3 ] (List.sort compare hull)
+
+let test_hull_small () =
+  Alcotest.(check (list int)) "empty" [] (Hull.hull_indices [||]);
+  Alcotest.(check (list int)) "single" [ 0 ] (Hull.hull_indices [| Point.v 1. 1. |]);
+  Alcotest.(check (list int)) "pair" [ 0; 1 ]
+    (List.sort compare (Hull.hull_indices [| Point.v 1. 1.; Point.v 0. 0. |]))
+
+let test_hull_duplicates () =
+  let pts = [| Point.v 0. 0.; Point.v 0. 0.; Point.v 1. 0.; Point.v 0. 1. |] in
+  let marks = Hull.on_hull pts in
+  Alcotest.(check bool) "duplicate of hull point marked" true (marks.(0) && marks.(1))
+
+let test_quadrants () =
+  let o = Point.v 10. 10. in
+  let check p expected =
+    Alcotest.(check (option string))
+      (Printf.sprintf "(%g,%g)" p.Point.x p.Point.y)
+      expected
+      (Option.map Quadrant.to_string (Quadrant.classify ~origin:o p))
+  in
+  check (Point.v 12. 11.) (Some "Q1");
+  check (Point.v 9. 12.) (Some "Q2");
+  check (Point.v 8. 9.) (Some "Q3");
+  check (Point.v 11. 8.) (Some "Q4");
+  (* Axis-aligned neighbours land in exactly one quadrant. *)
+  check (Point.v 12. 10.) (Some "Q1") (* due east: dx>0, dy=0 *);
+  check (Point.v 10. 12.) (Some "Q2") (* due north: dx=0, dy>0 *);
+  check (Point.v 8. 10.) (Some "Q3") (* due west *);
+  check (Point.v 10. 8.) (Some "Q4") (* due south *);
+  check o None
+
+let test_quadrant_indices () =
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "roundtrip" true (Quadrant.of_index (Quadrant.to_index q) = q))
+    Quadrant.all;
+  Alcotest.check_raises "bad index" (Invalid_argument "Quadrant.of_index: 4") (fun () ->
+      ignore (Quadrant.of_index 4))
+
+let gen_points =
+  QCheck2.Gen.(
+    list_size (int_range 3 40)
+      (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.))
+    |> map (fun l -> Array.of_list (List.map (fun (x, y) -> Point.v x y) l)))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+(* Point-in-convex-polygon test via cross products (hull is CCW). *)
+let inside_hull hull p =
+  let arr = Array.of_list hull in
+  let n = Array.length arr in
+  if n < 3 then true
+  else
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let a = arr.(i) and b = arr.((i + 1) mod n) in
+      if Point.cross a b p < -1e-7 then ok := false
+    done;
+    !ok
+
+let props =
+  [
+    prop "hull contains every input point" gen_points (fun pts ->
+        let hull = Hull.convex_hull pts in
+        Array.for_all (fun p -> inside_hull hull p) pts);
+    prop "extreme points are on the hull" gen_points (fun pts ->
+        let marks = Hull.on_hull pts in
+        let argmax f =
+          let best = ref 0 in
+          Array.iteri (fun i p -> if f p > f pts.(!best) then best := i) pts;
+          !best
+        in
+        marks.(argmax (fun p -> p.Point.x))
+        && marks.(argmax (fun p -> p.Point.y))
+        && marks.(argmax (fun p -> -.p.Point.x))
+        && marks.(argmax (fun p -> -.p.Point.y)));
+    prop "hull is convex (all CCW turns)" gen_points (fun pts ->
+        let hull = Array.of_list (Hull.convex_hull pts) in
+        let n = Array.length hull in
+        n < 3
+        ||
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if
+            Point.cross hull.(i) hull.((i + 1) mod n) hull.((i + 2) mod n) < -1e-7
+          then ok := false
+        done;
+        !ok);
+    prop "quadrant duality: v in Q_i(u) iff u in opp(Q_i)(v)"
+      QCheck2.Gen.(
+        quad (float_bound_inclusive 10.) (float_bound_inclusive 10.)
+          (float_bound_inclusive 10.) (float_bound_inclusive 10.))
+      (fun (x1, y1, x2, y2) ->
+        let u = Point.v x1 y1 and v = Point.v x2 y2 in
+        match Quadrant.classify ~origin:u v with
+        | None -> Quadrant.classify ~origin:v u = None
+        | Some q -> Quadrant.classify ~origin:v u = Some (Quadrant.opposite q));
+    prop "every distinct point is in exactly one quadrant"
+      QCheck2.Gen.(
+        quad (float_bound_inclusive 10.) (float_bound_inclusive 10.)
+          (float_bound_inclusive 10.) (float_bound_inclusive 10.))
+      (fun (x1, y1, x2, y2) ->
+        let u = Point.v x1 y1 and v = Point.v x2 y2 in
+        if Point.equal u v then Quadrant.classify ~origin:u v = None
+        else Quadrant.classify ~origin:u v <> None);
+  ]
+
+let () =
+  Alcotest.run "geom"
+    [
+      ( "point",
+        [
+          Alcotest.test_case "dist" `Quick test_dist;
+          Alcotest.test_case "cross" `Quick test_cross;
+        ] );
+      ( "hull",
+        [
+          Alcotest.test_case "square" `Quick test_hull_square;
+          Alcotest.test_case "collinear" `Quick test_hull_collinear;
+          Alcotest.test_case "small" `Quick test_hull_small;
+          Alcotest.test_case "duplicates" `Quick test_hull_duplicates;
+        ] );
+      ( "quadrant",
+        [
+          Alcotest.test_case "classify" `Quick test_quadrants;
+          Alcotest.test_case "indices" `Quick test_quadrant_indices;
+        ] );
+      ("properties", props);
+    ]

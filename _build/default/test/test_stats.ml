@@ -1,0 +1,73 @@
+module Stats = Mlbs_util.Stats
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  Alcotest.check feq "singleton" 7. (Stats.mean [ 7. ])
+
+let test_stddev () =
+  Alcotest.check feq "constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  (* Population stddev of {2,4,4,4,5,5,7,9} is exactly 2. *)
+  Alcotest.check feq "known" 2. (Stats.stddev [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ])
+
+let test_median () =
+  Alcotest.check feq "odd" 3. (Stats.median [ 5.; 3.; 1. ]);
+  Alcotest.check feq "even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ])
+
+let test_summarize () =
+  let s = Stats.summarize [ 3.; 1.; 2. ] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.check feq "mean" 2. s.Stats.mean;
+  Alcotest.check feq "min" 1. s.Stats.min;
+  Alcotest.check feq "max" 3. s.Stats.max;
+  Alcotest.check feq "median" 2. s.Stats.median
+
+let test_empty () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty sample") (fun () ->
+      ignore (Stats.mean []))
+
+let test_improvement () =
+  Alcotest.check feq "half" 0.5 (Stats.improvement ~baseline:10. ~ours:5.);
+  Alcotest.check feq "none" 0. (Stats.improvement ~baseline:4. ~ours:4.);
+  Alcotest.check feq "regression negative" (-1.) (Stats.improvement ~baseline:2. ~ours:4.);
+  Alcotest.check_raises "bad baseline"
+    (Invalid_argument "Stats.improvement: non-positive baseline") (fun () ->
+      ignore (Stats.improvement ~baseline:0. ~ours:1.))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let gen_sample =
+  QCheck2.Gen.(list_size (int_range 1 40) (float_bound_inclusive 1000.))
+
+let props =
+  [
+    prop "mean within [min,max]" gen_sample (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.min <= s.Stats.mean +. 1e-9 && s.Stats.mean <= s.Stats.max +. 1e-9);
+    prop "median within [min,max]" gen_sample (fun xs ->
+        let s = Stats.summarize xs in
+        s.Stats.min <= s.Stats.median && s.Stats.median <= s.Stats.max);
+    prop "stddev nonnegative" gen_sample (fun xs -> Stats.stddev xs >= 0.);
+    prop "mean shift-equivariant" gen_sample (fun xs ->
+        let shifted = List.map (( +. ) 10.) xs in
+        abs_float (Stats.mean shifted -. (Stats.mean xs +. 10.)) < 1e-6);
+    prop "stddev shift-invariant" gen_sample (fun xs ->
+        let shifted = List.map (( +. ) 10.) xs in
+        abs_float (Stats.stddev shifted -. Stats.stddev xs) < 1e-6);
+  ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "median" `Quick test_median;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "improvement" `Quick test_improvement;
+        ] );
+      ("properties", props);
+    ]

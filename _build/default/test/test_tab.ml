@@ -1,0 +1,69 @@
+module Tab = Mlbs_util.Tab
+
+let test_render () =
+  let t = Tab.create ~title:"demo" [ "a"; "bb" ] in
+  Tab.add_row t [ "1"; "2" ];
+  Tab.add_row t [ "333"; "4" ];
+  let rendered = Tab.render t in
+  Alcotest.(check bool) "has title" true (String.length rendered > 0 && String.sub rendered 0 4 = "demo");
+  (* Every data line must have the same width (aligned columns). *)
+  let lines = String.split_on_char '\n' rendered |> List.filter (fun l -> l <> "") in
+  let widths = List.map String.length (List.tl lines) in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_cell_count_checked () =
+  let t = Tab.create ~title:"" [ "a"; "b" ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Tab.add_row: 3 cells for 2 headers")
+    (fun () -> Tab.add_row t [ "1"; "2"; "3" ])
+
+let test_no_headers () =
+  Alcotest.check_raises "no headers" (Invalid_argument "Tab.create: no headers") (fun () ->
+      ignore (Tab.create ~title:"" []))
+
+let test_csv () =
+  let t = Tab.create ~title:"ignored" [ "x"; "y" ] in
+  Tab.add_row t [ "1"; "he,llo" ];
+  Tab.add_row t [ "2"; "quo\"te" ];
+  Alcotest.(check string) "csv" "x,y\n1,\"he,llo\"\n2,\"quo\"\"te\"\n" (Tab.to_csv t)
+
+let test_float_row () =
+  let t = Tab.create ~title:"" [ "label"; "v1"; "v2" ] in
+  Tab.add_float_row t ~label:"row" [ 1.234; 5. ];
+  Alcotest.(check string) "csv of floats" "label,v1,v2\nrow,1.23,5.00\n" (Tab.to_csv t)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen f)
+
+let props =
+  [
+    prop "csv line count = rows + 1"
+      QCheck2.Gen.(
+        list_size (int_bound 20) (pair (small_string ?gen:None) (small_string ?gen:None)))
+      (fun rows ->
+        let t = Tab.create ~title:"t" [ "a"; "b" ] in
+        List.iter (fun (a, b) -> Tab.add_row t [ a; b ]) rows;
+        let csv = Tab.to_csv t in
+        (* Count logical records: quoted newlines stay inside quotes, so
+           split on unquoted newlines only. *)
+        let records = ref 1 and in_quotes = ref false in
+        String.iter
+          (fun c ->
+            if c = '"' then in_quotes := not !in_quotes
+            else if c = '\n' && not !in_quotes then incr records)
+          (String.sub csv 0 (String.length csv - 1));
+        !records = List.length rows + 1);
+  ]
+
+let () =
+  Alcotest.run "tab"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "cell count" `Quick test_cell_count_checked;
+          Alcotest.test_case "no headers" `Quick test_no_headers;
+          Alcotest.test_case "csv quoting" `Quick test_csv;
+          Alcotest.test_case "float row" `Quick test_float_row;
+        ] );
+      ("properties", props);
+    ]

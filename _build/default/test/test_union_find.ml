@@ -1,0 +1,67 @@
+module Union_find = Mlbs_util.Union_find
+
+let test_basic () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "initial classes" 5 (Union_find.count uf);
+  Alcotest.(check bool) "distinct" false (Union_find.same uf 0 1);
+  Alcotest.(check bool) "merge" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "merged" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "re-merge is no-op" false (Union_find.union uf 1 0);
+  Alcotest.(check int) "count after one merge" 4 (Union_find.count uf)
+
+let test_transitivity () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 3 4);
+  Alcotest.(check bool) "0~2" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "3~4" true (Union_find.same uf 3 4);
+  Alcotest.(check bool) "0!~3" false (Union_find.same uf 0 3);
+  Alcotest.(check int) "classes" 3 (Union_find.count uf)
+
+let test_class_sizes () =
+  let uf = Union_find.create 4 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 0 2);
+  let sizes = List.sort compare (List.map snd (Union_find.class_sizes uf)) in
+  Alcotest.(check (list int)) "sizes" [ 1; 3 ] sizes
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen f)
+
+let props =
+  [
+    prop "count = n - successful merges"
+      QCheck2.Gen.(list (pair (int_bound 19) (int_bound 19)))
+      (fun pairs ->
+        let uf = Union_find.create 20 in
+        let merges =
+          List.fold_left
+            (fun acc (i, j) -> if Union_find.union uf i j then acc + 1 else acc)
+            0 pairs
+        in
+        Union_find.count uf = 20 - merges);
+    prop "same iff equal find"
+      QCheck2.Gen.(list (pair (int_bound 9) (int_bound 9)))
+      (fun pairs ->
+        let uf = Union_find.create 10 in
+        List.iter (fun (i, j) -> ignore (Union_find.union uf i j)) pairs;
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun j ->
+                Union_find.same uf i j = (Union_find.find uf i = Union_find.find uf j))
+              (List.init 10 Fun.id))
+          (List.init 10 Fun.id));
+  ]
+
+let () =
+  Alcotest.run "union_find"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "transitivity" `Quick test_transitivity;
+          Alcotest.test_case "class sizes" `Quick test_class_sizes;
+        ] );
+      ("properties", props);
+    ]
