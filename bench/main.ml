@@ -5,9 +5,19 @@
      dune exec bench/main.exe                 # everything, full sweep
      dune exec bench/main.exe -- --quick      # reduced sweep
      dune exec bench/main.exe -- fig3 table2  # selected targets
+     dune exec bench/main.exe -- --jobs 4 fig3  # 4 worker domains
 
    Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 ablation micro
-   (default: all). *)
+   (default: all).
+
+   Flags: --quick (reduced sweep), --jobs N (worker domains, default
+   all cores), --json FILE (machine-readable timings, default
+   BENCH_1.json), --no-json.
+
+   Unless --no-json is given, the harness writes per-section wall-clock
+   (figures additionally re-run at jobs=1 for a parallel-speedup
+   baseline, with a byte-identity check on the rendered output) plus the
+   Bechamel ns/run estimates. *)
 
 module Config = Mlbs_workload.Config
 module Figures = Mlbs_workload.Figures
@@ -18,54 +28,93 @@ module Model = Mlbs_core.Model
 module Scheduler = Mlbs_core.Scheduler
 module Emodel = Mlbs_core.Emodel
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Bitset = Mlbs_util.Bitset
+
+(* Monotonic nanoseconds (CLOCK_MONOTONIC via bechamel's stubs), so
+   section timings survive wall-clock adjustments mid-run. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let section title =
   let bar = String.make 72 '=' in
   Printf.printf "%s\n%s\n%s\n%!" bar title bar
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   f ();
-  Printf.printf "(%.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+  let dt = now_s () -. t0 in
+  Printf.printf "(%.1fs)\n\n%!" dt;
+  dt
+
+(* One row of BENCH_1.json: wall-clock at the configured jobs, plus the
+   jobs=1 comparison run for figure sweeps. *)
+type entry = { name : string; seconds : float; seconds_jobs1 : float option }
+
+let log : entry list ref = ref []
+
+let record name ?seconds_jobs1 seconds =
+  log := { name; seconds; seconds_jobs1 } :: !log
 
 (* ------------------------ paper tables ----------------------------- *)
 
-let run_table n render =
+let run_table n target render =
   section (Printf.sprintf "Table %s (fixture walkthrough)" n);
-  timed (fun () -> print_string (render ()))
+  record target (timed (fun () -> print_string (render ())))
 
 (* ------------------------ paper figures ---------------------------- *)
 
-let run_figure cfg name build =
-  section (Printf.sprintf "%s (density sweep: %s seeds x %s node counts)"
-             (String.capitalize_ascii name)
-             (string_of_int (List.length cfg.Config.seeds))
-             (string_of_int (List.length cfg.Config.node_counts)));
-  timed (fun () -> print_string (Report.render_figure (build cfg)))
+let run_figure cfg ~compare_jobs1 name build =
+  section
+    (Printf.sprintf "%s (density sweep: %s seeds x %s node counts, jobs=%d)"
+       (String.capitalize_ascii name)
+       (string_of_int (List.length cfg.Config.seeds))
+       (string_of_int (List.length cfg.Config.node_counts))
+       cfg.Config.jobs);
+  let rendered = ref "" in
+  let dt =
+    timed (fun () ->
+        rendered := Report.render_figure (build cfg);
+        print_string !rendered)
+  in
+  let dt1 =
+    if (not compare_jobs1) || cfg.Config.jobs <= 1 then None
+    else begin
+      (* Silent re-run on one domain: the speedup baseline, and a live
+         check of the pool's determinism guarantee. *)
+      let t0 = now_s () in
+      let rendered1 = Report.render_figure (build { cfg with Config.jobs = 1 }) in
+      let dt1 = now_s () -. t0 in
+      if rendered1 <> !rendered then
+        Printf.printf "WARNING: %s output differs between jobs=%d and jobs=1\n%!" name
+          cfg.Config.jobs;
+      Some dt1
+    end
+  in
+  record name ?seconds_jobs1:dt1 dt
 
 (* -------------------------- ablations ------------------------------ *)
 
 let run_ablation cfg =
-  section "Ablations (DESIGN.md design choices)";
-  timed (fun () ->
-      let small = { cfg with Config.seeds = [ 1; 2; 3 ] } in
-      Mlbs_util.Tab.print (Ablation.selector_table small ~n:150);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.wake_family_table small ~n:100 ~rate:10);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.lookahead_table small ~n:150);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.relay_set_table small ~n:150);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.localized_table small ~n:150 ~rate:None);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.localized_table small ~n:100 ~rate:(Some 10));
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.shape_table small ~n:150);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.protocol_table small ~n:150);
-      print_newline ();
-      Mlbs_util.Tab.print (Ablation.resilience_table small ~n:150 ~kill_fraction:0.1))
+  section (Printf.sprintf "Ablations (DESIGN.md design choices, jobs=%d)" cfg.Config.jobs);
+  record "ablation"
+    (timed (fun () ->
+         let small = { cfg with Config.seeds = [ 1; 2; 3 ] } in
+         Mlbs_util.Tab.print (Ablation.selector_table small ~n:150);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.wake_family_table small ~n:100 ~rate:10);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.lookahead_table small ~n:150);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.relay_set_table small ~n:150);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.localized_table small ~n:150 ~rate:None);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.localized_table small ~n:100 ~rate:(Some 10));
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.shape_table small ~n:150);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.protocol_table small ~n:150);
+         print_newline ();
+         Mlbs_util.Tab.print (Ablation.resilience_table small ~n:150 ~kill_fraction:0.1)))
 
 (* ------------------------ bechamel micro --------------------------- *)
 
@@ -80,7 +129,24 @@ let micro_tests cfg =
   let source = inst.Experiment.source in
   let run model policy () = ignore (Scheduler.run model policy ~source ~start:1) in
   let budget = cfg.Config.budget in
+  (* Conflict-test kernel, old vs new: the paper's predicate
+     N(u) ∩ N(v) ∩ W̄ ≠ ∅ on two adjacent relays of the n=150 instance,
+     as one allocating intersection versus the fused word-wise probe. *)
+  let g = Mlbs_wsn.Network.graph net in
+  let u = source in
+  let v = (Mlbs_graph.Graph.neighbors g u).(0) in
+  let nu = Mlbs_graph.Graph.neighbor_set g u in
+  let nv = Mlbs_graph.Graph.neighbor_set g v in
+  let w = Model.initial_w sync_model ~source in
+  let ubar = Bitset.complement w in
   [
+    Test.make ~name:"kernel/conflict-test old (inter alloc)"
+      (Staged.stage (fun () -> ignore (Bitset.intersects (Bitset.inter nu nv) ubar)));
+    Test.make ~name:"kernel/conflict-test new (intersects3)"
+      (Staged.stage (fun () -> ignore (Bitset.intersects3 nu nv ubar)));
+    Test.make ~name:"kernel/hop lower bound (scratch BFS)"
+      (Staged.stage (fun () ->
+           ignore (Mlbs_core.Mcounter.hop_lower_bound sync_model ~w)));
     Test.make ~name:"fig3/26-approx" (Staged.stage (run sync_model Scheduler.Baseline));
     Test.make ~name:"fig3/G-OPT" (Staged.stage (run sync_model (Scheduler.Gopt budget)));
     Test.make ~name:"fig3/E-model" (Staged.stage (run sync_model Scheduler.Emodel));
@@ -110,43 +176,124 @@ let micro_tests cfg =
 
 let run_micro cfg =
   section "Bechamel micro-benchmarks (one scheduling run, n=150)";
-  timed (fun () ->
-      let open Bechamel in
-      let test = Test.make_grouped ~name:"mlbs" (micro_tests cfg) in
-      let instances = Toolkit.Instance.[ monotonic_clock ] in
-      let cfg_b = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
-      let raw = Benchmark.all cfg_b instances test in
-      let ols =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          Toolkit.Instance.monotonic_clock raw
-      in
-      let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
-      List.iter
-        (fun (name, result) ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-40s %14.0f ns/run\n" name est
-          | _ -> Printf.printf "  %-40s (no estimate)\n" name)
-        (List.sort compare rows))
+  let estimates = ref [] in
+  let dt =
+    timed (fun () ->
+        let open Bechamel in
+        let test = Test.make_grouped ~name:"mlbs" (micro_tests cfg) in
+        let instances = Toolkit.Instance.[ monotonic_clock ] in
+        let cfg_b = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
+        let raw = Benchmark.all cfg_b instances test in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+            Toolkit.Instance.monotonic_clock raw
+        in
+        let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) ols [] in
+        List.iter
+          (fun (name, result) ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                estimates := (name, est) :: !estimates;
+                Printf.printf "  %-44s %14.0f ns/run\n" name est
+            | _ -> Printf.printf "  %-44s (no estimate)\n" name)
+          (List.sort compare rows))
+  in
+  record "micro" dt;
+  List.sort compare !estimates
+
+(* --------------------------- JSON dump ----------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path ~quick ~jobs ~total entries micro =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"recommended_domains\": %d,\n" (Mlbs_util.Pool.default_jobs ());
+  p "  \"total_seconds\": %.3f,\n" total;
+  p "  \"sections\": [\n";
+  List.iteri
+    (fun i e ->
+      p "    {\"name\": \"%s\", \"seconds\": %.3f" (json_escape e.name) e.seconds;
+      (match e.seconds_jobs1 with
+      | Some s -> p ", \"seconds_jobs1\": %.3f" s
+      | None -> ());
+      p "}%s\n" (if i = List.length entries - 1 then "" else ","))
+    entries;
+  p "  ],\n";
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" (json_escape name) est
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ----------------------------- main -------------------------------- *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse targets jobs json = function
+    | [] -> (List.rev targets, jobs, json)
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> parse targets (Some j) json rest
+        | _ -> failwith (Printf.sprintf "bad --jobs value %S" v))
+    | [ "--jobs" ] -> failwith "--jobs needs a value"
+    | "--json" :: v :: rest -> parse targets jobs (Some v) rest
+    | [ "--json" ] -> failwith "--json needs a value"
+    | "--no-json" :: rest -> parse targets jobs None rest
+    | a :: rest -> parse (a :: targets) jobs json rest
+  in
+  let args, jobs, json =
+    parse [] None (Some "BENCH_1.json") (List.tl (Array.to_list Sys.argv))
+  in
   let quick = List.mem "--quick" args in
   let targets = List.filter (fun a -> a <> "--quick") args in
   let targets = if targets = [] then [ "all" ] else targets in
+  let known =
+    [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "micro" ]
+  in
+  (match List.filter (fun t -> not (List.mem t known)) targets with
+  | [] -> ()
+  | bad ->
+      failwith
+        (Printf.sprintf "unknown target(s): %s (expected: %s)" (String.concat ", " bad)
+           (String.concat "|" known)));
   let want t = List.mem t targets || List.mem "all" targets in
   let cfg = if quick then Config.quick else Config.default in
-  let total0 = Unix.gettimeofday () in
-  if want "table2" then run_table "II" Figures.table2;
-  if want "table3" then run_table "III" Figures.table3;
-  if want "table4" then run_table "IV" Figures.table4;
-  if want "fig3" then run_figure cfg "fig3" Figures.fig3;
-  if want "fig4" then run_figure cfg "fig4" Figures.fig4;
-  if want "fig5" then run_figure cfg "fig5" Figures.fig5;
-  if want "fig6" then run_figure cfg "fig6" Figures.fig6;
-  if want "fig7" then run_figure cfg "fig7" Figures.fig7;
+  let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
+  let compare_jobs1 = json <> None in
+  let total0 = now_s () in
+  if want "table2" then run_table "II" "table2" Figures.table2;
+  if want "table3" then run_table "III" "table3" Figures.table3;
+  if want "table4" then run_table "IV" "table4" Figures.table4;
+  if want "fig3" then run_figure cfg ~compare_jobs1 "fig3" Figures.fig3;
+  if want "fig4" then run_figure cfg ~compare_jobs1 "fig4" Figures.fig4;
+  if want "fig5" then run_figure cfg ~compare_jobs1 "fig5" Figures.fig5;
+  if want "fig6" then run_figure cfg ~compare_jobs1 "fig6" Figures.fig6;
+  if want "fig7" then run_figure cfg ~compare_jobs1 "fig7" Figures.fig7;
   if want "ablation" then run_ablation cfg;
-  if want "micro" then run_micro cfg;
-  Printf.printf "total: %.1fs\n" (Unix.gettimeofday () -. total0)
+  let micro = if want "micro" then run_micro cfg else [] in
+  let total = now_s () -. total0 in
+  Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
+  match json with
+  | Some path -> write_json path ~quick ~jobs:cfg.Config.jobs ~total (List.rev !log) micro
+  | None -> ()

@@ -262,8 +262,9 @@ let localized_cmd =
 
 (* -------------------------- experiment ----------------------------- *)
 
-let experiment figure quick csv_dir =
+let experiment figure quick jobs csv_dir =
   let cfg = if quick then Config.quick else Config.default in
+  let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
   let figures =
     match figure with
     | "fig3" -> [ Figures.fig3 cfg ]
@@ -295,6 +296,22 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep (3 node counts, 2 seeds).")
   in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> Ok j
+      | _ -> Error (`Msg (Printf.sprintf "expected an integer >= 1, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some jobs_conv) None
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:
+            "Worker domains for the sweep (default: all cores). Output is \
+             byte-identical at any setting.")
+  in
   let csv_arg =
     Arg.(
       value & opt (some string) None
@@ -302,7 +319,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
-    Term.(const experiment $ figure_arg $ quick_arg $ csv_arg)
+    Term.(const experiment $ figure_arg $ quick_arg $ jobs_arg $ csv_arg)
 
 let () =
   let info =

@@ -9,63 +9,42 @@ type evaluation = { finish : int; exact : bool; states : int }
 
 exception Exhausted
 
+(* ------------------------------------------------------------------ *)
+(* Hop lower bound: multi-source BFS into a domain-local workspace.    *)
+(* The scratch is keyed per domain (not global) so parallel sweeps in  *)
+(* the experiment pool never race on it; it is resized lazily when the *)
+(* node count changes between instances.                               *)
+(* ------------------------------------------------------------------ *)
+
+type scratch = { bfs : Bfs.scratch; ubar : Bitset.t }
+
+let scratch_key : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local_scratch n =
+  let slot = Domain.DLS.get scratch_key in
+  match !slot with
+  | Some sc when Bfs.scratch_capacity sc.bfs = n -> sc
+  | _ ->
+      let sc = { bfs = Bfs.scratch n; ubar = Bitset.create n } in
+      slot := Some sc;
+      sc
+
 let hop_lower_bound model ~w =
   if Model.complete model ~w then 0
   else begin
-    let r = Bfs.run_multi (Model.graph model) ~sources:(Bitset.elements w) in
-    let ubar = Bitset.complement w in
-    Bfs.max_dist_in r ~within:ubar
+    let sc = local_scratch (Model.n_nodes model) in
+    Bfs.run_multi_into sc.bfs (Model.graph model) ~sources:w;
+    Bitset.complement_into ~into:sc.ubar w;
+    Bfs.max_dist_from sc.bfs ~within:sc.ubar
   end
 
 let check_reachable model ~w =
   if hop_lower_bound model ~w = max_int then
     failwith "Mcounter: some node is unreachable from the informed set"
 
-(* Rank successors: fewest remaining hops first, then most coverage, then
-   enumeration order (stable sort keeps it deterministic). *)
-let ranked_successors model choices ~w =
-  let scored =
-    List.map
-      (fun c ->
-        let w' = Model.apply model ~w ~senders:c in
-        let lb = hop_lower_bound model ~w:w' in
-        (lb, -Bitset.cardinal w', c, w'))
-      choices
-  in
-  List.stable_sort
-    (fun (lb1, cov1, _, _) (lb2, cov2, _, _) ->
-      if lb1 <> lb2 then compare lb1 lb2 else compare cov1 cov2)
-    scored
-  |> List.map (fun (lb, _, c, w') -> (lb, c, w'))
-
 (* ------------------------------------------------------------------ *)
-(* Deterministic rollout: a cheap, always-terminating upper bound.     *)
-(* ------------------------------------------------------------------ *)
-
-let rollout_step model space ~w ~slot =
-  match Model.next_active_slot model ~w ~after:(slot - 1) with
-  | None -> None
-  | Some t' -> (
-      match Choices.enumerate model space ~w ~slot:t' with
-      | [] -> None
-      | choices -> (
-          match ranked_successors model choices ~w with
-          | (_, c, w') :: _ -> Some (t', c, w')
-          | [] -> None))
-
-let rollout_finish model space ~w ~slot =
-  check_reachable model ~w;
-  let rec loop w slot last =
-    if Model.complete model ~w then last
-    else
-      match rollout_step model space ~w ~slot with
-      | None -> failwith "Mcounter.rollout_finish: stuck before completion"
-      | Some (t', _, w') -> loop w' (t' + 1) t'
-  in
-  loop w slot (slot - 1)
-
-(* ------------------------------------------------------------------ *)
-(* Exact memoised branch-and-bound.                                    *)
+(* Memo tables.                                                        *)
 (* ------------------------------------------------------------------ *)
 
 module Wtbl = Hashtbl.Make (struct
@@ -82,8 +61,77 @@ module Wstbl = Hashtbl.Make (struct
   let hash (w, s) = Bitset.hash w lxor (s * 0x9e3779b1)
 end)
 
+(* The hop lower bound depends only on the informed set, so one memo
+   (keyed by the successor bitset) is shared across the whole search:
+   sibling branches reaching the same [W'] stop recomputing identical
+   BFS frontiers. *)
+type lb_memo = int Wtbl.t
+
+let lb_cached (memo : lb_memo) model ~w =
+  match Wtbl.find_opt memo w with
+  | Some v -> v
+  | None ->
+      let v = hop_lower_bound model ~w in
+      Wtbl.add memo w v;
+      v
+
+(* Rank successors: fewest remaining hops first, then most coverage, then
+   enumeration order (stable sort keeps it deterministic). *)
+let ranked_successors model choices ~w ~lb_memo =
+  let scored =
+    List.map
+      (fun c ->
+        let w' = Model.apply model ~w ~senders:c in
+        let lb = lb_cached lb_memo model ~w:w' in
+        (lb, -Bitset.cardinal w', c, w'))
+      choices
+  in
+  List.stable_sort
+    (fun (lb1, cov1, _, _) (lb2, cov2, _, _) ->
+      if lb1 <> lb2 then compare lb1 lb2 else compare cov1 cov2)
+    scored
+  |> List.map (fun (lb, _, c, w') -> (lb, c, w'))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic rollout: a cheap, always-terminating upper bound.     *)
+(* ------------------------------------------------------------------ *)
+
+let rollout_step model space ~w ~slot ~lb_memo =
+  match Model.next_active_slot model ~w ~after:(slot - 1) with
+  | None -> None
+  | Some t' -> (
+      match Choices.enumerate model space ~w ~slot:t' with
+      | [] -> None
+      | choices -> (
+          match ranked_successors model choices ~w ~lb_memo with
+          | (_, c, w') :: _ -> Some (t', c, w')
+          | [] -> None))
+
+let rollout_finish_memo model space ~w ~slot ~lb_memo =
+  check_reachable model ~w;
+  let rec loop w slot last =
+    if Model.complete model ~w then last
+    else
+      match rollout_step model space ~w ~slot ~lb_memo with
+      | None -> failwith "Mcounter.rollout_finish: stuck before completion"
+      | Some (t', _, w') -> loop w' (t' + 1) t'
+  in
+  loop w slot (slot - 1)
+
+let rollout_finish model space ~w ~slot =
+  rollout_finish_memo model space ~w ~slot ~lb_memo:(Wtbl.create 256)
+
+(* ------------------------------------------------------------------ *)
+(* Exact memoised branch-and-bound.                                    *)
+(* ------------------------------------------------------------------ *)
+
 (* Sync: remaining advance count depends on W only. *)
-type sync_search = { memo : int Wtbl.t; mutable states : int; budget : budget }
+type sync_search = {
+  memo : int Wtbl.t;
+  lb : lb_memo;
+  mutable states : int;
+  budget : budget;
+}
 
 let rec sync_remaining model space s ~w =
   if Model.complete model ~w then 0
@@ -93,7 +141,7 @@ let rec sync_remaining model space s ~w =
     | None ->
         let choices = Choices.enumerate model space ~w ~slot:1 in
         if choices = [] then failwith "Mcounter: no candidates before completion";
-        let succs = ranked_successors model choices ~w in
+        let succs = ranked_successors model choices ~w ~lb_memo:s.lb in
         let best = ref max_int in
         List.iter
           (fun (lb, _, w') ->
@@ -111,7 +159,12 @@ let rec sync_remaining model space s ~w =
 
 (* Async: finish time depends on (W, slot); idle gaps are skipped by
    jumping to the next slot at which some frontier node is awake. *)
-type async_search = { amemo : int Wstbl.t; mutable astates : int; abudget : budget }
+type async_search = {
+  amemo : int Wstbl.t;
+  alb : lb_memo;
+  mutable astates : int;
+  abudget : budget;
+}
 
 let rec async_finish model space s ~w ~slot =
   if Model.complete model ~w then slot - 1
@@ -126,7 +179,7 @@ let rec async_finish model space s ~w ~slot =
             let choices = Choices.enumerate model space ~w ~slot:t in
             if choices = [] then
               failwith "Mcounter: active slot without candidates";
-            let succs = ranked_successors model choices ~w in
+            let succs = ranked_successors model choices ~w ~lb_memo:s.alb in
             let best = ref max_int in
             List.iter
               (fun (lb, _, w') ->
@@ -154,15 +207,15 @@ let take k xs =
   in
   go (max 0 k) xs
 
-let rec lookahead_value model space ~budget ~w ~slot ~depth =
+let rec lookahead_value model space ~budget ~w ~slot ~depth ~lb_memo =
   if Model.complete model ~w then slot - 1
-  else if depth = 0 then rollout_finish model space ~w ~slot
+  else if depth = 0 then rollout_finish_memo model space ~w ~slot ~lb_memo
   else
     match Model.next_active_slot model ~w ~after:(slot - 1) with
     | None -> failwith "Mcounter: empty frontier before completion"
     | Some t -> (
         let choices = Choices.enumerate model space ~w ~slot:t in
-        let succs = take budget.beam (ranked_successors model choices ~w) in
+        let succs = take budget.beam (ranked_successors model choices ~w ~lb_memo) in
         match succs with
         | [] -> failwith "Mcounter: active slot without candidates"
         | _ ->
@@ -170,7 +223,7 @@ let rec lookahead_value model space ~budget ~w ~slot ~depth =
               (fun acc (_, _, w') ->
                 min acc
                   (lookahead_value model space ~budget ~w:w' ~slot:(t + 1)
-                     ~depth:(depth - 1)))
+                     ~depth:(depth - 1) ~lb_memo))
               max_int succs)
 
 (* ------------------------------------------------------------------ *)
@@ -179,25 +232,26 @@ let rec lookahead_value model space ~budget ~w ~slot ~depth =
 
 let evaluate model space ~budget ~w ~slot =
   check_reachable model ~w;
+  let lb_memo = Wtbl.create 4096 in
   match Model.system model with
   | Model.Sync -> (
-      let s = { memo = Wtbl.create 4096; states = 0; budget } in
+      let s = { memo = Wtbl.create 4096; lb = lb_memo; states = 0; budget } in
       try
         let r = sync_remaining model space s ~w in
         { finish = slot - 1 + r; exact = true; states = s.states }
       with Exhausted ->
         let finish =
-          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead
+          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead ~lb_memo
         in
         { finish; exact = false; states = s.states })
   | Model.Async _ -> (
-      let s = { amemo = Wstbl.create 4096; astates = 0; abudget = budget } in
+      let s = { amemo = Wstbl.create 4096; alb = lb_memo; astates = 0; abudget = budget } in
       try
         let finish = async_finish model space s ~w ~slot in
         { finish; exact = true; states = s.astates }
       with Exhausted ->
         let finish =
-          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead
+          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead ~lb_memo
         in
         { finish; exact = false; states = s.astates })
 
@@ -207,17 +261,18 @@ let evaluate model space ~budget ~w ~slot =
 let plan model space ~budget ~source ~start =
   let w0 = Model.initial_w model ~source in
   check_reachable model ~w:w0;
+  let lb_memo = Wtbl.create 4096 in
   let exact_scorer =
     match Model.system model with
     | Model.Sync -> (
-        let s = { memo = Wtbl.create 4096; states = 0; budget } in
+        let s = { memo = Wtbl.create 4096; lb = lb_memo; states = 0; budget } in
         try
           ignore (sync_remaining model space s ~w:w0);
           (* Budget held: score = t + remaining(w') - 1 for advance at t. *)
           Some (fun ~w' ~t -> t + sync_remaining model space s ~w:w')
         with Exhausted -> None)
     | Model.Async _ -> (
-        let s = { amemo = Wstbl.create 4096; astates = 0; abudget = budget } in
+        let s = { amemo = Wstbl.create 4096; alb = lb_memo; astates = 0; abudget = budget } in
         try
           ignore (async_finish model space s ~w:w0 ~slot:start);
           Some (fun ~w' ~t -> async_finish model space s ~w:w' ~slot:(t + 1))
@@ -225,6 +280,7 @@ let plan model space ~budget ~source ~start =
   in
   let fallback ~w' ~t =
     lookahead_value model space ~budget ~w:w' ~slot:(t + 1) ~depth:budget.lookahead
+      ~lb_memo
   in
   let score =
     match exact_scorer with
@@ -241,7 +297,7 @@ let plan model space ~budget ~source ~start =
       | None -> failwith "Mcounter.plan: empty frontier before completion"
       | Some t -> (
           let choices = Choices.enumerate model space ~w ~slot:t in
-          let succs = ranked_successors model choices ~w in
+          let succs = ranked_successors model choices ~w ~lb_memo in
           match succs with
           | [] -> failwith "Mcounter.plan: active slot without candidates"
           | _ ->

@@ -28,6 +28,52 @@ let run_multi g ~sources =
 
 let run g ~source = run_multi g ~sources:[ source ]
 
+(* ------------------------------------------------------------------ *)
+(* Reusable-scratch variant: the M-counter lower bound runs a
+   multi-source BFS per candidate successor, so the arrays are hoisted
+   into a caller-owned scratch and the frontier queue is a flat ring
+   (each node enqueues at most once, so capacity n suffices). *)
+
+type scratch = { sdist : int array; squeue : int array }
+
+let scratch n =
+  if n < 0 then invalid_arg "Bfs.scratch: negative capacity";
+  { sdist = Array.make (max 1 n) max_int; squeue = Array.make (max 1 n) 0 }
+
+let scratch_capacity sc = Array.length sc.sdist
+
+let run_multi_into sc g ~sources =
+  let n = Graph.n_nodes g in
+  if scratch_capacity sc < n then
+    invalid_arg "Bfs.run_multi_into: scratch smaller than graph";
+  Array.fill sc.sdist 0 n max_int;
+  let tail = ref 0 in
+  Bitset.iter
+    (fun s ->
+      sc.sdist.(s) <- 0;
+      sc.squeue.(!tail) <- s;
+      incr tail)
+    sources;
+  let head = ref 0 in
+  while !head < !tail do
+    let u = sc.squeue.(!head) in
+    incr head;
+    let du = sc.sdist.(u) + 1 in
+    Graph.iter_neighbors g u ~f:(fun v ->
+        if sc.sdist.(v) = max_int then begin
+          sc.sdist.(v) <- du;
+          sc.squeue.(!tail) <- v;
+          incr tail
+        end)
+  done
+
+let max_dist_from sc ~within =
+  Bitset.fold
+    (fun v acc ->
+      let d = sc.sdist.(v) in
+      if d = max_int || acc = max_int then max_int else max acc d)
+    within 0
+
 let layers g ~source =
   let r = run g ~source in
   let n = Graph.n_nodes g in

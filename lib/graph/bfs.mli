@@ -18,6 +18,27 @@ val run : Graph.t -> source:int -> result
     used to lower-bound remaining broadcast time from an informed set. *)
 val run_multi : Graph.t -> sources:int list -> result
 
+(** Caller-owned BFS workspace for the allocation-free variant below:
+    a distance array and a flat ring queue, both sized to the node
+    count. One scratch serves any number of successive runs. *)
+type scratch
+
+(** [scratch n] allocates a workspace for graphs of up to [n] nodes. *)
+val scratch : int -> scratch
+
+(** [scratch_capacity sc] is the node count [sc] was sized for. *)
+val scratch_capacity : scratch -> int
+
+(** [run_multi_into sc g ~sources] runs multi-source BFS from the member
+    set of [sources], writing hop distances into [sc] (no parents, no
+    allocation). Raises [Invalid_argument] if [sc] is too small. *)
+val run_multi_into : scratch -> Graph.t -> sources:Mlbs_util.Bitset.t -> unit
+
+(** [max_dist_from sc ~within] is the maximum distance recorded by the
+    last [run_multi_into] over the members of [within] — 0 when empty,
+    [max_int] if any member was not reached. *)
+val max_dist_from : scratch -> within:Mlbs_util.Bitset.t -> int
+
 (** [layers g ~source] groups nodes by hop distance: element [k] is the
     sorted list of nodes at distance [k]. Unreachable nodes are
     omitted. *)

@@ -220,8 +220,7 @@ let run ?max_slots model ~source ~start =
         a <> b
         &&
         match (Hashtbl.find_opt st.local_index a, Hashtbl.find_opt st.local_index b) with
-        | Some ia, Some ib ->
-            Bitset.intersects (Bitset.inter st.adj.(ia) st.adj.(ib)) uninformed
+        | Some ia, Some ib -> Bitset.intersects3 st.adj.(ia) st.adj.(ib) uninformed
         | _ -> false
       in
       let classes = Coloring.greedy ~order ~conflicts:conflict cands in
@@ -247,6 +246,16 @@ let run ?max_slots model ~source ~start =
     end
   in
 
+  (* Per-slot radio scratch, reused across slots: who sent, who is in
+     radio range of a sender (the sender set plus its neighbourhoods),
+     and how many senders cover each node — replacing the old
+     O(n·|senders|) [List.mem]/[mem_edge] scans with one pass over the
+     senders' adjacency lists and O(1) probes. *)
+  let graph = Model.graph model in
+  let sender_set = Bitset.create n in
+  let heard_set = Bitset.create n in
+  let sender_count = Array.make n 0 in
+  let last_sender = Array.make n (-1) in
   let rec loop slot =
     if Bitset.is_full truly_informed then slot - 1
     else if slot - start >= max_slots then
@@ -255,35 +264,38 @@ let run ?max_slots model ~source ~start =
     else begin
       beacon_phase ();
       let senders = List.filter (fun u -> decide u ~slot) (List.init n Fun.id) in
+      Bitset.clear sender_set;
+      Bitset.clear heard_set;
+      Array.fill sender_count 0 n 0;
+      List.iter
+        (fun u ->
+          Bitset.add sender_set u;
+          Bitset.add heard_set u;
+          Mlbs_graph.Graph.iter_neighbors graph u ~f:(fun v ->
+              Bitset.add heard_set v;
+              sender_count.(v) <- sender_count.(v) + 1;
+              last_sender.(v) <- u))
+        senders;
       (* Stall accounting: an eligible node that deferred and heard no
          data this slot edges toward its unconditional escalation. *)
-      let heard u =
-        List.exists
-          (fun s -> s = u || Mlbs_graph.Graph.mem_edge (Model.graph model) s u)
-          senders
-      in
       for u = 0 to n - 1 do
-        if List.mem u senders then states.(u).stalled <- 0
-        else if eligible u ~slot && not (heard u) then
+        if Bitset.mem sender_set u then states.(u).stalled <- 0
+        else if eligible u ~slot && not (Bitset.mem heard_set u) then
           states.(u).stalled <- states.(u).stalled + 1
-        else if heard u then states.(u).stalled <- 0
+        else if Bitset.mem heard_set u then states.(u).stalled <- 0
       done;
       if senders = [] then loop (slot + 1)
       else begin
         let received = ref [] in
         for v = 0 to n - 1 do
           if not (Bitset.mem truly_informed v) then begin
-            match
-              List.filter
-                (fun u -> Mlbs_graph.Graph.mem_edge (Model.graph model) u v)
-                senders
-            with
-            | [] -> ()
-            | [ u ] ->
+            match sender_count.(v) with
+            | 0 -> ()
+            | 1 ->
                 received := v :: !received;
                 let dst = states.(v) in
                 dst.has_msg <- true;
-                (belief_of dst u).holds <- true
+                (belief_of dst last_sender.(v)).holds <- true
             | _ -> incr collisions
           end
         done;

@@ -14,6 +14,8 @@ let cap s = s.capacity
 
 let copy s = { s with words = Array.copy s.words }
 
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
 let check s i op =
   if i < 0 || i >= s.capacity then
     invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" op i s.capacity)
@@ -45,8 +47,6 @@ let cardinal s = Array.fold_left (fun acc w -> acc + popcount_word w) 0 s.words
 let is_empty s =
   let rec loop i = i >= Array.length s.words || (s.words.(i) = 0 && loop (i + 1)) in
   loop 0
-
-let is_full s = cardinal s = s.capacity
 
 let same_cap a b op =
   if a.capacity <> b.capacity then
@@ -84,20 +84,57 @@ let last_word_mask capacity =
   let rem = capacity mod bits_per_word in
   if rem = 0 then (1 lsl bits_per_word) - 1 else (1 lsl rem) - 1
 
+let full_word = (1 lsl bits_per_word) - 1
+
+(* Word-wise comparison against the all-ones pattern: every word but the
+   last must be the full 63-bit mask, the last must match the capacity
+   mask. Short-circuits on the first hole instead of popcounting. *)
+let is_full s =
+  s.capacity = 0
+  ||
+  let n = Array.length s.words in
+  let rec loop i =
+    if i = n - 1 then s.words.(i) = last_word_mask s.capacity
+    else s.words.(i) = full_word && loop (i + 1)
+  in
+  loop 0
+
+let inter_into ~into src =
+  same_cap into src "inter_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land src.words.(i)
+  done
+
+let complement_into ~into src =
+  same_cap into src "complement_into";
+  let n = Array.length into.words in
+  for i = 0 to n - 1 do
+    into.words.(i) <- lnot src.words.(i) land full_word
+  done;
+  if src.capacity > 0 then into.words.(n - 1) <- into.words.(n - 1) land last_word_mask src.capacity
+  else into.words.(0) <- 0
+
 let complement s =
   let r = copy s in
-  let n = Array.length r.words in
-  for i = 0 to n - 1 do
-    r.words.(i) <- lnot r.words.(i) land ((1 lsl bits_per_word) - 1)
-  done;
-  if s.capacity > 0 then r.words.(n - 1) <- r.words.(n - 1) land last_word_mask s.capacity
-  else r.words.(0) <- 0;
+  complement_into ~into:r s;
   r
 
 let intersects a b =
   same_cap a b "intersects";
   let rec loop i =
     i < Array.length a.words && (a.words.(i) land b.words.(i) <> 0 || loop (i + 1))
+  in
+  loop 0
+
+(* Three-way emptiness test, word-wise: [a ∩ b ∩ c ≠ ∅] without
+   materialising the pairwise intersection — the paper's conflict
+   predicate [N(u) ∩ N(v) ∩ W̄ ≠ ∅] on the protocol hot path. *)
+let intersects3 a b c =
+  same_cap a b "intersects3";
+  same_cap a c "intersects3";
+  let rec loop i =
+    i < Array.length a.words
+    && (a.words.(i) land b.words.(i) land c.words.(i) <> 0 || loop (i + 1))
   in
   loop 0
 

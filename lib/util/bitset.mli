@@ -19,6 +19,9 @@ val cap : t -> int
 (** [copy s] is a fresh set equal to [s] that shares no storage with it. *)
 val copy : t -> t
 
+(** [clear s] empties [s] in place, keeping its capacity. *)
+val clear : t -> unit
+
 (** [add s i] sets bit [i]. Raises [Invalid_argument] when out of range. *)
 val add : t -> int -> unit
 
@@ -35,7 +38,9 @@ val cardinal : t -> int
 (** [is_empty s] is [cardinal s = 0], without counting every word. *)
 val is_empty : t -> bool
 
-(** [is_full s] is [true] iff every bit in [0 .. cap s - 1] is set. *)
+(** [is_full s] is [true] iff every bit in [0 .. cap s - 1] is set.
+    Word-wise against the all-ones masks, short-circuiting on the first
+    hole — O(words), no popcount. *)
 val is_full : t -> bool
 
 (** [union_into ~into src] adds every element of [src] to [into].
@@ -48,14 +53,28 @@ val union : t -> t -> t
 (** [inter a b] is a fresh set holding [a ∩ b]. *)
 val inter : t -> t -> t
 
+(** [inter_into ~into src] restricts [into] to [into ∩ src] in place,
+    allocation-free. The two sets must have the same capacity. *)
+val inter_into : into:t -> t -> unit
+
 (** [diff a b] is a fresh set holding [a \ b]. *)
 val diff : t -> t -> t
 
 (** [complement s] is a fresh set holding [{0..cap-1} \ s]. *)
 val complement : t -> t
 
+(** [complement_into ~into src] overwrites [into] with
+    [{0..cap-1} \ src] in place, allocation-free. The two sets must have
+    the same capacity ([into] may alias [src]). *)
+val complement_into : into:t -> t -> unit
+
 (** [intersects a b] is [true] iff [a ∩ b ≠ ∅], allocation-free. *)
 val intersects : t -> t -> bool
+
+(** [intersects3 a b c] is [true] iff [a ∩ b ∩ c ≠ ∅], word-wise and
+    allocation-free — equivalent to [intersects (inter a b) c] without
+    the intermediate set. *)
+val intersects3 : t -> t -> t -> bool
 
 (** [subset a b] is [true] iff every element of [a] is in [b]. *)
 val subset : t -> t -> bool

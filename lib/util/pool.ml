@@ -1,0 +1,114 @@
+(* Fixed-size domain pool with a mutex/condvar work queue.
+
+   Tasks are closures that record their own result (or exception) into a
+   slot of the submitting batch's result array, so the queue itself is
+   monomorphic and one pool serves batches of any type. Joins are
+   batch-granular: [map_on] blocks on [drained] until its [pending]
+   counter hits zero. Mutation of the result slots happens in worker
+   domains and is read by the submitter only after observing
+   [pending = 0] under the pool mutex, which establishes the necessary
+   happens-before edge. *)
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when the queue gains a task, or on shutdown *)
+  drained : Condition.t;  (* signalled when a batch's last task finishes *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work t.lock
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.lock (* stopping *)
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.lock;
+    task ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+(* Extract in index order so the lowest-indexed exception wins —
+   deterministic regardless of which worker hit it first. *)
+let collect results =
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error e) -> raise e
+      | None -> assert false (* batch drained: every slot was written *))
+    results
+
+let map_on t f input =
+  let len = Array.length input in
+  if len = 0 then [||]
+  else if t.jobs = 1 || len = 1 then Array.map f input
+  else begin
+    let results = Array.make len None in
+    let pending = ref len in
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map_on: pool is shut down"
+    end;
+    for i = 0 to len - 1 do
+      Queue.add
+        (fun () ->
+          let r = try Ok (f input.(i)) with e -> Error e in
+          Mutex.lock t.lock;
+          results.(i) <- Some r;
+          decr pending;
+          if !pending = 0 then Condition.broadcast t.drained;
+          Mutex.unlock t.lock)
+        t.queue
+    done;
+    Condition.broadcast t.work;
+    while !pending > 0 do
+      Condition.wait t.drained t.lock
+    done;
+    Mutex.unlock t.lock;
+    collect results
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ~jobs f input =
+  if jobs <= 1 || Array.length input <= 1 then Array.map f input
+  else with_pool ~jobs (fun t -> map_on t f input)
+
+let map_list ~jobs f xs = Array.to_list (map ~jobs f (Array.of_list xs))

@@ -1,0 +1,47 @@
+(** Fixed-size domain pool for embarrassingly parallel sweeps.
+
+    The experiment engine evaluates many independent (seed, node-count,
+    rate) instances; this pool fans them out over OCaml 5 domains while
+    keeping results in input order, so figure and table output is
+    byte-identical regardless of the worker count. Workers pull tasks
+    from a mutex/condition-variable work queue; the submitting domain
+    blocks until its whole batch has drained.
+
+    Determinism contract: [map] writes result [i] of input [i] — never
+    reordered by completion time — and when several tasks raise, the
+    exception of the lowest-indexed failing task is re-raised. *)
+
+type t
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()] — the
+    worker count used when no [--jobs] override is given. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs] spawns a pool of [max 1 jobs] workers. [jobs = 1]
+    spawns no domains at all: every batch runs inline on the caller. *)
+val create : jobs:int -> t
+
+(** [size t] is the worker count the pool was created with. *)
+val size : t -> int
+
+(** [map_on t f input] applies [f] to every element of [input] on the
+    pool and returns the results in input order. Exceptions raised by
+    [f] are captured and re-raised (lowest index first) after the batch
+    drains, so the pool is never poisoned by a failing task. *)
+val map_on : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [shutdown t] stops the workers and joins their domains. Idempotent;
+    [map_on] after [shutdown] raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] is [f pool] with creation and shutdown managed,
+    shutting down even when [f] raises. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** [map ~jobs f input] is a one-shot [with_pool]/[map_on]: the indexed
+    parallel map of the experiment engine. [jobs <= 1] computes inline
+    with no domain spawned. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ~jobs f xs] is [map] over a list, preserving order. *)
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

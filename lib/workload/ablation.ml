@@ -76,13 +76,16 @@ let plan_with_id_order model ~source ~start =
 
 (* --------------------------- tables -------------------------------- *)
 
+(* Per-seed measurements are independent; every table fans them out
+   through the experiment pool. Results come back in seed order, so the
+   means (and the rendered tables) are identical at any [jobs]. *)
+let seed_map cfg f = Mlbs_util.Pool.map_list ~jobs:cfg.Config.jobs f cfg.Config.seeds
+
 let mean_latency cfg ~n ~plan =
   Stats.mean
-    (List.map
-       (fun seed ->
+    (seed_map cfg (fun seed ->
          let inst = Experiment.make_instance cfg ~n ~seed in
-         float_of_int (Schedule.elapsed (plan ~seed inst)))
-       cfg.Config.seeds)
+         float_of_int (Schedule.elapsed (plan ~seed inst))))
 
 let selector_table cfg ~n =
   let tab =
@@ -144,12 +147,10 @@ let relay_set_table cfg ~n =
   in
   let stats plan_of =
     let runs =
-      List.map
-        (fun seed ->
+      seed_map cfg (fun seed ->
           let inst = Experiment.make_instance cfg ~n ~seed in
           let model = Model.create inst.Experiment.net Model.Sync in
           plan_of model ~source:inst.Experiment.source ~start:1)
-        cfg.Config.seeds
     in
     ( Stats.mean (List.map (fun p -> float_of_int (Schedule.elapsed p)) runs),
       Stats.mean (List.map (fun p -> float_of_int (Schedule.n_transmissions p)) runs) )
@@ -181,8 +182,7 @@ let localized_table cfg ~n ~rate =
       [ "protocol"; "latency"; "collisions"; "retransmissions" ]
   in
   let runs =
-    List.map
-      (fun seed ->
+    seed_map cfg (fun seed ->
         let inst = Experiment.make_instance cfg ~n ~seed in
         let model = Model.create inst.Experiment.net (system_of ~seed) in
         let local = Mlbs_core.Localized.run model ~source:inst.Experiment.source ~start:1 in
@@ -190,7 +190,6 @@ let localized_table cfg ~n ~rate =
           Emodel.plan model ~source:inst.Experiment.source ~start:1 |> Schedule.elapsed
         in
         (local, central))
-      cfg.Config.seeds
   in
   let meanf f = Stats.mean (List.map f runs) in
   Tab.add_float_row tab ~label:"localized (2-hop views)"
@@ -225,7 +224,7 @@ let shape_table cfg ~n =
         float_of_int
           (Schedule.elapsed (Mlbs_core.Scheduler.run model policy ~source ~start:1))
       in
-      let mean policy = Stats.mean (List.map (run policy) cfg.Config.seeds) in
+      let mean policy = Stats.mean (seed_map cfg (run policy)) in
       Tab.add_float_row tab ~label
         [
           mean Mlbs_core.Scheduler.Baseline;
@@ -246,9 +245,8 @@ let protocol_table cfg ~n =
       ~title:(Printf.sprintf "Protocol comparison, sync, n=%d (means over seeds)" n)
       [ "protocol"; "latency"; "collisions"; "retransmissions"; "coverage" ]
   in
-  let insts =
-    List.map (fun seed -> Experiment.make_instance cfg ~n ~seed) cfg.Config.seeds
-  in
+  let insts = seed_map cfg (fun seed -> Experiment.make_instance cfg ~n ~seed) in
+  let pmap f xs = Mlbs_util.Pool.map_list ~jobs:cfg.Config.jobs f xs in
   let row label runs =
     let m f = Stats.mean (List.map f runs) in
     Tab.add_float_row tab ~label
@@ -290,13 +288,13 @@ let protocol_table cfg ~n =
     let plan = Mlbs_core.Scheduler.run model policy ~source:inst.Experiment.source ~start:1 in
     (float_of_int (Schedule.elapsed plan), 0., 0., 1.)
   in
-  row "blind flooding (once)" (List.map (flood Mlbs_core.Flooding.Once) insts);
-  row "flooding (p = 0.3)" (List.map (flood (Mlbs_core.Flooding.Persistent 0.3)) insts);
-  row "localized (2-hop oracle)" (List.map localized insts);
-  row "distributed (beacons only)" (List.map distributed insts);
-  row "centralized E-model" (List.map (central Mlbs_core.Scheduler.Emodel) insts);
+  row "blind flooding (once)" (pmap (flood Mlbs_core.Flooding.Once) insts);
+  row "flooding (p = 0.3)" (pmap (flood (Mlbs_core.Flooding.Persistent 0.3)) insts);
+  row "localized (2-hop oracle)" (pmap localized insts);
+  row "distributed (beacons only)" (pmap distributed insts);
+  row "centralized E-model" (pmap (central Mlbs_core.Scheduler.Emodel) insts);
   row "centralized G-OPT"
-    (List.map (central (Mlbs_core.Scheduler.Gopt cfg.Config.budget)) insts);
+    (pmap (central (Mlbs_core.Scheduler.Gopt cfg.Config.budget)) insts);
   tab
 
 let resilience_table cfg ~n ~kill_fraction =
@@ -311,8 +309,7 @@ let resilience_table cfg ~n ~kill_fraction =
   in
   let coverage policy =
     Stats.mean
-      (List.map
-         (fun seed ->
+      (seed_map cfg (fun seed ->
            let inst = Experiment.make_instance cfg ~n ~seed in
            let model = Model.create inst.Experiment.net Model.Sync in
            let plan =
@@ -329,8 +326,7 @@ let resilience_table cfg ~n ~kill_fraction =
            let informed, alive =
              Mlbs_sim.Validate.surviving_coverage model ~failed plan
            in
-           float_of_int informed /. float_of_int alive)
-         cfg.Config.seeds)
+           float_of_int informed /. float_of_int alive))
   in
   List.iter
     (fun (label, policy) -> Tab.add_float_row tab ~label [ coverage policy ])

@@ -11,6 +11,7 @@ type t = {
   budget : Mcounter.budget;
   opt_max_sets : int;
   validate : bool;
+  jobs : int;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     budget = { Mcounter.max_states = 2_000; lookahead = 2; beam = 4 };
     opt_max_sets = 32;
     validate = true;
+    jobs = Mlbs_util.Pool.default_jobs ();
   }
 
 let quick =

@@ -14,6 +14,10 @@ type t = {
   budget : Mlbs_core.Mcounter.budget;  (** M-search budget for OPT/G-OPT *)
   opt_max_sets : int;  (** color-set enumeration cap for OPT *)
   validate : bool;  (** radio-replay every schedule *)
+  jobs : int;
+      (** worker domains for the experiment pool; instances fan out over
+          [jobs] domains with byte-identical output at any setting
+          (default: [Mlbs_util.Pool.default_jobs ()]) *)
 }
 
 (** The paper's full sweep: n ∈ {50,100,150,200,250,300}, 5 seeds. *)

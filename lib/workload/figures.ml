@@ -16,15 +16,30 @@ type figure = {
 }
 
 (* Collect one figure point (a node count): run every seed, average per
-   policy, and also report the mean analytical bound via [bound_of_d]. *)
+   policy, and also report the mean analytical bound via [bound_of_d].
+
+   Every (node count, seed) instance is independent, so the whole sweep
+   fans out through the domain pool in one flat batch — [Pool.map]
+   returns results in input order, so regrouping by node count (and
+   therefore the rendered figure) is byte-identical at any [jobs]. *)
 let sweep cfg ~run ~bounds =
-  let per_count n =
+  let instances =
+    Array.of_list
+      (List.concat_map
+         (fun n -> List.map (fun seed -> (n, seed)) cfg.Config.seeds)
+         cfg.Config.node_counts)
+  in
+  let outcomes =
+    Mlbs_util.Pool.map ~jobs:cfg.Config.jobs
+      (fun (n, seed) ->
+        let inst = Experiment.make_instance cfg ~n ~seed in
+        (run seed inst, inst.Experiment.d))
+      instances
+  in
+  let n_seeds = List.length cfg.Config.seeds in
+  let per_count i _n =
     let runs_and_ds =
-      List.map
-        (fun seed ->
-          let inst = Experiment.make_instance cfg ~n ~seed in
-          (run seed inst, inst.Experiment.d))
-        cfg.Config.seeds
+      Array.to_list (Array.sub outcomes (i * n_seeds) n_seeds)
     in
     let runs = List.map fst runs_and_ds in
     let ds = List.map snd runs_and_ds in
@@ -37,7 +52,7 @@ let sweep cfg ~run ~bounds =
     in
     policy_means @ bound_means
   in
-  let per_count_results = List.map per_count cfg.Config.node_counts in
+  let per_count_results = List.mapi per_count cfg.Config.node_counts in
   match per_count_results with
   | [] -> []
   | first :: _ ->

@@ -104,6 +104,39 @@ let props =
         let into = of_members a in
         Bitset.union_into ~into (of_members b);
         Bitset.elements into = sorted (a @ b));
+    (* In-place / fused kernels agree with their allocating originals. *)
+    prop "inter_into = inter" pair (fun (a, b) ->
+        let into = of_members a in
+        Bitset.inter_into ~into (of_members b);
+        Bitset.equal into (Bitset.inter (of_members a) (of_members b)));
+    prop "complement_into = complement" gen_members (fun xs ->
+        let s = of_members xs in
+        let into = of_members [ 0; 63; 64 ] in
+        Bitset.complement_into ~into s;
+        Bitset.equal into (Bitset.complement s));
+    prop "complement_into aliasing ok" gen_members (fun xs ->
+        let s = of_members xs in
+        let expect = Bitset.complement s in
+        Bitset.complement_into ~into:s s;
+        Bitset.equal s expect);
+    prop "intersects3 = intersects of inter"
+      (QCheck2.Gen.triple gen_members gen_members gen_members)
+      (fun (a, b, c) ->
+        Bitset.intersects3 (of_members a) (of_members b) (of_members c)
+        = Bitset.intersects (Bitset.inter (of_members a) (of_members b)) (of_members c));
+    prop "is_full = cardinal at capacity" gen_members (fun xs ->
+        (* Exercise both the sparse case and the genuinely-full case. *)
+        let s = of_members xs in
+        let full = Bitset.full capacity in
+        List.iter (Bitset.remove full) xs;
+        Bitset.union_into ~into:full s;
+        Bitset.is_full s = (Bitset.cardinal s = capacity)
+        && Bitset.is_full full
+        && (xs = [] || not (Bitset.is_full (Bitset.complement (of_members xs)))));
+    prop "clear empties in place" gen_members (fun xs ->
+        let s = of_members xs in
+        Bitset.clear s;
+        Bitset.is_empty s && Bitset.cap s = capacity);
   ]
 
 let () =

@@ -83,6 +83,28 @@ let test_layers () =
   let layers = Bfs.layers sample ~source:0 in
   Alcotest.(check (list (list int))) "layers" [ [ 0 ]; [ 1; 4 ]; [ 2; 3; 5 ] ] layers
 
+let test_bfs_scratch () =
+  (* The allocation-free variant agrees with [run_multi] and a scratch
+     survives reuse across graphs of different sizes. *)
+  let sc = Bfs.scratch 6 in
+  let check_against g sources =
+    let n = Graph.n_nodes g in
+    let r = Bfs.run_multi g ~sources in
+    Bfs.run_multi_into sc g ~sources:(Bitset.of_list n sources);
+    let everyone = Bitset.full n in
+    let expect =
+      Array.fold_left (fun acc d -> if d = max_int || acc = max_int then max_int else max acc d)
+        0 r.Bfs.dist
+    in
+    Alcotest.(check int) "max dist agrees" expect (Bfs.max_dist_from sc ~within:everyone)
+  in
+  check_against sample [ 0; 3 ];
+  check_against sample [ 2 ];
+  check_against (Graph.of_edges ~n:3 [ (0, 1) ]) [ 0 ];
+  Alcotest.check_raises "scratch too small"
+    (Invalid_argument "Bfs.run_multi_into: scratch smaller than graph") (fun () ->
+      Bfs.run_multi_into (Bfs.scratch 2) sample ~sources:(Bitset.of_list 6 [ 0 ]))
+
 let test_max_dist_in () =
   let r = Bfs.run sample ~source:0 in
   Alcotest.(check int) "subset max" 2 (Bfs.max_dist_in r ~within:(Bitset.of_list 6 [ 1; 3 ]));
@@ -226,6 +248,7 @@ let () =
           Alcotest.test_case "multi source" `Quick test_bfs_multi;
           Alcotest.test_case "unreachable" `Quick test_bfs_unreachable;
           Alcotest.test_case "layers" `Quick test_layers;
+          Alcotest.test_case "scratch variant" `Quick test_bfs_scratch;
           Alcotest.test_case "max_dist_in" `Quick test_max_dist_in;
         ] );
       ( "components",
