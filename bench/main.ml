@@ -6,13 +6,16 @@
      dune exec bench/main.exe -- --quick      # reduced sweep
      dune exec bench/main.exe -- fig3 table2  # selected targets
      dune exec bench/main.exe -- --jobs 4 fig3  # 4 worker domains
+     dune exec bench/main.exe -- --smoke      # CI-sized, no JSON
 
-   Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 ablation micro
-   (default: all).
+   Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 reliability
+   ablation micro (default: all).
 
-   Flags: --quick (reduced sweep), --jobs N (worker domains, default
-   all cores), --json FILE (machine-readable timings, default
-   BENCH_1.json), --no-json.
+   Flags: --quick (reduced sweep), --smoke (Config.smoke — the CI
+   gate: smallest sweep, JSON suppressed unless --json is given
+   explicitly), --jobs N (worker domains, default all cores),
+   --json FILE (machine-readable timings, default BENCH_1.json),
+   --no-json.
 
    Unless --no-json is given, the harness writes per-section wall-clock
    (figures additionally re-run at jobs=1 for a parallel-speedup
@@ -91,6 +94,33 @@ let run_figure cfg ~compare_jobs1 name build =
   in
   record name ?seconds_jobs1:dt1 dt
 
+(* Same shape for multi-chart sweeps (the reliability pair): render the
+   concatenation, cross-check the concatenation at jobs=1. *)
+let run_figure_group cfg ~compare_jobs1 name title build =
+  section (Printf.sprintf "%s (jobs=%d)" title cfg.Config.jobs);
+  let render cfg =
+    String.concat "\n" (List.map Report.render_figure (build cfg))
+  in
+  let rendered = ref "" in
+  let dt =
+    timed (fun () ->
+        rendered := render cfg;
+        print_string !rendered)
+  in
+  let dt1 =
+    if (not compare_jobs1) || cfg.Config.jobs <= 1 then None
+    else begin
+      let t0 = now_s () in
+      let rendered1 = render { cfg with Config.jobs = 1 } in
+      let dt1 = now_s () -. t0 in
+      if rendered1 <> !rendered then
+        Printf.printf "WARNING: %s output differs between jobs=%d and jobs=1\n%!" name
+          cfg.Config.jobs;
+      Some dt1
+    end
+  in
+  record name ?seconds_jobs1:dt1 dt
+
 (* -------------------------- ablations ------------------------------ *)
 
 let run_ablation cfg =
@@ -114,7 +144,10 @@ let run_ablation cfg =
          print_newline ();
          Mlbs_util.Tab.print (Ablation.protocol_table small ~n:150);
          print_newline ();
-         Mlbs_util.Tab.print (Ablation.resilience_table small ~n:150 ~kill_fraction:0.1)))
+         Mlbs_util.Tab.print (Ablation.resilience_table small ~n:150 ~kill_fraction:0.1);
+         print_newline ();
+         Mlbs_util.Tab.print
+           (Ablation.fault_table { small with Config.crash_fraction = 0.1 } ~n:100 ~loss:0.2)))
 
 (* ------------------------ bechamel micro --------------------------- *)
 
@@ -250,6 +283,8 @@ let write_json path ~quick ~jobs ~total entries micro =
 (* ----------------------------- main -------------------------------- *)
 
 let () =
+  (* [json] is [None] until --json/--no-json appears, so --smoke can
+     default to no file without overriding an explicit request. *)
   let rec parse targets jobs json = function
     | [] -> (List.rev targets, jobs, json)
     | "--jobs" :: v :: rest -> (
@@ -257,19 +292,24 @@ let () =
         | Some j when j >= 1 -> parse targets (Some j) json rest
         | _ -> failwith (Printf.sprintf "bad --jobs value %S" v))
     | [ "--jobs" ] -> failwith "--jobs needs a value"
-    | "--json" :: v :: rest -> parse targets jobs (Some v) rest
+    | "--json" :: v :: rest -> parse targets jobs (Some (Some v)) rest
     | [ "--json" ] -> failwith "--json needs a value"
-    | "--no-json" :: rest -> parse targets jobs None rest
+    | "--no-json" :: rest -> parse targets jobs (Some None) rest
     | a :: rest -> parse (a :: targets) jobs json rest
   in
-  let args, jobs, json =
-    parse [] None (Some "BENCH_1.json") (List.tl (Array.to_list Sys.argv))
-  in
+  let args, jobs, json_arg = parse [] None None (List.tl (Array.to_list Sys.argv)) in
   let quick = List.mem "--quick" args in
-  let targets = List.filter (fun a -> a <> "--quick") args in
+  let smoke = List.mem "--smoke" args in
+  let targets = List.filter (fun a -> a <> "--quick" && a <> "--smoke") args in
+  let json =
+    match json_arg with
+    | Some j -> j
+    | None -> if smoke then None else Some "BENCH_1.json"
+  in
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
-    [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "micro" ]
+    [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
+      "reliability"; "ablation"; "micro" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -278,7 +318,9 @@ let () =
         (Printf.sprintf "unknown target(s): %s (expected: %s)" (String.concat ", " bad)
            (String.concat "|" known)));
   let want t = List.mem t targets || List.mem "all" targets in
-  let cfg = if quick then Config.quick else Config.default in
+  let cfg =
+    if smoke then Config.smoke else if quick then Config.quick else Config.default
+  in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
   let compare_jobs1 = json <> None in
   let total0 = now_s () in
@@ -290,6 +332,12 @@ let () =
   if want "fig5" then run_figure cfg ~compare_jobs1 "fig5" Figures.fig5;
   if want "fig6" then run_figure cfg ~compare_jobs1 "fig6" Figures.fig6;
   if want "fig7" then run_figure cfg ~compare_jobs1 "fig7" Figures.fig7;
+  if want "reliability" then
+    run_figure_group cfg ~compare_jobs1 "reliability"
+      (Printf.sprintf "Reliability (loss sweep: %d rates x %d seeds)"
+         (List.length cfg.Config.loss_rates)
+         (List.length cfg.Config.seeds))
+      Figures.fig_reliability;
   if want "ablation" then run_ablation cfg;
   let micro = if want "micro" then run_micro cfg else [] in
   let total = now_s () -. total0 in

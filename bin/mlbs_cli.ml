@@ -260,10 +260,121 @@ let localized_cmd =
        ~doc:"Simulate the localized (future-work) protocol and compare to centralized")
     Term.(const localized $ nodes_arg $ seed_arg $ rate_arg)
 
+(* ---------------------------- faults ------------------------------- *)
+
+let faults n seed rate loss crash fault_seed jitter sweep =
+  let cfg =
+    {
+      Config.default with
+      Config.node_counts = [ n ];
+      seeds = [ seed ];
+      crash_fraction = crash;
+      fault_seed;
+    }
+  in
+  if sweep then begin
+    List.iter
+      (fun f ->
+        print_string (Report.render_figure f);
+        print_newline ())
+      (Figures.fig_reliability cfg);
+    0
+  end
+  else begin
+    let module Experiment = Mlbs_workload.Experiment in
+    let module Tab = Mlbs_util.Tab in
+    let inst = Experiment.make_instance cfg ~n ~seed in
+    let ms = Experiment.run_faulty cfg ?rate ~inst_seed:seed ~jitter ~loss inst in
+    Printf.printf "fault plan: loss=%.2f crash=%.2f jitter=%d fault-seed=0x%X (n=%d seed=%d%s)\n"
+      loss crash jitter fault_seed n seed
+      (match rate with None -> ", sync" | Some r -> Printf.sprintf ", r=%d" r);
+    let tab =
+      Tab.create ~title:"Graceful degradation under the fault plan"
+        [ "policy"; "delivery"; "latency"; "stretch"; "retransmissions"; "energy" ]
+    in
+    List.iter
+      (fun (m : Experiment.fault_measurement) ->
+        Tab.add_float_row tab ~label:m.Experiment.policy
+          [
+            m.Experiment.delivery;
+            m.Experiment.latency;
+            m.Experiment.stretch;
+            float_of_int m.Experiment.retransmissions;
+            m.Experiment.energy_overhead;
+          ])
+      ms;
+    Tab.print tab;
+    (* Independent audit: replay the static schedules under the plan
+       and confirm every delivered reception was conflict-free. *)
+    let system =
+      match rate with
+      | None -> Model.Sync
+      | Some r ->
+          Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed:(seed * 104729) ())
+    in
+    let model = Model.create inst.Experiment.net system in
+    let plan_faults = Experiment.fault_plan cfg ~inst_seed:seed ~jitter ~loss inst in
+    let ok =
+      List.for_all
+        (fun (label, policy) ->
+          let schedule =
+            Scheduler.run model policy ~source:inst.Experiment.source ~start:1
+          in
+          let fr = Validate.check_under_faults model ~faults:plan_faults schedule in
+          Printf.printf "%s: conflict-free under faults: %s (%d/%d alive delivered, %d lost)\n"
+            label
+            (if fr.Validate.ok then "yes" else "NO")
+            fr.Validate.delivered fr.Validate.alive fr.Validate.lost;
+          List.iter (Printf.printf "  %s\n") fr.Validate.violations;
+          fr.Validate.ok)
+        [
+          ("G-OPT", Scheduler.Gopt cfg.Config.budget);
+          ("E-model", Scheduler.Emodel);
+        ]
+    in
+    if ok then 0 else 1
+  end
+
+let faults_cmd =
+  let loss_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "loss" ] ~docv:"P" ~doc:"Per-link Bernoulli packet-loss probability.")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "crash" ] ~docv:"F"
+          ~doc:"Fraction of non-source nodes crashed during the broadcast (0 disables).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 0xFA17
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Master seed of the fault plan.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter" ] ~docv:"J"
+          ~doc:"Max wake-slot clock drift per node (duty cycle only).")
+  in
+  let sweep_arg =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Print the full reliability sweep (delivery and stretch vs loss rate).")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Inject packet loss, crashes and clock jitter and measure degradation")
+    Term.(
+      const faults $ nodes_arg $ seed_arg $ rate_arg $ loss_arg $ crash_arg
+      $ fault_seed_arg $ jitter_arg $ sweep_arg)
+
 (* -------------------------- experiment ----------------------------- *)
 
-let experiment figure quick jobs csv_dir =
-  let cfg = if quick then Config.quick else Config.default in
+let experiment figure quick smoke jobs csv_dir =
+  let cfg = if smoke then Config.smoke else if quick then Config.quick else Config.default in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
   let figures =
     match figure with
@@ -272,11 +383,13 @@ let experiment figure quick jobs csv_dir =
     | "fig5" -> [ Figures.fig5 cfg ]
     | "fig6" -> [ Figures.fig6 cfg ]
     | "fig7" -> [ Figures.fig7 cfg ]
+    | "reliability" -> Figures.fig_reliability cfg
     | "all" ->
         [ Figures.fig3 cfg; Figures.fig4 cfg; Figures.fig5 cfg; Figures.fig6 cfg;
           Figures.fig7 cfg ]
+        @ Figures.fig_reliability cfg
     | other ->
-        Printf.eprintf "unknown figure %S (fig3..fig7|all)\n" other;
+        Printf.eprintf "unknown figure %S (fig3..fig7|reliability|all)\n" other;
         exit 2
   in
   List.iter
@@ -295,6 +408,14 @@ let experiment_cmd =
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep (3 node counts, 2 seeds).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Minimal sweep (one node count, one seed) sized for CI; takes precedence \
+             over $(b,--quick).")
   in
   let jobs_conv =
     let parse s =
@@ -319,7 +440,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
-    Term.(const experiment $ figure_arg $ quick_arg $ jobs_arg $ csv_arg)
+    Term.(const experiment $ figure_arg $ quick_arg $ smoke_arg $ jobs_arg $ csv_arg)
 
 let () =
   let info =
@@ -333,5 +454,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; schedule_cmd; trace_cmd; experiment_cmd; tree_cmd; energy_cmd;
-            localized_cmd;
+            localized_cmd; faults_cmd;
           ]))

@@ -19,11 +19,17 @@ let coin u slot p =
   let h = ((u * 0x9E3779B1) lxor (slot * 0x85EBCA77)) land max_int in
   float_of_int (h mod 1_000_000) /. 1_000_000. < p
 
-let run ?max_slots model variant ~source ~start =
+let run ?max_slots ?delivers ?alive model variant ~source ~start =
   (match variant with
   | Persistent p when p <= 0. || p > 1. ->
       invalid_arg "Flooding.run: persistence outside (0, 1]"
   | _ -> ());
+  (* Fault hooks (plain closures: core cannot depend on the simulator's
+     [Fault] plans). Defaults are the ideal radio. *)
+  let alive u ~slot = match alive with None -> true | Some f -> f ~slot u in
+  let delivered ~slot ~tx ~rx =
+    match delivers with None -> true | Some f -> f ~slot ~tx ~rx
+  in
   let g = Model.graph model in
   let n = Model.n_nodes model in
   let rate =
@@ -41,6 +47,7 @@ let run ?max_slots model variant ~source ~start =
   in
   let wants u ~slot =
     Bitset.mem !w u
+    && alive u ~slot
     && awake u ~slot
     && Model.n_receivers model ~w:!w u > 0
     &&
@@ -66,10 +73,12 @@ let run ?max_slots model variant ~source ~start =
       else begin
         let received = ref [] in
         for v = 0 to n - 1 do
-          if not (Bitset.mem !w v) then begin
+          if (not (Bitset.mem !w v)) && alive v ~slot then begin
+            (* A corrupted packet still interferes, so the hearer count
+               is taken before the per-link delivery roll. *)
             match List.filter (fun u -> Graph.mem_edge g u v) senders with
             | [] -> ()
-            | [ _ ] -> received := v :: !received
+            | [ u ] -> if delivered ~slot ~tx:u ~rx:v then received := v :: !received
             | _ -> incr collisions
           end
         done;

@@ -29,11 +29,27 @@ type result = {
   retransmissions : int;
 }
 
-(** [run ?max_slots model variant ~source ~start] simulates flooding.
-    [Once] stops when no transmission is pending; [Persistent] stops at
-    coverage or [max_slots] (default [64 * n * r]), whichever first —
-    running out of slots reports [covered = false] rather than raising,
-    since non-coverage is the phenomenon being measured. Raises
-    [Invalid_argument] for [Persistent p] outside (0, 1]. *)
+(** [run ?max_slots ?delivers ?alive model variant ~source ~start]
+    simulates flooding. [Once] stops when no transmission is pending;
+    [Persistent] stops at coverage or [max_slots] (default [64 * n * r]),
+    whichever first — running out of slots reports [covered = false]
+    rather than raising, since non-coverage is the phenomenon being
+    measured. Raises [Invalid_argument] for [Persistent p] outside
+    (0, 1].
+
+    [delivers] and [alive] are fault-injection hooks (see
+    [Mlbs_sim.Fault], which this layer cannot depend on): [alive]
+    excludes crashed nodes from sending and hearing; [delivers] decides
+    whether an otherwise collision-free reception actually delivers —
+    a corrupted packet still interferes. Defaults are the ideal radio,
+    leaving fault-free runs untouched. A permanently crashed pending
+    relay under [Once] idles the run out to [max_slots]. *)
 val run :
-  ?max_slots:int -> Model.t -> variant -> source:int -> start:int -> result
+  ?max_slots:int ->
+  ?delivers:(slot:int -> tx:int -> rx:int -> bool) ->
+  ?alive:(slot:int -> int -> bool) ->
+  Model.t ->
+  variant ->
+  source:int ->
+  start:int ->
+  result

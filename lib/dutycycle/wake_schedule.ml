@@ -6,7 +6,11 @@ type source =
   | Generated of { family : family; seed : int }
   | Explicit of int list array
 
-type t = { rate : int; n : int; source : source }
+type t = { rate : int; n : int; source : source; shift : int array option }
+
+(* A per-node translation of the wake sequence: node [u] is awake at
+   [slot] iff the base schedule is awake at [slot - shift.(u)]. *)
+let offset t u = match t.shift with None -> 0 | Some s -> s.(u)
 
 (* Stateless hash of (seed, node, k) -> 64-bit value, so any slot can be
    queried without materialising the schedule: this is the "predictable
@@ -26,7 +30,7 @@ let hash_mod seed node k m =
 let create ?(family = Uniform_per_frame) ~rate ~n_nodes ~seed () =
   if rate < 1 then invalid_arg "Wake_schedule.create: rate < 1";
   if n_nodes < 0 then invalid_arg "Wake_schedule.create: n_nodes < 0";
-  { rate; n = n_nodes; source = Generated { family; seed } }
+  { rate; n = n_nodes; source = Generated { family; seed }; shift = None }
 
 let of_explicit ~rate slots =
   if rate < 1 then invalid_arg "Wake_schedule.of_explicit: rate < 1";
@@ -42,7 +46,19 @@ let of_explicit ~rate slots =
       in
       check 0 l)
     slots;
-  { rate; n = Array.length slots; source = Explicit slots }
+  { rate; n = Array.length slots; source = Explicit slots; shift = None }
+
+let shifted t ~offsets =
+  if Array.length offsets <> t.n then
+    invalid_arg "Wake_schedule.shifted: offsets length mismatch";
+  if Array.for_all (( = ) 0) offsets then t
+  else
+    let combined =
+      match t.shift with
+      | None -> Array.copy offsets
+      | Some prev -> Array.mapi (fun u o -> o + prev.(u)) offsets
+    in
+    { t with shift = Some combined }
 
 let rate t = t.rate
 let n_nodes t = t.n
@@ -65,6 +81,7 @@ let explicit_awake t slots slot =
 
 let awake t u ~slot =
   check_node t u "awake";
+  let slot = slot - offset t u in
   if slot < 1 then false
   else
     match t.source with
@@ -77,7 +94,10 @@ let awake t u ~slot =
 
 let next_wake t u ~after =
   check_node t u "next_wake";
-  let after = max after 0 in
+  let off = offset t u in
+  let after = max (after - off) 0 in
+  off
+  +
   match t.source with
   | Explicit slots ->
       let rec scan = function

@@ -36,6 +36,16 @@ val create : ?family:family -> rate:int -> n_nodes:int -> seed:int -> unit -> t
     never run out. *)
 val of_explicit : rate:int -> int list array -> t
 
+(** [shifted t ~offsets] is [t] with node [u]'s wake sequence translated
+    by [offsets.(u)] slots (positive = later): the result is awake at
+    [slot] iff [t] is awake at [slot - offsets.(u)]. Composes with
+    earlier shifts. This is the wake-slot jitter primitive of the fault
+    model — a node whose clock drifted keeps its cycle rate but no
+    longer wakes when its neighbours' forecasts (computed from the
+    unshifted seed) expect it to. An all-zero [offsets] returns [t]
+    itself. Raises [Invalid_argument] on a length mismatch. *)
+val shifted : t -> offsets:int array -> t
+
 (** [rate t] is the cycle rate r. *)
 val rate : t -> int
 

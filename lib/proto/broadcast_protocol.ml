@@ -4,6 +4,7 @@ module Quadrant = Mlbs_geom.Quadrant
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
+module Fault = Mlbs_sim.Fault
 
 type stats = {
   schedule : Schedule.t;
@@ -12,6 +13,9 @@ type stats = {
   retransmissions : int;
   beacon_messages : int;
   e_messages : int;
+  delivered : int;
+  gave_up : int;
+  lost_packets : int;
 }
 
 (* What one node believes about another: message-holding is monotone
@@ -73,14 +77,21 @@ let backoff u attempts =
   let h = (u * 2654435761) lxor (attempts * 40503) in
   (h land max_int) mod window
 
-let run ?max_slots model ~source ~start =
+let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
   let n = Model.n_nodes model in
+  let fault_active = not (Fault.is_noop faults) in
+  (* Unbounded retries are safe fault-free (convergence is guaranteed);
+     under faults a partition would retry forever, so attempts default
+     to a bound and exhausting it is the per-node give-up. *)
+  let max_attempts =
+    match max_attempts with Some m -> m | None -> if fault_active then 8 else max_int
+  in
   let rate =
     match Model.system model with Model.Sync -> 1 | Model.Async s -> Wake_schedule.rate s
   in
   let max_slots = match max_slots with Some m -> m | None -> 64 * n * rate in
   let { Hello.views; messages = hello_messages } = Hello.discover (Model.network model) in
-  let e_result = E_protocol.construct model views in
+  let e_result = E_protocol.construct ~faults model views in
   let states =
     Array.init n (fun u ->
         let view = views.(u) in
@@ -116,19 +127,31 @@ let run ?max_slots model ~source ~start =
           stalled = 0;
         })
   in
+  (* Forecasts of neighbours' wake slots come from the published (base)
+     schedule; a node's own radio follows its true, possibly jittered,
+     clock. The gap between the two is exactly the fault being
+     injected — with zero jitter both schedules are the same value. *)
+  let self_sched =
+    match Model.system model with
+    | Model.Sync -> None
+    | Model.Async sched -> Some (Fault.jittered faults sched)
+  in
   let awake u ~slot =
     match Model.system model with
     | Model.Sync -> true
     | Model.Async sched -> Wake_schedule.awake sched u ~slot
+  in
+  let awake_self u ~slot =
+    match self_sched with None -> true | Some sched -> Wake_schedule.awake sched u ~slot
   in
   let nth_wake u t k =
     let rec go t k =
       if k <= 0 then t
       else
         let t' =
-          match Model.system model with
-          | Model.Sync -> t + 1
-          | Model.Async sched -> Wake_schedule.next_wake sched u ~after:t
+          match self_sched with
+          | None -> t + 1
+          | Some sched -> Wake_schedule.next_wake sched u ~after:t
         in
         go t' (k - 1)
     in
@@ -136,12 +159,13 @@ let run ?max_slots model ~source ~start =
   in
   let beacon_messages = ref hello_messages in
   let collisions = ref 0 in
+  let lost_packets = ref 0 in
   let steps = ref [] in
   (* Ground truth, used by the radio and the stop condition only. *)
   let truly_informed = Bitset.create n in
   Bitset.add truly_informed source;
 
-  let beacon_phase () =
+  let beacon_phase ~slot =
     (* Each node broadcasts (holds, requests, score) for itself plus a
        digest of its 1-hop beliefs; neighbours integrate. Digests are
        applied first so first-hand data wins within the slot. *)
@@ -161,35 +185,57 @@ let run ?max_slots model ~source ~start =
     in
     Array.iteri
       (fun u st ->
-        incr beacon_messages;
         ignore st;
-        Array.iter
-          (fun v ->
-            let dst = states.(v) in
-            let id, holds, requests, score, digest = payloads.(u) in
-            List.iter
-              (fun (w, h, r, s) ->
-                if w <> v then begin
-                  let b = belief_of dst w in
-                  b.holds <- b.holds || h;
-                  (* Second-hand counts only fill in 2-hop nodes. *)
-                  if not (Array.exists (( = ) w) dst.view.Hello.neighbors) then begin
-                    b.requests <- r;
-                    b.score <- s
-                  end
-                end)
-              digest;
-            let b = belief_of dst id in
-            b.holds <- b.holds || holds;
-            b.requests <- requests;
-            b.score <- score)
-          states.(u).view.Hello.neighbors)
+        if (not fault_active) || Fault.alive faults ~slot u then begin
+          incr beacon_messages;
+          Array.iter
+            (fun v ->
+              if
+                (not fault_active)
+                || (Fault.alive faults ~slot v
+                   && Fault.delivers ~channel:1 ~slot ~tx:u ~rx:v faults)
+              then begin
+                let dst = states.(v) in
+                let id, holds, requests, score, digest = payloads.(u) in
+                List.iter
+                  (fun (w, h, r, s) ->
+                    if w <> v then begin
+                      let is_nbr = Array.exists (( = ) w) dst.view.Hello.neighbors in
+                      let b = belief_of dst w in
+                      (* Under faults, a node's holdership can regress
+                         (crash + recovery loses the message), so
+                         second-hand claims about a direct neighbour —
+                         whose own beacons are authoritative and arrive
+                         here first-hand — are ignored rather than
+                         monotonically believed. Fault-free the two
+                         rules coincide: a digest only ever lags the
+                         first-hand beacon it was built from. *)
+                      if (not fault_active) || not is_nbr then b.holds <- b.holds || h;
+                      (* Second-hand counts only fill in 2-hop nodes. *)
+                      if not is_nbr then begin
+                        b.requests <- r;
+                        b.score <- s
+                      end
+                    end)
+                  digest;
+                let b = belief_of dst id in
+                if fault_active then b.holds <- holds else b.holds <- b.holds || holds;
+                b.requests <- requests;
+                b.score <- score
+              end)
+            states.(u).view.Hello.neighbors
+        end)
       states
   in
 
   let eligible u ~slot =
     let st = states.(u) in
-    st.has_msg && awake u ~slot && st.silent_until <= slot && own_requests st > 0
+    st.has_msg
+    && ((not fault_active) || Fault.alive faults ~slot u)
+    && awake_self u ~slot
+    && st.silent_until <= slot
+    && own_requests st > 0
+    && st.attempts < max_attempts
   in
   let decide u ~slot =
     let st = states.(u) in
@@ -256,13 +302,69 @@ let run ?max_slots model ~source ~start =
   let heard_set = Bitset.create n in
   let sender_count = Array.make n 0 in
   let last_sender = Array.make n (-1) in
+  (* A recovering node rejoins with amnesia: no message (unless it is
+     the source, which re-originates), no beliefs, a fresh retry
+     budget. Its neighbours re-learn its true state from its first
+     authoritative beacon and the unresolved requests pull the relays
+     back into the greedy re-coloring. *)
+  let recoveries =
+    if not fault_active then []
+    else
+      List.filter_map
+        (fun (c : Fault.crash) ->
+          match c.Fault.recover with Some r -> Some (r, c.Fault.node) | None -> None)
+        (Fault.spec faults).Fault.crashes
+  in
+  let last_recovery = List.fold_left (fun acc (r, _) -> max acc r) 0 recoveries in
+  let revive node =
+    let st = states.(node) in
+    Hashtbl.reset st.beliefs;
+    st.has_msg <- node = source;
+    st.attempts <- 0;
+    st.silent_until <- 0;
+    st.stalled <- 0;
+    if node <> source then Bitset.remove truly_informed node
+  in
+  let all_alive_informed slot =
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      if Fault.alive faults ~slot u && not (Bitset.mem truly_informed u) then ok := false
+    done;
+    !ok
+  in
+  let progress_possible slot =
+    let any = ref false in
+    Array.iteri
+      (fun u st ->
+        if
+          Fault.alive faults ~slot u
+          && st.has_msg
+          && st.attempts < max_attempts
+          && own_requests st > 0
+        then any := true)
+      states;
+    !any
+  in
   let rec loop slot =
-    if Bitset.is_full truly_informed then slot - 1
+    let finished =
+      if fault_active then slot > last_recovery && all_alive_informed slot
+      else Bitset.is_full truly_informed
+    in
+    if finished then slot - 1
     else if slot - start >= max_slots then
-      failwith
-        (Printf.sprintf "Broadcast_protocol.run: no coverage within %d slots" max_slots)
+      if fault_active then slot - 1
+      else
+        failwith
+          (Printf.sprintf "Broadcast_protocol.run: no coverage within %d slots" max_slots)
+    else if fault_active && slot > last_recovery && not (progress_possible slot) then
+      (* Give-up: every remaining request is unservable — the holders
+         that could satisfy it are dead, partitioned away, or out of
+         retries — and no recovery is pending that could change that. *)
+      slot - 1
     else begin
-      beacon_phase ();
+      if fault_active then
+        List.iter (fun (r, node) -> if r = slot then revive node) recoveries;
+      beacon_phase ~slot;
       let senders = List.filter (fun u -> decide u ~slot) (List.init n Fun.id) in
       Bitset.clear sender_set;
       Bitset.clear heard_set;
@@ -288,14 +390,24 @@ let run ?max_slots model ~source ~start =
       else begin
         let received = ref [] in
         for v = 0 to n - 1 do
-          if not (Bitset.mem truly_informed v) then begin
+          if
+            (not (Bitset.mem truly_informed v))
+            && ((not fault_active) || Fault.alive faults ~slot v)
+          then begin
             match sender_count.(v) with
             | 0 -> ()
             | 1 ->
-                received := v :: !received;
-                let dst = states.(v) in
-                dst.has_msg <- true;
-                (belief_of dst last_sender.(v)).holds <- true
+                (* Lone audible sender: the per-link roll decides
+                   whether the payload survives. A corrupted copy
+                   delivers nothing — the unresolved request shows up
+                   in the next beacons and triggers a retransmission. *)
+                if Fault.delivers ~slot ~tx:last_sender.(v) ~rx:v faults then begin
+                  received := v :: !received;
+                  let dst = states.(v) in
+                  dst.has_msg <- true;
+                  (belief_of dst last_sender.(v)).holds <- true
+                end
+                else incr lost_packets
             | _ -> incr collisions
           end
         done;
@@ -319,6 +431,18 @@ let run ?max_slots model ~source ~start =
   let retransmissions =
     Array.fold_left (fun acc st -> acc + max 0 (st.attempts - 1)) 0 states
   in
+  (* End-state accounting: a node is counted iff it survives every
+     crash window of the plan, so delivery ratios computed against the
+     plan's own end-state alive count never exceed 1. *)
+  let delivered = ref 0 and gave_up = ref 0 in
+  Array.iter
+    (fun st ->
+      let u = st.view.Hello.id in
+      if (not fault_active) || Fault.alive faults ~slot:max_int u then begin
+        if Bitset.mem truly_informed u then incr delivered;
+        if st.attempts >= max_attempts && own_requests st > 0 then incr gave_up
+      end)
+    states;
   {
     schedule;
     latency = finish - start + 1;
@@ -326,4 +450,7 @@ let run ?max_slots model ~source ~start =
     retransmissions;
     beacon_messages = !beacon_messages;
     e_messages = e_result.E_protocol.messages;
+    delivered = !delivered;
+    gave_up = !gave_up;
+    lost_packets = !lost_packets;
   }

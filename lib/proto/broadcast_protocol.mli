@@ -37,10 +37,42 @@ type stats = {
   retransmissions : int;
   beacon_messages : int;  (** control-channel broadcasts *)
   e_messages : int;  (** announcements spent building E (Theorem 3) *)
+  delivered : int;
+      (** nodes informed and alive in the plan's end state (once every
+          crash window has been applied) *)
+  gave_up : int;
+      (** alive holders that exhausted their retry budget with
+          requests still outstanding *)
+  lost_packets : int;  (** collision-free data receptions erased by loss *)
 }
 
-(** [run ?max_slots model ~source ~start] discovers neighbourhoods
-    ({!Hello}), builds E distributedly ({!E_protocol}), then runs the
-    broadcast. Raises [Failure] when the protocol has not covered the
-    network within [max_slots] (default [64 * n * r]). *)
-val run : ?max_slots:int -> Mlbs_core.Model.t -> source:int -> start:int -> stats
+(** [run ?max_slots ?faults ?max_attempts model ~source ~start]
+    discovers neighbourhoods ({!Hello}), builds E distributedly
+    ({!E_protocol}), then runs the broadcast. Raises [Failure] when the
+    protocol has not covered the network within [max_slots] (default
+    [64 * n * r]) — fault-free only; under an active fault plan running
+    out of slots ends the run with partial delivery instead, since
+    non-coverage is then the phenomenon being measured.
+
+    [faults] (default {!Mlbs_sim.Fault.none}, a strict no-op) injects
+    the plan into every layer: per-link loss on the data radio
+    (channel 0), the beacons (channel 1) and the E construction
+    (channel 2); crashes silence a node and a recovering node rejoins
+    with amnesia — its neighbours' unresolved requests, surfaced by the
+    beacons (the implicit ACK stream), pull relays back into the greedy
+    re-coloring exactly like a lagged relay; wake jitter desynchronises
+    a node's true radio clock from the published schedule its
+    neighbours forecast with. The run ends when every alive node is
+    informed, or when no alive holder with outstanding requests and
+    remaining retries exists (give-up).
+
+    [max_attempts] bounds data transmissions per node (default: 8 when
+    the plan is active, unbounded otherwise). *)
+val run :
+  ?max_slots:int ->
+  ?faults:Mlbs_sim.Fault.t ->
+  ?max_attempts:int ->
+  Mlbs_core.Model.t ->
+  source:int ->
+  start:int ->
+  stats

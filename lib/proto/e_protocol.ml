@@ -1,12 +1,22 @@
 module Quadrant = Mlbs_geom.Quadrant
 module Model = Mlbs_core.Model
 module Emodel = Mlbs_core.Emodel
+module Fault = Mlbs_sim.Fault
 
-type result = { values : int array array; rounds : int; messages : int }
+type result = {
+  values : int array array;
+  rounds : int;
+  messages : int;
+  retransmissions : int;
+}
 
 let infinity_ = max_int
 
-let construct ?(cwt_frames = 4) model views =
+(* How many rounds an announcer keeps retrying undelivered copies of one
+   tuple before giving those neighbours up. *)
+let retry_cap = 16
+
+let construct ?(cwt_frames = 4) ?(faults = Fault.none) model views =
   let n = Array.length views in
   if n <> Model.n_nodes model then invalid_arg "E_protocol.construct: view count mismatch";
   (* Each node's quadrant partition of its neighbours, from its own
@@ -55,38 +65,70 @@ let construct ?(cwt_frames = 4) model views =
     done;
     !changed
   in
-  let messages = ref 0 and rounds = ref 0 in
-  (* Initially, every node with a finite entry has something to say. *)
+  let fault_active = not (Fault.is_noop faults) in
+  let all_nbrs u = Array.to_list views.(u).Hello.neighbors in
+  let messages = ref 0 and rounds = ref 0 and retransmissions = ref 0 in
+  (* Pending copies are the implicit ACK state: an announcer re-sends
+     its tuple each round to the neighbours that have not yet received
+     it (under loss), up to [retry_cap] rounds per tuple. Fault-free,
+     every copy lands first try, so rounds/messages match the original
+     single-shot protocol exactly. Each entry is
+     (announcer, neighbours still owed the tuple, rounds tried). *)
   let to_announce = ref [] in
   for u = n - 1 downto 0 do
-    if Array.exists (fun x -> x <> infinity_) e.(u) then to_announce := u :: !to_announce
+    if Array.exists (fun x -> x <> infinity_) e.(u) then
+      to_announce := (u, all_nbrs u, 0) :: !to_announce
   done;
   while !to_announce <> [] do
     incr rounds;
-    (* Deliver announcements. *)
+    (* Deliver announcements; track the copies the channel corrupted. *)
+    let unresolved = ref [] in
     List.iter
-      (fun u ->
+      (fun (u, pending, tries) ->
         incr messages;
-        Array.iter
-          (fun v -> Hashtbl.replace known.(v) u (Array.copy e.(u)))
-          views.(u).Hello.neighbors)
+        if tries > 0 then incr retransmissions;
+        let missed =
+          List.filter
+            (fun v ->
+              if
+                (not fault_active)
+                || Fault.delivers ~channel:2 ~slot:!rounds ~tx:u ~rx:v faults
+              then begin
+                Hashtbl.replace known.(v) u (Array.copy e.(u));
+                false
+              end
+              else true)
+            pending
+        in
+        if missed <> [] && tries + 1 < retry_cap then
+          unresolved := (u, missed, tries + 1) :: !unresolved)
       !to_announce;
-    (* Everyone re-relaxes; improvements are announced next round. *)
-    let next = ref [] in
+    (* Everyone re-relaxes; improvements are announced next round. An
+       improved announcer's fresh tuple supersedes its unresolved
+       retries (the new copy goes to every neighbour anyway). *)
+    let improved = ref [] in
     for u = n - 1 downto 0 do
-      if relax u then next := u :: !next
+      if relax u then improved := u :: !improved
     done;
-    to_announce := !next
+    let keep =
+      List.filter (fun (u, _, _) -> not (List.mem u !improved)) (List.rev !unresolved)
+    in
+    to_announce := keep @ List.map (fun u -> (u, all_nbrs u, 0)) !improved
   done;
   (* The quadrant relations are DAGs with all sinks seeded, so every
-     value is finite at quiescence. *)
+     value is finite at quiescence — unless loss exhausted a tuple's
+     retries, in which case the node degrades to a conservative score
+     of 0 instead of aborting the deployment. *)
   Array.iteri
     (fun u tup ->
       Array.iteri
         (fun k x ->
           if x = infinity_ then
-            failwith
-              (Printf.sprintf "E_protocol.construct: node %d quadrant %d never settled" u k))
+            if fault_active then tup.(k) <- 0
+            else
+              failwith
+                (Printf.sprintf "E_protocol.construct: node %d quadrant %d never settled" u
+                   k))
         tup)
     e;
-  { values = e; rounds = !rounds; messages = !messages }
+  { values = e; rounds = !rounds; messages = !messages; retransmissions = !retransmissions }

@@ -18,10 +18,20 @@ type result = {
   values : int array array;  (** node -> quadrant index -> E *)
   rounds : int;  (** synchronous exchange rounds until quiescence *)
   messages : int;  (** tuple announcements sent in total *)
+  retransmissions : int;  (** announcements re-sent to recover lost copies *)
 }
 
-(** [construct ?cwt_frames model views] runs the protocol on the views
-    produced by {!Hello.discover}. Under [Async] the edge weights are
-    the same proactive CWT forecasts the centralized construction uses
-    (computable by a node from its neighbour's seed, §III). *)
-val construct : ?cwt_frames:int -> Mlbs_core.Model.t -> Hello.view array -> result
+(** [construct ?cwt_frames ?faults model views] runs the protocol on the
+    views produced by {!Hello.discover}. Under [Async] the edge weights
+    are the same proactive CWT forecasts the centralized construction
+    uses (computable by a node from its neighbour's seed, §III).
+
+    [faults] injects per-link loss on the construction's control stream
+    (channel 2 of the plan): an announcer keeps per-neighbour pending
+    copies — the implicit ACK — and re-sends each round until every
+    neighbour has the tuple or the retry budget is exhausted, after
+    which a value that never settled degrades to a conservative 0
+    instead of aborting. With a no-op plan the rounds and message
+    counts are identical to the loss-free protocol. *)
+val construct :
+  ?cwt_frames:int -> ?faults:Mlbs_sim.Fault.t -> Mlbs_core.Model.t -> Hello.view array -> result

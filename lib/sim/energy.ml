@@ -13,17 +13,30 @@ type report = {
   per_node : float array;
 }
 
-let charge ?(prices = default_prices) model schedule =
+let charge ?(prices = default_prices) ?(allow_resend = false) ?(faults = Fault.none)
+    model schedule =
   let n = Model.n_nodes model in
   let per_node = Array.make n 0. in
-  let outcome = Radio.replay model schedule in
+  let outcome = Radio.replay ~allow_resend ~faults model schedule in
+  (* Senders the replay silenced (crashed, message-less or jitter-asleep
+     under faults) spent no transmit energy. *)
+  let aired =
+    if Fault.is_noop faults then fun _ _ -> true
+    else begin
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (slot, u) -> Hashtbl.replace tbl (slot, u) ()) outcome.Radio.dropped;
+      fun slot u -> not (Hashtbl.mem tbl (slot, u))
+    end
+  in
   let tx_energy = ref 0. and rx_energy = ref 0. in
   List.iter
     (fun e ->
       List.iter
         (fun u ->
-          per_node.(u) <- per_node.(u) +. prices.tx;
-          tx_energy := !tx_energy +. prices.tx)
+          if aired e.Radio.slot u then begin
+            per_node.(u) <- per_node.(u) +. prices.tx;
+            tx_energy := !tx_energy +. prices.tx
+          end)
         e.Radio.senders;
       List.iter
         (fun v ->

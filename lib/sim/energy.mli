@@ -25,8 +25,18 @@ type report = {
   per_node : float array;  (** indexed by node id *)
 }
 
-(** [charge ?prices model schedule] replays the schedule on the radio
-    simulator and prices every transmission, reception and idle slot
-    between [start] and [finish]. Receptions are the radio's (a node
-    caught in a collision pays nothing — it decoded nothing). *)
-val charge : ?prices:prices -> Mlbs_core.Model.t -> Mlbs_core.Schedule.t -> report
+(** [charge ?prices ?allow_resend ?faults model schedule] replays the
+    schedule on the radio simulator and prices every transmission,
+    reception and idle slot between [start] and [finish]. Receptions are
+    the radio's (a node caught in a collision pays nothing — it decoded
+    nothing). Under a fault plan, senders the replay silenced (crashed,
+    message-less, jitter-asleep) pay no transmit energy, and corrupted
+    receptions pay nothing; with {!Fault.is_noop} the report is
+    byte-identical to the fault-free one. *)
+val charge :
+  ?prices:prices ->
+  ?allow_resend:bool ->
+  ?faults:Fault.t ->
+  Mlbs_core.Model.t ->
+  Mlbs_core.Schedule.t ->
+  report

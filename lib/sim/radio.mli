@@ -8,7 +8,12 @@
     transmissions collide at their common neighbour and deliver
     nothing. Senders must hold the message, be awake (duty cycle), and
     transmit at most once overall (each relay's neighbourhood empties
-    after its cast, so a correct scheduler never re-sends). *)
+    after its cast, so a correct scheduler never re-sends).
+
+    With a {!Fault} plan the same replay also models packet corruption
+    (a lost packet still interferes but cannot deliver), node crashes
+    (a dead node neither sends nor hears) and wake-slot jitter (a
+    scheduled sender that drifted asleep stays silent). *)
 
 module Bitset = Mlbs_util.Bitset
 
@@ -25,10 +30,15 @@ type outcome = {
   events : slot_event list;  (** ascending by slot *)
   informed : Bitset.t;  (** final informed set *)
   violations : string list;  (** empty iff the schedule was well-formed *)
-  dropped : (int * int) list;  (** (slot, node): sends lost to injected failures *)
+  dropped : (int * int) list;
+      (** (slot, node): sends that never aired — crashed, message-less
+          or jitter-asleep senders under injected failures *)
+  lost : (int * int * int) list;
+      (** (slot, tx, rx): airborne packets corrupted by the fault
+          plan — the receiver heard only noise *)
 }
 
-(** [replay ?allow_resend ?failed model schedule] runs the radio
+(** [replay ?allow_resend ?failed ?faults model schedule] runs the radio
     simulation. Never raises on a malformed schedule — problems are
     reported in [violations] (and collisions in the per-slot events) so
     tests can assert on them.
@@ -37,14 +47,21 @@ type outcome = {
     lossy protocols such as [Mlbs_core.Localized] legitimately
     retransmit after collisions.
 
-    [failed] injects crash failures: a failed node's transmissions are
-    silently dropped (reported in [dropped], not as violations) and it
-    never receives. With a non-empty [failed] set the per-slot claim
-    check is skipped — diverging from the scheduler's claims is the
-    point of the experiment. *)
+    [failed] injects permanent crash failures: a failed node's
+    transmissions are silently dropped (reported in [dropped], not as
+    violations) and it never receives.
+
+    [faults] (default {!Fault.none}) injects the full fault plan. When
+    the plan {!Fault.is_noop}, the replay is byte-identical to the
+    fault-free one. Otherwise senders lacking the message or asleep
+    under jitter are dropped silently (the schedule was computed for a
+    kinder world — diverging from it is the experiment), per-link loss
+    rolls decide whether a collision-free reception actually delivers,
+    and the per-slot claim check is skipped. *)
 val replay :
   ?allow_resend:bool ->
   ?failed:Bitset.t ->
+  ?faults:Fault.t ->
   Mlbs_core.Model.t ->
   Mlbs_core.Schedule.t ->
   outcome

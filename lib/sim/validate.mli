@@ -32,3 +32,34 @@ val check_lossy : Mlbs_core.Model.t -> Mlbs_core.Schedule.t -> report
     Returns (alive nodes informed, alive nodes total). *)
 val surviving_coverage :
   Mlbs_core.Model.t -> failed:Mlbs_util.Bitset.t -> Mlbs_core.Schedule.t -> int * int
+
+(** Verdict of a replay under a {!Fault} plan. Full coverage is not
+    required — crashes legitimately cut nodes off — but every reception
+    the replay granted must be {e conflict-free under the fault trace}:
+    explainable as exactly one audible (alive, informed, truly-awake)
+    adjacent sender whose packet survived its per-link loss roll. *)
+type fault_report = {
+  ok : bool;  (** no violations — all receptions conflict-free *)
+  delivered : int;
+      (** nodes informed and alive in the plan's end state (once every
+          crash window has been applied) *)
+  alive : int;  (** nodes alive in the plan's end state *)
+  delivery_ratio : float;  (** delivered / alive (0 when none alive) *)
+  latency : int;  (** schedule elapsed slots *)
+  collisions : int;
+  lost : int;  (** receptions erased by packet corruption *)
+  violations : string list;
+}
+
+(** [check_under_faults ?allow_resend model ~faults schedule] replays
+    the schedule under the fault plan and independently re-derives the
+    informed progression from the outcome events, re-querying the plan
+    ([Fault.delivers]/[alive] are pure) for every granted reception.
+    [allow_resend] defaults to false; pass [true] for retransmitting
+    protocols. *)
+val check_under_faults :
+  ?allow_resend:bool ->
+  Mlbs_core.Model.t ->
+  faults:Fault.t ->
+  Mlbs_core.Schedule.t ->
+  fault_report

@@ -337,6 +337,52 @@ let resilience_table cfg ~n ~kill_fraction =
     ];
   tab
 
+let fault_table cfg ~n ~loss =
+  let tab =
+    Tab.create
+      ~title:
+        (Printf.sprintf
+           "Fault injection: %.0f%% per-link loss%s, sync, n=%d (means over %d seeds)"
+           (100. *. loss)
+           (if cfg.Config.crash_fraction > 0. then
+              Printf.sprintf " + %.0f%% crashes" (100. *. cfg.Config.crash_fraction)
+            else "")
+           n
+           (List.length cfg.Config.seeds))
+      [ "policy"; "delivery"; "latency"; "stretch"; "retransmissions"; "energy" ]
+  in
+  let runs =
+    seed_map cfg (fun seed ->
+        let inst = Experiment.make_instance cfg ~n ~seed in
+        Experiment.run_faulty cfg ~inst_seed:seed ~loss inst)
+  in
+  (match runs with
+  | [] -> ()
+  | first :: _ ->
+      List.iter
+        (fun (m : Experiment.fault_measurement) ->
+          let policy = m.Experiment.policy in
+          let of_policy run =
+            match
+              List.find_opt
+                (fun (r : Experiment.fault_measurement) -> r.Experiment.policy = policy)
+                run
+            with
+            | Some r -> r
+            | None -> invalid_arg "Ablation.fault_table: ragged runs"
+          in
+          let mean f = Stats.mean (List.map (fun run -> f (of_policy run)) runs) in
+          Tab.add_float_row tab ~label:policy
+            [
+              mean (fun r -> r.Experiment.delivery);
+              mean (fun r -> r.Experiment.latency);
+              mean (fun r -> r.Experiment.stretch);
+              mean (fun r -> float_of_int r.Experiment.retransmissions);
+              mean (fun r -> r.Experiment.energy_overhead);
+            ])
+        first);
+  tab
+
 let lookahead_table cfg ~n =
   let tab =
     Tab.create

@@ -75,3 +75,11 @@ val protocol_table : Config.t -> n:int -> Mlbs_util.Tab.t
     nodes still reached — static schedules degrade; the persistent
     protocols route around. *)
 val resilience_table : Config.t -> n:int -> kill_fraction:float -> Mlbs_util.Tab.t
+
+(** [fault_table cfg ~n ~loss] runs the full fault plan (Bernoulli
+    [loss] per link, plus [cfg.crash_fraction] crashes under
+    [cfg.fault_seed]) through {!Experiment.run_faulty} and tabulates
+    delivery ratio, latency, stretch, retransmissions and energy
+    overhead per policy — the graceful-degradation companion to
+    {!resilience_table}'s crash-only view. *)
+val fault_table : Config.t -> n:int -> loss:float -> Mlbs_util.Tab.t

@@ -12,6 +12,9 @@ type t = {
   opt_max_sets : int;
   validate : bool;
   jobs : int;
+  loss_rates : float list;
+  crash_fraction : float;
+  fault_seed : int;
 }
 
 let default =
@@ -27,6 +30,9 @@ let default =
     opt_max_sets = 32;
     validate = true;
     jobs = Mlbs_util.Pool.default_jobs ();
+    loss_rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ];
+    crash_fraction = 0.;
+    fault_seed = 0xFA17;
   }
 
 let quick =
@@ -36,6 +42,17 @@ let quick =
     seeds = [ 1; 2 ];
     budget = { Mcounter.max_states = 500; lookahead = 1; beam = 3 };
     opt_max_sets = 16;
+    loss_rates = [ 0.; 0.1; 0.2 ];
+  }
+
+let smoke =
+  {
+    quick with
+    node_counts = [ 50 ];
+    seeds = [ 1 ];
+    budget = { Mcounter.max_states = 200; lookahead = 1; beam = 2 };
+    opt_max_sets = 8;
+    loss_rates = [ 0.; 0.2 ];
   }
 
 let densities t =

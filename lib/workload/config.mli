@@ -18,6 +18,12 @@ type t = {
       (** worker domains for the experiment pool; instances fan out over
           [jobs] domains with byte-identical output at any setting
           (default: [Mlbs_util.Pool.default_jobs ()]) *)
+  loss_rates : float list;
+      (** x-axis of the reliability sweep (per-link Bernoulli loss) *)
+  crash_fraction : float;
+      (** fraction of non-source nodes crashed during the reliability
+          sweep; 0 disables crash injection *)
+  fault_seed : int;  (** master seed of every fault plan the sweep builds *)
 }
 
 (** The paper's full sweep: n ∈ {50,100,150,200,250,300}, 5 seeds. *)
@@ -26,6 +32,11 @@ val default : t
 (** A reduced sweep (3 node counts, 2 seeds, tighter budgets) for smoke
     tests and [--quick] bench runs. *)
 val quick : t
+
+(** The minimal sweep (one node count, one seed, smallest budgets) —
+    sized for CI: the determinism gate and the bench smoke run finish
+    in seconds. *)
+val smoke : t
 
 (** [densities t] is [node_counts] expressed as nodes per sq ft. *)
 val densities : t -> float list

@@ -6,6 +6,9 @@ module Schedule = Mlbs_core.Schedule
 module Scheduler = Mlbs_core.Scheduler
 module Mcounter = Mlbs_core.Mcounter
 module Validate = Mlbs_sim.Validate
+module Fault = Mlbs_sim.Fault
+module Energy = Mlbs_sim.Energy
+module Flooding = Mlbs_core.Flooding
 
 type instance = { net : Mlbs_wsn.Network.t; source : int; d : int }
 
@@ -27,6 +30,17 @@ let make_instance (cfg : Config.t) ~n ~seed =
   in
   let d = Mlbs_graph.Bfs.eccentricity (Mlbs_wsn.Network.graph net) ~source in
   { net; source; d }
+
+(* Declared before [measurement] so the shared [policy] label keeps
+   resolving to [measurement] in unannotated client code. *)
+type fault_measurement = {
+  policy : string;
+  delivery : float;
+  latency : float;
+  stretch : float;
+  retransmissions : int;
+  energy_overhead : float;
+}
 
 type measurement = {
   policy : string;
@@ -80,6 +94,127 @@ let run_async cfg ~rate ~inst_seed inst =
   in
   let model = Model.create inst.net (Model.Async sched) in
   tighten_opt (List.map (measure cfg model inst) (policies cfg))
+
+let fault_plan (cfg : Config.t) ~inst_seed ?(jitter = 0) ~loss inst =
+  let n = Mlbs_wsn.Network.n_nodes inst.net in
+  let crashes =
+    if cfg.Config.crash_fraction = 0. then []
+    else
+      Fault.sample_crashes ~n_nodes:n ~fraction:cfg.Config.crash_fraction
+        ~window:(1, 8 * inst.d) ~avoid:[ inst.source ]
+        ~seed:(cfg.Config.fault_seed + inst_seed)
+        ()
+  in
+  Fault.make
+    {
+      Fault.loss = (if loss = 0. then Fault.No_loss else Fault.Bernoulli loss);
+      crashes;
+      wake_jitter = jitter;
+      seed = cfg.Config.fault_seed + (inst_seed * 31);
+    }
+
+(* Count of nodes still alive once every crash window has been applied
+   (the sweep's crashes never recover, so this is the end-state). *)
+let alive_at_end faults ~n =
+  let c = ref 0 in
+  for u = 0 to n - 1 do
+    if Fault.alive faults ~slot:max_int u then incr c
+  done;
+  !c
+
+let ratio num den = if den <= 0 then 0. else float_of_int num /. float_of_int den
+
+(* Latency stretch vs the same policy's fault-free run; a policy that
+   delivered nothing past the source reports 0 latency and stretch. *)
+let stretch_of ~clean ~faulty =
+  if faulty <= 0 then 0. else if clean <= 0 then 1. else float_of_int faulty /. float_of_int clean
+
+let flooding_p = 0.3
+
+let run_faulty (cfg : Config.t) ?rate ~inst_seed ?(jitter = 0) ~loss inst =
+  let n = Mlbs_wsn.Network.n_nodes inst.net in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some rate ->
+        Model.Async (Wake_schedule.create ~rate ~n_nodes:n ~seed:(inst_seed * 104729) ())
+  in
+  let model = Model.create inst.net system in
+  let faults = fault_plan cfg ~inst_seed ~jitter ~loss inst in
+  let alive = alive_at_end faults ~n in
+  let informed_alive sched =
+    let informed = Schedule.informed_after sched ~slot:(Schedule.finish sched) in
+    let c = ref 0 in
+    for u = 0 to n - 1 do
+      if Fault.alive faults ~slot:max_int u && Mlbs_util.Bitset.mem informed u then incr c
+    done;
+    !c
+  in
+  let energy_ratio ~allow_resend ~clean ~faulty =
+    let e0 = (Energy.charge ~allow_resend model clean).Energy.total in
+    let e = (Energy.charge ~allow_resend ~faults model faulty).Energy.total in
+    if e0 <= 0. then 1. else e /. e0
+  in
+  (* Adaptive protocols re-run under the plan; their latency stretches
+     while delivery holds up. *)
+  let flooding =
+    let variant = Flooding.Persistent flooding_p in
+    let clean = Flooding.run model variant ~source:inst.source ~start:1 in
+    let faulty =
+      Flooding.run
+        ~delivers:(fun ~slot ~tx ~rx -> Fault.delivers ~slot ~tx ~rx faults)
+        ~alive:(fun ~slot u -> Fault.alive faults ~slot u)
+        model variant ~source:inst.source ~start:1
+    in
+    {
+      policy = Printf.sprintf "flooding (p=%.1f)" flooding_p;
+      delivery = ratio (informed_alive faulty.Flooding.schedule) alive;
+      latency = float_of_int faulty.Flooding.latency;
+      stretch = stretch_of ~clean:clean.Flooding.latency ~faulty:faulty.Flooding.latency;
+      retransmissions = faulty.Flooding.retransmissions;
+      energy_overhead =
+        energy_ratio ~allow_resend:true ~clean:clean.Flooding.schedule
+          ~faulty:faulty.Flooding.schedule;
+    }
+  in
+  let protocol =
+    let clean = Mlbs_proto.Broadcast_protocol.run model ~source:inst.source ~start:1 in
+    let faulty =
+      Mlbs_proto.Broadcast_protocol.run ~faults model ~source:inst.source ~start:1
+    in
+    {
+      policy = "protocol";
+      delivery = ratio faulty.Mlbs_proto.Broadcast_protocol.delivered alive;
+      latency = float_of_int faulty.Mlbs_proto.Broadcast_protocol.latency;
+      stretch =
+        stretch_of ~clean:clean.Mlbs_proto.Broadcast_protocol.latency
+          ~faulty:faulty.Mlbs_proto.Broadcast_protocol.latency;
+      retransmissions = faulty.Mlbs_proto.Broadcast_protocol.retransmissions;
+      energy_overhead =
+        energy_ratio ~allow_resend:true ~clean:clean.Mlbs_proto.Broadcast_protocol.schedule
+          ~faulty:faulty.Mlbs_proto.Broadcast_protocol.schedule;
+    }
+  in
+  (* Static schedules are computed for the ideal radio and then replayed
+     as-is under the plan: latency cannot stretch, delivery pays. *)
+  let static label policy =
+    let schedule = Scheduler.run model policy ~source:inst.source ~start:1 in
+    let fr = Validate.check_under_faults model ~faults schedule in
+    {
+      policy = label;
+      delivery = ratio fr.Validate.delivered alive;
+      latency = float_of_int fr.Validate.latency;
+      stretch = 1.;
+      retransmissions = 0;
+      energy_overhead = energy_ratio ~allow_resend:false ~clean:schedule ~faulty:schedule;
+    }
+  in
+  [
+    flooding;
+    protocol;
+    static "G-OPT (static)" (Scheduler.Gopt cfg.Config.budget);
+    static "E-model (static)" Scheduler.Emodel;
+  ]
 
 let mean_by_policy runs =
   match runs with

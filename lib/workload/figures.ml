@@ -132,8 +132,79 @@ let fig5 cfg = fig_bounds cfg ~id:"fig5" ~rate:10
 
 let fig7 cfg = fig_bounds cfg ~id:"fig7" ~rate:50
 
-let to_tab f =
-  let headers = "density" :: List.map (fun s -> s.label) f.series in
+(* ------------------- Reliability sweep (faults) -------------------- *)
+
+(* Delivery ratio and latency stretch vs per-link loss rate, at the
+   sweep's smallest node count. Every (loss rate, seed) cell is
+   independent, so the whole sweep is one flat [Pool.map] batch —
+   byte-identical output at any [jobs], which is exactly what the CI
+   determinism gate diffs. *)
+let fig_reliability cfg =
+  let n = match cfg.Config.node_counts with [] -> 50 | n :: _ -> n in
+  let points =
+    Array.of_list
+      (List.concat_map
+         (fun loss -> List.map (fun seed -> (loss, seed)) cfg.Config.seeds)
+         cfg.Config.loss_rates)
+  in
+  let outcomes =
+    Mlbs_util.Pool.map ~jobs:cfg.Config.jobs
+      (fun (loss, seed) ->
+        let inst = Experiment.make_instance cfg ~n ~seed in
+        Experiment.run_faulty cfg ~inst_seed:seed ~loss inst)
+      points
+  in
+  let n_seeds = List.length cfg.Config.seeds in
+  let per_rate i = Array.to_list (Array.sub outcomes (i * n_seeds) n_seeds) in
+  let policies =
+    if Array.length outcomes = 0 then []
+    else
+      List.map (fun (m : Experiment.fault_measurement) -> m.Experiment.policy) outcomes.(0)
+  in
+  let mk ~id ~title extract =
+    let series =
+      List.map
+        (fun policy ->
+          {
+            label = policy;
+            values =
+              List.mapi
+                (fun i _loss ->
+                  Stats.mean
+                    (List.map
+                       (fun run ->
+                         match
+                           List.find_opt
+                             (fun (m : Experiment.fault_measurement) ->
+                               m.Experiment.policy = policy)
+                             run
+                         with
+                         | Some m -> extract m
+                         | None -> invalid_arg "Figures.fig_reliability: ragged runs")
+                       (per_rate i)))
+                cfg.Config.loss_rates;
+          })
+        policies
+    in
+    { id; title; x_label = "loss rate"; x_values = cfg.Config.loss_rates; series }
+  in
+  [
+    mk ~id:"rel-delivery"
+      ~title:
+        (Printf.sprintf
+           "Reliability: delivery ratio vs per-link loss, n=%d (mean over %d seeds)" n
+           n_seeds)
+      (fun m -> m.Experiment.delivery);
+    mk ~id:"rel-stretch"
+      ~title:
+        (Printf.sprintf
+           "Reliability: latency stretch vs per-link loss, n=%d (mean over %d seeds)" n
+           n_seeds)
+      (fun m -> m.Experiment.stretch);
+  ]
+
+let to_tab ?(x_header = "density") f =
+  let headers = x_header :: List.map (fun s -> s.label) f.series in
   let tab = Tab.create ~title:f.title headers in
   List.iteri
     (fun i x ->

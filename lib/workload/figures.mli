@@ -32,9 +32,20 @@ val fig6 : Config.t -> figure
 (** Figure 7: analytical upper bounds, [r = 50]. *)
 val fig7 : Config.t -> figure
 
-(** [to_tab f] renders a figure as an aligned ASCII table (densities as
-    rows, series as columns). *)
-val to_tab : figure -> Mlbs_util.Tab.t
+(** The reliability sweep: delivery ratio ([rel-delivery]) and latency
+    stretch ([rel-stretch]) versus per-link loss rate
+    ([Config.loss_rates], with [Config.crash_fraction] crashes and
+    [Config.fault_seed] fixing the plan), at the sweep's first node
+    count, for persistent flooding, the distributed protocol, and the
+    static G-OPT / E-model schedules — the graceful-degradation picture
+    the ideal-radio figures cannot show. One flat [Pool.map] batch:
+    byte-identical output at any [jobs]. *)
+val fig_reliability : Config.t -> figure list
+
+(** [to_tab ?x_header f] renders a figure as an aligned ASCII table
+    (x values as rows, series as columns). [x_header] (default
+    ["density"]) names the x column. *)
+val to_tab : ?x_header:string -> figure -> Mlbs_util.Tab.t
 
 (** [improvements f ~baseline] is, per non-baseline series, the mean
     fractional latency reduction against [baseline] across the sweep —

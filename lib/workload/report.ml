@@ -8,6 +8,12 @@ let baseline_label (f : Figures.figure) =
     f.Figures.series
   |> Option.map (fun (s : Figures.series) -> s.Figures.label)
 
+(* Historical density figures keep the short "density" column header
+   byte-for-byte; other sweeps (the reliability figures) label the
+   x column after their own axis. *)
+let x_header (f : Figures.figure) =
+  if f.Figures.x_label = "density (nodes/sqft)" then "density" else f.Figures.x_label
+
 let figure_chart f =
   let series =
     List.map
@@ -19,12 +25,17 @@ let figure_chart f =
   match series with
   | [] -> ""
   | _ ->
+      let y =
+        if String.length f.Figures.id >= 4 && String.sub f.Figures.id 0 4 = "rel-" then
+          "ratio"
+        else "P(A)"
+      in
       Mlbs_util.Chart.render
-        ~y_label:(Printf.sprintf "  [y: P(A); x: %s]" f.Figures.x_label)
+        ~y_label:(Printf.sprintf "  [y: %s; x: %s]" y f.Figures.x_label)
         series
 
 let render_figure f =
-  let table = Tab.render (Figures.to_tab f) ^ figure_chart f in
+  let table = Tab.render (Figures.to_tab ~x_header:(x_header f) f) ^ figure_chart f in
   match baseline_label f with
   | None -> table
   | Some baseline ->
@@ -38,7 +49,7 @@ let render_figure f =
       in
       table ^ String.concat "\n" lines ^ "\n"
 
-let figure_csv f = Tab.to_csv (Figures.to_tab f)
+let figure_csv f = Tab.to_csv (Figures.to_tab ~x_header:(x_header f) f)
 
 let write_csv ~dir f =
   let path = Filename.concat dir (f.Figures.id ^ ".csv") in
