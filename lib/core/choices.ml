@@ -3,18 +3,37 @@ module Indep = Mlbs_graph.Indep
 
 type t = Greedy | All of { max_sets : int }
 
+let enumerate_all ~graph ~uninformed ~max_sets cands =
+  match cands with
+  | [] -> []
+  | _ ->
+      let arr = Array.of_list cands in
+      let conflict i j =
+        Bitset.intersects3
+          (Mlbs_graph.Graph.neighbor_set graph arr.(i))
+          (Mlbs_graph.Graph.neighbor_set graph arr.(j))
+          uninformed
+      in
+      Indep.maximal ~n:(Array.length arr) ~conflict ~limit:max_sets
+      |> List.map (List.map (fun i -> arr.(i)))
+
 let enumerate model space ~w ~slot =
   match space with
   | Greedy -> Model.greedy_classes model ~w ~slot
-  | All { max_sets } -> (
-      match Model.candidates model ~w ~slot with
-      | [] -> []
-      | cands ->
-          let arr = Array.of_list cands in
-          let uninformed = Bitset.complement w in
-          let conflict i j =
-            Mlbs_graph.Graph.common_neighbor_in (Model.graph model) arr.(i) arr.(j)
-              ~candidates:uninformed
-          in
-          Indep.maximal ~n:(Array.length arr) ~conflict ~limit:max_sets
-          |> List.map (List.map (fun i -> arr.(i))))
+  | All { max_sets } ->
+      let uninformed = Bitset.complement w in
+      enumerate_all ~graph:(Model.graph model) ~uninformed ~max_sets
+        (Model.candidates model ~w ~slot)
+
+(* Same choice sets, computed from the incremental state: the greedy
+   classes reuse the maintained uninformed-neighbour counts, and the
+   OPT enumeration reuses the maintained complement instead of
+   materialising one per call. *)
+let enumerate_incremental ist space ~slot =
+  match space with
+  | Greedy -> Istate.greedy_classes ist ~slot
+  | All { max_sets } ->
+      enumerate_all
+        ~graph:(Model.graph (Istate.model ist))
+        ~uninformed:(Istate.ubar ist) ~max_sets
+        (Istate.candidates ist ~slot)

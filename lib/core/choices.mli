@@ -15,3 +15,8 @@ type t = Greedy | All of { max_sets : int }
     sender list) available at this state. Empty iff there is no awake
     candidate. *)
 val enumerate : Model.t -> t -> w:Model.Bitset.t -> slot:int -> int list list
+
+(** [enumerate_incremental ist space ~slot] is [enumerate] evaluated at
+    the current position of an incremental state — the same sets in the
+    same order, without rebuilding the frontier or the complement. *)
+val enumerate_incremental : Istate.t -> t -> slot:int -> int list list

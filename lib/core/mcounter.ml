@@ -13,7 +13,10 @@ exception Exhausted
 (* Hop lower bound: multi-source BFS into a domain-local workspace.    *)
 (* The scratch is keyed per domain (not global) so parallel sweeps in  *)
 (* the experiment pool never race on it; it is resized lazily when the *)
-(* node count changes between instances.                               *)
+(* node count changes between instances. The search itself never runs  *)
+(* this BFS per candidate any more — it carries the same bound         *)
+(* incrementally in its [Istate] — but the from-scratch form stays the *)
+(* public reference (and the property-test oracle).                    *)
 (* ------------------------------------------------------------------ *)
 
 type scratch = { bfs : Bfs.scratch; ubar : Bitset.t }
@@ -39,160 +42,243 @@ let hop_lower_bound model ~w =
     Bfs.max_dist_from sc.bfs ~within:sc.ubar
   end
 
-let check_reachable model ~w =
-  if hop_lower_bound model ~w = max_int then
-    failwith "Mcounter: some node is unreachable from the informed set"
+let unreachable_msg = "Mcounter: some node is unreachable from the informed set"
 
 (* ------------------------------------------------------------------ *)
-(* Memo tables.                                                        *)
+(* Domain-local incremental state. One [Istate] per domain, resized    *)
+(* when the node count changes; [prewarm] builds it ahead of the first *)
+(* timed run so worker domains never allocate scratch mid-sweep.       *)
 (* ------------------------------------------------------------------ *)
+
+let istate_key : Istate.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let prewarm ~n =
+  let slot = Domain.DLS.get istate_key in
+  (match !slot with
+  | Some st when Istate.capacity st = n -> ()
+  | _ -> slot := Some (Istate.create n));
+  ignore (local_scratch n)
+
+let local_istate model ~w =
+  let n = Model.n_nodes model in
+  prewarm ~n;
+  let st = Option.get !(Domain.DLS.get istate_key) in
+  Istate.reset st model ~w;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Memo tables, keyed by the informed set with its carried hash: the   *)
+(* probe key shares the istate's live bitset (and its incrementally    *)
+(* maintained hash), so lookups never copy or re-hash; only insertions *)
+(* copy the set.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type wkey = { mutable h : int; set : Bitset.t }
 
 module Wtbl = Hashtbl.Make (struct
-  type t = Bitset.t
+  type t = wkey
 
-  let equal = Bitset.equal
-  let hash = Bitset.hash
+  let equal a b = Bitset.equal a.set b.set
+  let hash k = k.h
 end)
+
+type wskey = { mutable sh : int; sset : Bitset.t; mutable sslot : int }
 
 module Wstbl = Hashtbl.Make (struct
-  type t = Bitset.t * int
+  type t = wskey
 
-  let equal (w1, s1) (w2, s2) = s1 = s2 && Bitset.equal w1 w2
-  let hash (w, s) = Bitset.hash w lxor (s * 0x9e3779b1)
+  let equal a b = a.sslot = b.sslot && Bitset.equal a.sset b.sset
+  let hash k = k.sh lxor (k.sslot * 0x9e3779b1)
 end)
 
-(* The hop lower bound depends only on the informed set, so one memo
-   (keyed by the successor bitset) is shared across the whole search:
-   sibling branches reaching the same [W'] stop recomputing identical
-   BFS frontiers. *)
-type lb_memo = int Wtbl.t
+type ctx = {
+  st : Istate.t;
+  space : Choices.t;
+  budget : budget;
+  memo : int Wtbl.t;  (* sync: remaining advances, keyed by W *)
+  amemo : int Wstbl.t;  (* async: finish slot, keyed by (W, slot) *)
+  probe : wkey;
+  aprobe : wskey;
+  cw : Bitset.t;  (* child informed-set scratch for pre-apply memo probes *)
+  cprobe : wkey;  (* probe key aliasing [cw] *)
+  mutable states : int;
+}
 
-let lb_cached (memo : lb_memo) model ~w =
-  match Wtbl.find_opt memo w with
-  | Some v -> v
-  | None ->
-      let v = hop_lower_bound model ~w in
-      Wtbl.add memo w v;
-      v
+let make_ctx st space budget =
+  let cw = Bitset.create (Istate.capacity st) in
+  {
+    st;
+    space;
+    budget;
+    memo = Wtbl.create 4096;
+    amemo = Wstbl.create 4096;
+    probe = { h = 0; set = Istate.w st };
+    aprobe = { sh = 0; sset = Istate.w st; sslot = 0 };
+    cw;
+    cprobe = { h = 0; set = cw };
+    states = 0;
+  }
+
+let memo_key ctx = { h = Istate.whash ctx.st; set = Bitset.copy (Istate.w ctx.st) }
+
+let amemo_key ctx ~slot =
+  { sh = Istate.whash ctx.st; sset = Bitset.copy (Istate.w ctx.st); sslot = slot }
 
 (* Rank successors: fewest remaining hops first, then most coverage, then
-   enumeration order (stable sort keeps it deterministic). *)
-let ranked_successors model choices ~w ~lb_memo =
+   enumeration order (stable sort keeps it deterministic). The ranking
+   keys come from the seeded probe — the same (bound, |W'|) pair an
+   apply/undo round-trip would read off, without paying for one — and
+   each successor carries its coverage set so the search can build child
+   memo keys without applying either. *)
+let ranked_successors ctx ~slot =
+  let base = Istate.n_informed ctx.st in
+  let score_cov (c, cov) =
+    let lb, k = Istate.probe_seeded ctx.st ~seeds:cov in
+    (lb, -(base + k), c, cov)
+  in
   let scored =
-    List.map
-      (fun c ->
-        let w' = Model.apply model ~w ~senders:c in
-        let lb = lb_cached lb_memo model ~w:w' in
-        (lb, -Bitset.cardinal w', c, w'))
-      choices
+    match ctx.space with
+    | Choices.Greedy -> List.map score_cov (Istate.greedy_classes_cov ctx.st ~slot)
+    | Choices.All _ ->
+        List.map
+          (fun c -> score_cov (c, Istate.coverage ctx.st ~senders:c))
+          (Choices.enumerate_incremental ctx.st ctx.space ~slot)
   in
   List.stable_sort
     (fun (lb1, cov1, _, _) (lb2, cov2, _, _) ->
-      if lb1 <> lb2 then compare lb1 lb2 else compare cov1 cov2)
+      if lb1 < lb2 then -1
+      else if lb1 > lb2 then 1
+      else if cov1 < cov2 then -1
+      else if cov1 > cov2 then 1
+      else 0)
     scored
-  |> List.map (fun (lb, _, c, w') -> (lb, c, w'))
+
+(* Child memo probe without applying: replay the coverage set's bit
+   flips into scratch to obtain the child's informed set and carried
+   hash, then look it up. [Some 0] for a completing advance mirrors the
+   complete-check a recursive call would have short-circuited on. *)
+let child_cached ctx ~cov =
+  Bitset.assign ~into:ctx.cw (Istate.w ctx.st);
+  let h = ref (Istate.whash ctx.st) in
+  Bitset.iter
+    (fun v ->
+      h := Bitset.hash_flip ctx.cw v !h;
+      Bitset.add ctx.cw v)
+    cov;
+  if Bitset.is_full ctx.cw then Some 0
+  else begin
+    ctx.cprobe.h <- !h;
+    Wtbl.find_opt ctx.memo ctx.cprobe
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic rollout: a cheap, always-terminating upper bound.     *)
 (* ------------------------------------------------------------------ *)
 
-let rollout_step model space ~w ~slot ~lb_memo =
-  match Model.next_active_slot model ~w ~after:(slot - 1) with
+let rollout_step ctx ~slot =
+  match Istate.next_active_slot ctx.st ~after:(slot - 1) with
   | None -> None
   | Some t' -> (
-      match Choices.enumerate model space ~w ~slot:t' with
-      | [] -> None
-      | choices -> (
-          match ranked_successors model choices ~w ~lb_memo with
-          | (_, c, w') :: _ -> Some (t', c, w')
-          | [] -> None))
+      match ranked_successors ctx ~slot:t' with
+      | (_, _, c, _) :: _ -> Some (t', c)
+      | [] -> None)
 
-let rollout_finish_memo model space ~w ~slot ~lb_memo =
-  check_reachable model ~w;
-  let rec loop w slot last =
-    if Model.complete model ~w then last
+let rollout_finish_i ctx ~slot =
+  if Istate.lb ctx.st = max_int then failwith unreachable_msg;
+  let d0 = Istate.depth ctx.st in
+  let rec loop slot last =
+    if Istate.complete ctx.st then last
     else
-      match rollout_step model space ~w ~slot ~lb_memo with
-      | None -> failwith "Mcounter.rollout_finish: stuck before completion"
-      | Some (t', _, w') -> loop w' (t' + 1) t'
+      match rollout_step ctx ~slot with
+      | None ->
+          Istate.rewind ctx.st ~depth:d0;
+          failwith "Mcounter.rollout_finish: stuck before completion"
+      | Some (t', c) ->
+          Istate.apply ctx.st ~senders:c;
+          loop (t' + 1) t'
   in
-  loop w slot (slot - 1)
+  let r = loop slot (slot - 1) in
+  Istate.rewind ctx.st ~depth:d0;
+  r
 
 let rollout_finish model space ~w ~slot =
-  rollout_finish_memo model space ~w ~slot ~lb_memo:(Wtbl.create 256)
+  let st = local_istate model ~w in
+  rollout_finish_i (make_ctx st space default_budget) ~slot
 
 (* ------------------------------------------------------------------ *)
-(* Exact memoised branch-and-bound.                                    *)
+(* Exact memoised branch-and-bound. The traversal (choice order,       *)
+(* pruning tests, memo keys, state counting, budget exhaustion) is     *)
+(* intentionally identical to the from-scratch implementation it       *)
+(* replaced — only the per-state work is incremental — so evaluated    *)
+(* finishes, [states] counts and schedules are unchanged.              *)
 (* ------------------------------------------------------------------ *)
 
 (* Sync: remaining advance count depends on W only. *)
-type sync_search = {
-  memo : int Wtbl.t;
-  lb : lb_memo;
-  mutable states : int;
-  budget : budget;
-}
-
-let rec sync_remaining model space s ~w =
-  if Model.complete model ~w then 0
-  else
-    match Wtbl.find_opt s.memo w with
+let rec sync_remaining ctx =
+  if Istate.complete ctx.st then 0
+  else begin
+    ctx.probe.h <- Istate.whash ctx.st;
+    match Wtbl.find_opt ctx.memo ctx.probe with
     | Some v -> v
     | None ->
-        let choices = Choices.enumerate model space ~w ~slot:1 in
-        if choices = [] then failwith "Mcounter: no candidates before completion";
-        let succs = ranked_successors model choices ~w ~lb_memo:s.lb in
+        let succs = ranked_successors ctx ~slot:1 in
+        if succs = [] then failwith "Mcounter: no candidates before completion";
         let best = ref max_int in
         List.iter
-          (fun (lb, _, w') ->
+          (fun (lb, _, c, cov) ->
             (* Admissible pruning: this branch needs ≥ 1 + lb advances. *)
             if lb <> max_int && 1 + lb < !best then begin
-              let v = 1 + sync_remaining model space s ~w:w' in
+              let v =
+                (* A memoised (or completing) child costs no apply. *)
+                match child_cached ctx ~cov with
+                | Some v0 -> 1 + v0
+                | None ->
+                    Istate.apply ctx.st ~senders:c;
+                    let v = 1 + sync_remaining ctx in
+                    Istate.undo ctx.st;
+                    v
+              in
               if v < !best then best := v
             end)
           succs;
         if !best = max_int then failwith "Mcounter: dead end in sync search";
-        s.states <- s.states + 1;
-        if s.states > s.budget.max_states then raise Exhausted;
-        Wtbl.add s.memo w !best;
+        ctx.states <- ctx.states + 1;
+        if ctx.states > ctx.budget.max_states then raise Exhausted;
+        Wtbl.add ctx.memo (memo_key ctx) !best;
         !best
+  end
 
 (* Async: finish time depends on (W, slot); idle gaps are skipped by
    jumping to the next slot at which some frontier node is awake. *)
-type async_search = {
-  amemo : int Wstbl.t;
-  alb : lb_memo;
-  mutable astates : int;
-  abudget : budget;
-}
-
-let rec async_finish model space s ~w ~slot =
-  if Model.complete model ~w then slot - 1
+let rec async_finish ctx ~slot =
+  if Istate.complete ctx.st then slot - 1
   else
-    match Model.next_active_slot model ~w ~after:(slot - 1) with
+    match Istate.next_active_slot ctx.st ~after:(slot - 1) with
     | None -> failwith "Mcounter: empty frontier before completion"
-    | Some t ->
-        let key = (w, t) in
-        (match Wstbl.find_opt s.amemo key with
+    | Some t -> (
+        ctx.aprobe.sh <- Istate.whash ctx.st;
+        ctx.aprobe.sslot <- t;
+        match Wstbl.find_opt ctx.amemo ctx.aprobe with
         | Some v -> v
         | None ->
-            let choices = Choices.enumerate model space ~w ~slot:t in
-            if choices = [] then
-              failwith "Mcounter: active slot without candidates";
-            let succs = ranked_successors model choices ~w ~lb_memo:s.alb in
+            let succs = ranked_successors ctx ~slot:t in
+            if succs = [] then failwith "Mcounter: active slot without candidates";
             let best = ref max_int in
             List.iter
-              (fun (lb, _, w') ->
+              (fun (lb, _, c, _) ->
                 (* finish ≥ t + lb: each remaining hop costs ≥ 1 slot. *)
                 if lb <> max_int && (!best = max_int || t + lb < !best) then begin
-                  let v = async_finish model space s ~w:w' ~slot:(t + 1) in
+                  Istate.apply ctx.st ~senders:c;
+                  let v = async_finish ctx ~slot:(t + 1) in
+                  Istate.undo ctx.st;
                   if v < !best then best := v
                 end)
               succs;
             if !best = max_int then failwith "Mcounter: dead end in async search";
-            s.astates <- s.astates + 1;
-            if s.astates > s.abudget.max_states then raise Exhausted;
-            Wstbl.add s.amemo key !best;
+            ctx.states <- ctx.states + 1;
+            if ctx.states > ctx.budget.max_states then raise Exhausted;
+            Wstbl.add ctx.amemo (amemo_key ctx ~slot:t) !best;
             !best)
 
 (* ------------------------------------------------------------------ *)
@@ -207,23 +293,30 @@ let take k xs =
   in
   go (max 0 k) xs
 
-let rec lookahead_value model space ~budget ~w ~slot ~depth ~lb_memo =
-  if Model.complete model ~w then slot - 1
-  else if depth = 0 then rollout_finish_memo model space ~w ~slot ~lb_memo
+let rec lookahead_value ctx ~slot ~depth =
+  if Istate.complete ctx.st then slot - 1
+  else if depth = 0 then rollout_finish_i ctx ~slot
   else
-    match Model.next_active_slot model ~w ~after:(slot - 1) with
+    match Istate.next_active_slot ctx.st ~after:(slot - 1) with
     | None -> failwith "Mcounter: empty frontier before completion"
     | Some t -> (
-        let choices = Choices.enumerate model space ~w ~slot:t in
-        let succs = take budget.beam (ranked_successors model choices ~w ~lb_memo) in
+        let succs = take ctx.budget.beam (ranked_successors ctx ~slot:t) in
         match succs with
         | [] -> failwith "Mcounter: active slot without candidates"
         | _ ->
             List.fold_left
-              (fun acc (_, _, w') ->
-                min acc
-                  (lookahead_value model space ~budget ~w:w' ~slot:(t + 1)
-                     ~depth:(depth - 1) ~lb_memo))
+              (fun acc (lb, _, c, _) ->
+                (* Branch-and-bound, value-preserving: any completion
+                   below this child finishes at ≥ t + lb, so a child
+                   whose bound already reaches [acc] cannot lower the
+                   minimum. *)
+                if lb = max_int || (acc <> max_int && t + lb >= acc) then acc
+                else begin
+                  Istate.apply ctx.st ~senders:c;
+                  let v = lookahead_value ctx ~slot:(t + 1) ~depth:(depth - 1) in
+                  Istate.undo ctx.st;
+                  min acc v
+                end)
               max_int succs)
 
 (* ------------------------------------------------------------------ *)
@@ -231,89 +324,129 @@ let rec lookahead_value model space ~budget ~w ~slot ~depth ~lb_memo =
 (* ------------------------------------------------------------------ *)
 
 let evaluate model space ~budget ~w ~slot =
-  check_reachable model ~w;
-  let lb_memo = Wtbl.create 4096 in
+  let st = local_istate model ~w in
+  if Istate.lb st = max_int then failwith unreachable_msg;
+  let ctx = make_ctx st space budget in
   match Model.system model with
   | Model.Sync -> (
-      let s = { memo = Wtbl.create 4096; lb = lb_memo; states = 0; budget } in
       try
-        let r = sync_remaining model space s ~w in
-        { finish = slot - 1 + r; exact = true; states = s.states }
+        let r = sync_remaining ctx in
+        { finish = slot - 1 + r; exact = true; states = ctx.states }
       with Exhausted ->
-        let finish =
-          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead ~lb_memo
-        in
-        { finish; exact = false; states = s.states })
+        Istate.rewind st ~depth:0;
+        let finish = lookahead_value ctx ~slot ~depth:budget.lookahead in
+        { finish; exact = false; states = ctx.states })
   | Model.Async _ -> (
-      let s = { amemo = Wstbl.create 4096; alb = lb_memo; astates = 0; abudget = budget } in
       try
-        let finish = async_finish model space s ~w ~slot in
-        { finish; exact = true; states = s.astates }
+        let finish = async_finish ctx ~slot in
+        { finish; exact = true; states = ctx.states }
       with Exhausted ->
-        let finish =
-          lookahead_value model space ~budget ~w ~slot ~depth:budget.lookahead ~lb_memo
-        in
-        { finish; exact = false; states = s.astates })
+        Istate.rewind st ~depth:0;
+        let finish = lookahead_value ctx ~slot ~depth:budget.lookahead in
+        { finish; exact = false; states = ctx.states })
 
 (* Plan construction: walk greedily, scoring each choice with the same
    evaluator the top-level used, so the realised schedule matches the
    evaluated finish time in exact mode. *)
 let plan model space ~budget ~source ~start =
   let w0 = Model.initial_w model ~source in
-  check_reachable model ~w:w0;
-  let lb_memo = Wtbl.create 4096 in
-  let exact_scorer =
+  let st = local_istate model ~w:w0 in
+  if Istate.lb st = max_int then failwith unreachable_msg;
+  let ctx = make_ctx st space budget in
+  let is_sync = match Model.system model with Model.Sync -> true | Model.Async _ -> false in
+  (* Root search first: if the budget holds, candidate scores reuse its
+     memo; otherwise every score degrades to the lookahead policy. *)
+  let exact_ok =
     match Model.system model with
     | Model.Sync -> (
-        let s = { memo = Wtbl.create 4096; lb = lb_memo; states = 0; budget } in
         try
-          ignore (sync_remaining model space s ~w:w0);
-          (* Budget held: score = t + remaining(w') - 1 for advance at t. *)
-          Some (fun ~w' ~t -> t + sync_remaining model space s ~w:w')
-        with Exhausted -> None)
+          ignore (sync_remaining ctx);
+          true
+        with Exhausted ->
+          Istate.rewind st ~depth:0;
+          false)
     | Model.Async _ -> (
-        let s = { amemo = Wstbl.create 4096; alb = lb_memo; astates = 0; abudget = budget } in
         try
-          ignore (async_finish model space s ~w:w0 ~slot:start);
-          Some (fun ~w' ~t -> async_finish model space s ~w:w' ~slot:(t + 1))
-        with Exhausted -> None)
+          ignore (async_finish ctx ~slot:start);
+          true
+        with Exhausted ->
+          Istate.rewind st ~depth:0;
+          false)
   in
-  let fallback ~w' ~t =
-    lookahead_value model space ~budget ~w:w' ~slot:(t + 1) ~depth:budget.lookahead
-      ~lb_memo
+  (* Score the already-applied candidate for an advance at slot [t]. *)
+  let fallback_score ~t = lookahead_value ctx ~slot:(t + 1) ~depth:budget.lookahead in
+  let exact_score ~t =
+    match Model.system model with
+    | Model.Sync -> t + sync_remaining ctx
+    | Model.Async _ -> async_finish ctx ~slot:(t + 1)
   in
-  let score =
-    match exact_scorer with
-    | Some f ->
-        (* Replanning can touch sibling states the root search never
-           expanded; degrade to lookahead if that blows the budget. *)
-        fun ~w' ~t -> ( try f ~w' ~t with Exhausted -> fallback ~w' ~t)
-    | None -> fallback
+  let score ~t =
+    if exact_ok then (
+      (* Replanning can touch sibling states the root search never
+         expanded; degrade to lookahead if that blows the budget. *)
+      let d = Istate.depth st in
+      try exact_score ~t
+      with Exhausted ->
+        Istate.rewind st ~depth:d;
+        fallback_score ~t)
+    else fallback_score ~t
   in
-  let rec loop w slot steps =
-    if Model.complete model ~w then List.rev steps
+  let rec loop slot steps =
+    if Istate.complete st then List.rev steps
     else
-      match Model.next_active_slot model ~w ~after:(slot - 1) with
+      match Istate.next_active_slot st ~after:(slot - 1) with
       | None -> failwith "Mcounter.plan: empty frontier before completion"
       | Some t -> (
-          let choices = Choices.enumerate model space ~w ~slot:t in
-          let succs = ranked_successors model choices ~w ~lb_memo in
+          let succs = ranked_successors ctx ~slot:t in
           match succs with
           | [] -> failwith "Mcounter.plan: active slot without candidates"
           | _ ->
               let best =
                 List.fold_left
-                  (fun acc (_, c, w') ->
-                    let v = score ~w' ~t in
+                  (fun acc (lb, _, c, cov) ->
                     match acc with
-                    | Some (bv, _, _) when bv <= v -> acc
-                    | _ -> Some (v, c, w'))
+                    | Some (bv, _, _)
+                      when (not exact_ok) && lb <> max_int && bv <= t + lb ->
+                        (* Lookahead scores are bounded below by t + lb,
+                           and ties keep the earlier candidate, so this
+                           candidate cannot displace the incumbent. *)
+                        acc
+                    | _ -> (
+                        (* In exact sync mode an already-memoised (or
+                           completing) child scores without an apply;
+                           its informed list is the coverage set. *)
+                        let pre =
+                          if exact_ok && is_sync then child_cached ctx ~cov
+                          else None
+                        in
+                        match pre with
+                        | Some v0 ->
+                            let v = t + v0 in
+                            let keep =
+                              match acc with Some (bv, _, _) -> bv <= v | None -> false
+                            in
+                            if keep then acc else Some (v, c, Bitset.elements cov)
+                        | None ->
+                            Istate.apply st ~senders:c;
+                            let v = score ~t in
+                            let keep =
+                              match acc with Some (bv, _, _) -> bv <= v | None -> false
+                            in
+                            if keep then begin
+                              Istate.undo st;
+                              acc
+                            end
+                            else begin
+                              let informed = List.sort compare (Istate.last_added st) in
+                              Istate.undo st;
+                              Some (v, c, informed)
+                            end))
                   None succs
               in
-              let _, c, w' = Option.get best in
-              let informed = Bitset.elements (Bitset.diff w' w) in
+              let _, c, informed = Option.get best in
+              Istate.apply st ~senders:c;
               let step = { Schedule.slot = t; senders = c; informed } in
-              loop w' (t + 1) (step :: steps))
+              loop (t + 1) (step :: steps))
   in
-  let steps = loop w0 start [] in
+  let steps = loop start [] in
   Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps

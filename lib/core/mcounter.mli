@@ -62,3 +62,9 @@ val rollout_finish : Model.t -> Choices.t -> w:Bitset.t -> slot:int -> int
     an uninformed node — an admissible bound on remaining advances
     ([max_int] when unreachable, [0] when complete). *)
 val hop_lower_bound : Model.t -> w:Bitset.t -> int
+
+(** [prewarm ~n] pre-sizes this domain's search scratch (the
+    incremental {!Istate} and the BFS workspace) for [n]-node models,
+    so the first evaluation on a worker domain does not allocate it
+    inside a timed region. Idempotent. *)
+val prewarm : n:int -> unit

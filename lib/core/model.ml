@@ -50,15 +50,19 @@ let frontier t ~w =
 let candidates t ~w ~slot =
   List.filter (fun u -> awake t u ~slot) (frontier t ~w)
 
+(* The conflict predicate [N(u) ∩ N(v) ∩ W̄ ≠ ∅] as one fused word-wise
+   probe over the stored neighbour bitsets — boolean-equivalent to
+   scanning the smaller adjacency list, without the scan. *)
+let conflicts_with_uninformed t ~uninformed u v =
+  u <> v
+  && Bitset.intersects3 (Graph.neighbor_set t.graph u) (Graph.neighbor_set t.graph v)
+       uninformed
+
 let conflicts t ~w u v =
   u <> v
   &&
   let uninformed = Bitset.complement w in
-  Graph.common_neighbor_in t.graph u v ~candidates:uninformed
-
-(* Allocation-shared variant used inside the colouring loop. *)
-let conflicts_with_uninformed t ~uninformed u v =
-  u <> v && Graph.common_neighbor_in t.graph u v ~candidates:uninformed
+  conflicts_with_uninformed t ~uninformed u v
 
 let greedy_classes t ~w ~slot =
   let cands = candidates t ~w ~slot in

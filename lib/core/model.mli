@@ -39,6 +39,10 @@ val receivers : t -> w:Bitset.t -> int -> int list
 (** [n_receivers t ~w u] is [|N(u) ∩ W̄|] without building the list. *)
 val n_receivers : t -> w:Bitset.t -> int -> int
 
+(** [awake t u ~slot] is [true] under [Sync]; under [Async] it is the
+    wake schedule's verdict for [u] at [slot]. *)
+val awake : t -> int -> slot:int -> bool
+
 (** [candidates t ~w ~slot] is every node satisfying Eq. (1) constraints
     1–2 (informed, with an uninformed neighbour) — and, under [Async],
     awake at [slot] (Eq. 3). Sorted ascending. *)

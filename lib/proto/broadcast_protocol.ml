@@ -20,18 +20,54 @@ type stats = {
 
 (* What one node believes about another: message-holding is monotone
    (once believed true, never revoked); request counts and scores carry
-   the latest value heard, first-hand beacons overriding digests. *)
-type belief = { mutable holds : bool; mutable requests : int; mutable score : int }
+   the latest value heard, first-hand beacons overriding digests.
 
+   Beliefs live in flat arrays indexed by the node's local universe
+   (known ++ [self], self at the last index) rather than a hashtable:
+   every id a beacon can mention is within two hops of the receiver, so
+   the universe index is total and belief access is a plain array read.
+
+   The per-slot beacon payload — the digest of 1-hop beliefs plus the
+   node's own request count and Eq. (10) score — is cached in
+   [dig_*]/[pay_*] and rebuilt only when a belief about a 1-hop
+   neighbour changed since the last slot ([pay_dirty]); a settled
+   region of the network stops paying for its beacons' contents. *)
 type nstate = {
   view : Hello.view;
   e : int array;
-  beliefs : (int, belief) Hashtbl.t;
   known : int array;  (** the node's 2-hop universe (excluding itself), sorted *)
   local_index : (int, int) Hashtbl.t;  (** id -> index into the local universe *)
-  adj : Mlbs_util.Bitset.t array;
+  adj : Bitset.t array;
       (** per universe index, the certifiable-adjacency mask (universe
           = known ++ [self], self at the last index) *)
+  b_holds : bool array;  (** belief: universe index holds the message *)
+  b_requests : int array;  (** belief: its uninformed-neighbour count *)
+  b_score : int array;  (** belief: its Eq. (10) score *)
+  is_nbr : bool array;  (** universe index is a 1-hop neighbour *)
+  nbr_li : int array;  (** per 1-hop neighbour position, its universe index *)
+  edge_tgt : int array array;
+      (** per 1-hop neighbour position [j]: digest slot [k] -> index of
+          this node's [k]-th neighbour in neighbour [j]'s universe, or
+          [-1] when that slot names neighbour [j] itself *)
+  edge_self : int array;
+      (** per 1-hop neighbour position [j]: this node's index in
+          neighbour [j]'s universe *)
+  q_idx : int array;  (** per positioned neighbour, its universe index *)
+  q_e : int array;
+      (** per positioned neighbour, the E value of its quadrant ([-1]
+          when the neighbour sits on a quadrant boundary) *)
+  dig_h : bool array;  (** payload snapshot of 1-hop [b_holds] *)
+  dig_r : int array;  (** payload snapshot of 1-hop [b_requests] *)
+  dig_s : int array;  (** payload snapshot of 1-hop [b_score] *)
+  mutable pay_req : int;  (** payload snapshot of [own_req] *)
+  mutable pay_e : int;  (** payload snapshot of the own score *)
+  mutable pay_dirty : bool;
+  mutable own_req : int;
+      (** live count of 1-hop neighbours believed uninformed, maintained
+          on every holds flip *)
+  mutable own_e : int;  (** cached own score, valid unless [own_e_dirty] *)
+  mutable own_e_dirty : bool;
+  uninformed : Bitset.t;  (** scratch for [decide], over the universe *)
   mutable has_msg : bool;
   mutable attempts : int;
   mutable silent_until : int;
@@ -44,32 +80,56 @@ type nstate = {
 
 let stall_limit = 4
 
-let belief_of st x =
-  match Hashtbl.find_opt st.beliefs x with
-  | Some b -> b
-  | None ->
-      let b = { holds = false; requests = 0; score = 0 } in
-      Hashtbl.add st.beliefs x b;
-      b
+(* Belief writers: flips of a 1-hop neighbour's state invalidate the
+   cached payload (and, for holds, the maintained request count and
+   score); writes about 2-hop nodes touch nothing cached. *)
+let set_holds st i h =
+  if st.b_holds.(i) <> h then begin
+    st.b_holds.(i) <- h;
+    if st.is_nbr.(i) then begin
+      st.pay_dirty <- true;
+      st.own_e_dirty <- true;
+      st.own_req <- (st.own_req + if h then -1 else 1)
+    end
+  end
 
-(* First-hand data about self, computed from beliefs about neighbours. *)
-let own_requests st =
-  Array.fold_left
-    (fun acc w -> if (belief_of st w).holds then acc else acc + 1)
-    0 st.view.Hello.neighbors
+let set_requests st i r =
+  if st.b_requests.(i) <> r then begin
+    st.b_requests.(i) <- r;
+    if st.is_nbr.(i) then st.pay_dirty <- true
+  end
+
+let set_score st i s =
+  if st.b_score.(i) <> s then begin
+    st.b_score.(i) <- s;
+    if st.is_nbr.(i) then st.pay_dirty <- true
+  end
 
 let max_applicable_e st =
   (* The largest E_k over quadrants still containing a believed-
      uninformed neighbour — the node's own Eq. (10) score. *)
-  let best = ref (-1) in
-  List.iter
-    (fun (w, pos) ->
-      if not (belief_of st w).holds then
-        match Quadrant.classify ~origin:st.view.Hello.position pos with
-        | Some q -> best := max !best st.e.(Quadrant.to_index q)
-        | None -> ())
-    st.view.Hello.neighbor_position;
-  !best
+  if st.own_e_dirty then begin
+    let best = ref (-1) in
+    Array.iteri
+      (fun k i -> if not st.b_holds.(i) then best := max !best st.q_e.(k))
+      st.q_idx;
+    st.own_e <- !best;
+    st.own_e_dirty <- false
+  end;
+  st.own_e
+
+let refresh_payload st =
+  if st.pay_dirty then begin
+    Array.iteri
+      (fun j i ->
+        st.dig_h.(j) <- st.b_holds.(i);
+        st.dig_r.(j) <- st.b_requests.(i);
+        st.dig_s.(j) <- st.b_score.(i))
+      st.nbr_li;
+    st.pay_req <- st.own_req;
+    st.pay_e <- max_applicable_e st;
+    st.pay_dirty <- false
+  end
 
 (* Deterministic exponential back-off, as in [Mlbs_core.Localized]. *)
 let backoff u attempts =
@@ -97,36 +157,81 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
         let view = views.(u) in
         let known = Array.of_list (Hello.two_hop view) in
         let size = Array.length known + 1 in
+        let deg = Array.length view.Hello.neighbors in
         let local_index = Hashtbl.create (2 * size) in
         Array.iteri (fun i x -> Hashtbl.add local_index x i) known;
         Hashtbl.add local_index u (size - 1);
         (* Certifiable edges: (u, nbr) from the view itself, and
            (nbr, x) from each neighbour's reported list. *)
-        let adj = Array.init size (fun _ -> Mlbs_util.Bitset.create size) in
+        let adj = Array.init size (fun _ -> Bitset.create size) in
         let add_edge a b =
           match (Hashtbl.find_opt local_index a, Hashtbl.find_opt local_index b) with
           | Some ia, Some ib ->
-              Mlbs_util.Bitset.add adj.(ia) ib;
-              Mlbs_util.Bitset.add adj.(ib) ia
+              Bitset.add adj.(ia) ib;
+              Bitset.add adj.(ib) ia
           | _ -> ()
         in
         Array.iter (fun nbr -> add_edge u nbr) view.Hello.neighbors;
         List.iter
           (fun (nbr, l) -> Array.iter (fun x -> if x <> u then add_edge nbr x) l)
           view.Hello.neighbor_lists;
+        let e = e_result.E_protocol.values.(u) in
+        let nbr_li = Array.map (Hashtbl.find local_index) view.Hello.neighbors in
+        let is_nbr = Array.make size false in
+        Array.iter (fun i -> is_nbr.(i) <- true) nbr_li;
+        let npos = Array.of_list view.Hello.neighbor_position in
         {
           view;
-          e = e_result.E_protocol.values.(u);
-          beliefs = Hashtbl.create 16;
+          e;
           known;
           local_index;
           adj;
+          b_holds = Array.make size false;
+          b_requests = Array.make size 0;
+          b_score = Array.make size 0;
+          is_nbr;
+          nbr_li;
+          edge_tgt = Array.make deg [||];
+          edge_self = Array.make deg (-1);
+          q_idx = Array.map (fun (w, _) -> Hashtbl.find local_index w) npos;
+          q_e =
+            Array.map
+              (fun (_, pos) ->
+                match Quadrant.classify ~origin:view.Hello.position pos with
+                | Some q -> e.(Quadrant.to_index q)
+                | None -> -1)
+              npos;
+          dig_h = Array.make deg false;
+          dig_r = Array.make deg 0;
+          dig_s = Array.make deg 0;
+          pay_req = 0;
+          pay_e = -1;
+          pay_dirty = true;
+          own_req = deg;
+          own_e = -1;
+          own_e_dirty = true;
+          uninformed = Bitset.create size;
           has_msg = u = source;
           attempts = 0;
           silent_until = 0;
           stalled = 0;
         })
   in
+  (* Resolve each directed edge once: where every digest slot of u's
+     beacon lands in the receiver's universe, and where u itself lands.
+     The per-slot integration below is then pure array traffic. *)
+  Array.iteri
+    (fun u st ->
+      Array.iteri
+        (fun j v ->
+          let dst = states.(v) in
+          st.edge_tgt.(j) <-
+            Array.map
+              (fun w -> if w = v then -1 else Hashtbl.find dst.local_index w)
+              st.view.Hello.neighbors;
+          st.edge_self.(j) <- Hashtbl.find dst.local_index u)
+        st.view.Hello.neighbors)
+    states;
   (* Forecasts of neighbours' wake slots come from the published (base)
      schedule; a node's own radio follows its true, possibly jittered,
      clock. The gap between the two is exactly the fault being
@@ -167,63 +272,51 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
 
   let beacon_phase ~slot =
     (* Each node broadcasts (holds, requests, score) for itself plus a
-       digest of its 1-hop beliefs; neighbours integrate. Digests are
-       applied first so first-hand data wins within the slot. *)
-    let payloads =
-      Array.map
-        (fun st ->
-          let digest =
-            Array.to_list
-              (Array.map
-                 (fun w ->
-                   let b = belief_of st w in
-                   (w, b.holds, b.requests, b.score))
-                 st.view.Hello.neighbors)
-          in
-          (st.view.Hello.id, st.has_msg, own_requests st, max_applicable_e st, digest))
-        states
-    in
+       digest of its 1-hop beliefs; neighbours integrate. The payload
+       caches are refreshed for every node before any integration runs,
+       so payloads carry the slot-start beliefs; digests are applied
+       first so first-hand data wins within the slot. *)
+    Array.iter refresh_payload states;
     Array.iteri
       (fun u st ->
-        ignore st;
         if (not fault_active) || Fault.alive faults ~slot u then begin
           incr beacon_messages;
-          Array.iter
-            (fun v ->
+          Array.iteri
+            (fun j v ->
               if
                 (not fault_active)
                 || (Fault.alive faults ~slot v
                    && Fault.delivers ~channel:1 ~slot ~tx:u ~rx:v faults)
               then begin
                 let dst = states.(v) in
-                let id, holds, requests, score, digest = payloads.(u) in
-                List.iter
-                  (fun (w, h, r, s) ->
-                    if w <> v then begin
-                      let is_nbr = Array.exists (( = ) w) dst.view.Hello.neighbors in
-                      let b = belief_of dst w in
-                      (* Under faults, a node's holdership can regress
-                         (crash + recovery loses the message), so
-                         second-hand claims about a direct neighbour —
-                         whose own beacons are authoritative and arrive
-                         here first-hand — are ignored rather than
-                         monotonically believed. Fault-free the two
-                         rules coincide: a digest only ever lags the
-                         first-hand beacon it was built from. *)
-                      if (not fault_active) || not is_nbr then b.holds <- b.holds || h;
-                      (* Second-hand counts only fill in 2-hop nodes. *)
-                      if not is_nbr then begin
-                        b.requests <- r;
-                        b.score <- s
-                      end
-                    end)
-                  digest;
-                let b = belief_of dst id in
-                if fault_active then b.holds <- holds else b.holds <- b.holds || holds;
-                b.requests <- requests;
-                b.score <- score
+                let tgt = st.edge_tgt.(j) in
+                for k = 0 to Array.length tgt - 1 do
+                  let i = tgt.(k) in
+                  if i >= 0 then begin
+                    (* Under faults, a node's holdership can regress
+                       (crash + recovery loses the message), so
+                       second-hand claims about a direct neighbour —
+                       whose own beacons are authoritative and arrive
+                       here first-hand — are ignored rather than
+                       monotonically believed. Fault-free the two
+                       rules coincide: a digest only ever lags the
+                       first-hand beacon it was built from. *)
+                    if ((not fault_active) || not dst.is_nbr.(i)) && st.dig_h.(k) then
+                      set_holds dst i true;
+                    (* Second-hand counts only fill in 2-hop nodes. *)
+                    if not dst.is_nbr.(i) then begin
+                      set_requests dst i st.dig_r.(k);
+                      set_score dst i st.dig_s.(k)
+                    end
+                  end
+                done;
+                let i = st.edge_self.(j) in
+                if fault_active then set_holds dst i st.has_msg
+                else if st.has_msg then set_holds dst i true;
+                set_requests dst i st.pay_req;
+                set_score dst i st.pay_e
               end)
-            states.(u).view.Hello.neighbors
+            st.view.Hello.neighbors
         end)
       states
   in
@@ -234,7 +327,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
     && ((not fault_active) || Fault.alive faults ~slot u)
     && awake_self u ~slot
     && st.silent_until <= slot
-    && own_requests st > 0
+    && st.own_req > 0
     && st.attempts < max_attempts
   in
   let decide u ~slot =
@@ -243,37 +336,32 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
     else if st.stalled >= stall_limit then true
     else begin
       (* Candidates this node can see: itself plus believed holders with
-         requests in its 2-hop view, filtered by wake forecast. *)
-      let mine = (u, own_requests st) in
-      let others =
-        List.filter_map
-          (fun x ->
-            let b = belief_of st x in
-            if b.holds && b.requests > 0 && awake x ~slot then Some (x, b.requests)
-            else None)
-          (Array.to_list st.known)
-      in
-      let cands = mine :: others in
+         requests in its 2-hop view, filtered by wake forecast. Each
+         candidate carries its universe index so the conflict test needs
+         no id lookup. *)
+      let size = Array.length st.known + 1 in
+      let others = ref [] in
+      for i = Array.length st.known - 1 downto 0 do
+        let x = st.known.(i) in
+        if st.b_holds.(i) && st.b_requests.(i) > 0 && awake x ~slot then
+          others := (x, st.b_requests.(i), i) :: !others
+      done;
+      let cands = (u, st.own_req, size - 1) :: !others in
       (* Believed-uninformed mask over the local universe; the conflict
          test is then two bitset intersections. *)
-      let size = Array.length st.known + 1 in
-      let uninformed = Bitset.create size in
-      Array.iteri
-        (fun i x -> if not (belief_of st x).holds then Bitset.add uninformed i)
-        st.known;
-      let order (a, ca) (b, cb) = if ca <> cb then compare cb ca else compare a b in
-      let conflict (a, _) (b, _) =
-        a <> b
-        &&
-        match (Hashtbl.find_opt st.local_index a, Hashtbl.find_opt st.local_index b) with
-        | Some ia, Some ib -> Bitset.intersects3 st.adj.(ia) st.adj.(ib) uninformed
-        | _ -> false
+      Bitset.clear st.uninformed;
+      for i = 0 to size - 2 do
+        if not st.b_holds.(i) then Bitset.add st.uninformed i
+      done;
+      let order (a, ca, _) (b, cb, _) = if ca <> cb then compare cb ca else compare a b in
+      let conflict (a, _, ia) (b, _, ib) =
+        a <> b && Bitset.intersects3 st.adj.(ia) st.adj.(ib) st.uninformed
       in
       let classes = Coloring.greedy ~order ~conflicts:conflict cands in
       let score cls =
         List.fold_left
-          (fun acc (x, _) ->
-            max acc (if x = u then max_applicable_e st else (belief_of st x).score))
+          (fun acc (x, _, i) ->
+            max acc (if x = u then max_applicable_e st else st.b_score.(i)))
           (-1) cls
       in
       match classes with
@@ -288,7 +376,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
                 best_score := s
               end)
             classes;
-          List.mem_assoc u !best
+          List.exists (fun (x, _, _) -> x = u) !best
     end
   in
 
@@ -318,7 +406,12 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
   let last_recovery = List.fold_left (fun acc (r, _) -> max acc r) 0 recoveries in
   let revive node =
     let st = states.(node) in
-    Hashtbl.reset st.beliefs;
+    Array.fill st.b_holds 0 (Array.length st.b_holds) false;
+    Array.fill st.b_requests 0 (Array.length st.b_requests) 0;
+    Array.fill st.b_score 0 (Array.length st.b_score) 0;
+    st.own_req <- Array.length st.view.Hello.neighbors;
+    st.own_e_dirty <- true;
+    st.pay_dirty <- true;
     st.has_msg <- node = source;
     st.attempts <- 0;
     st.silent_until <- 0;
@@ -340,7 +433,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
           Fault.alive faults ~slot u
           && st.has_msg
           && st.attempts < max_attempts
-          && own_requests st > 0
+          && st.own_req > 0
         then any := true)
       states;
     !any
@@ -405,7 +498,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
                   received := v :: !received;
                   let dst = states.(v) in
                   dst.has_msg <- true;
-                  (belief_of dst last_sender.(v)).holds <- true
+                  set_holds dst (Hashtbl.find dst.local_index last_sender.(v)) true
                 end
                 else incr lost_packets
             | _ -> incr collisions
@@ -440,7 +533,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
       let u = st.view.Hello.id in
       if (not fault_active) || Fault.alive faults ~slot:max_int u then begin
         if Bitset.mem truly_informed u then incr delivered;
-        if st.attempts >= max_attempts && own_requests st > 0 then incr gave_up
+        if st.attempts >= max_attempts && st.own_req > 0 then incr gave_up
       end)
     states;
   {

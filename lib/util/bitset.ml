@@ -14,6 +14,12 @@ let cap s = s.capacity
 
 let copy s = { s with words = Array.copy s.words }
 
+let assign ~into src =
+  if into.capacity <> src.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset.assign: capacity mismatch (%d vs %d)" into.capacity src.capacity);
+  Array.blit src.words 0 into.words 0 (Array.length src.words)
+
 let clear s = Array.fill s.words 0 (Array.length s.words) 0
 
 let check s i op =
@@ -105,6 +111,13 @@ let inter_into ~into src =
     into.words.(i) <- into.words.(i) land src.words.(i)
   done
 
+let union_inter_into ~into a b =
+  same_cap into a "union_inter_into";
+  same_cap into b "union_inter_into";
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor (a.words.(i) land b.words.(i))
+  done
+
 let complement_into ~into src =
   same_cap into src "complement_into";
   let n = Array.length into.words in
@@ -151,19 +164,53 @@ let compare a b =
   let c = compare a.capacity b.capacity in
   if c <> 0 then c else compare a.words b.words
 
+(* Per-word mixer for the content hash. The hash is the XOR of one
+   well-mixed value per (word index, word value) pair, so flipping a
+   single bit re-derives the hash in O(1): XOR out the old word's mix,
+   XOR in the new one ([hash_flip]). The mixer is a splitmix-style
+   finalizer truncated to OCaml's 63-bit ints. *)
+let mix_word j x =
+  let h = x lxor ((j + 1) * 0x9e3779b97f4a7c1) in
+  let h = (h lxor (h lsr 30)) * 0x27d4eb2f165667c5 land max_int in
+  let h = (h lxor (h lsr 27)) * 0x165667b19e3779f9 land max_int in
+  h lxor (h lsr 31)
+
 let hash s =
-  (* FNV-style mix over words; content-based so equal sets collide. *)
-  let h = ref 0x811c9dc5 in
-  Array.iter (fun w -> h := (!h lxor w) * 0x01000193 land max_int) s.words;
-  !h lxor s.capacity
+  let h = ref s.capacity in
+  Array.iteri (fun j w -> h := !h lxor mix_word j w) s.words;
+  !h
+
+let hash_flip s i h =
+  check s i "hash_flip";
+  let j = i / bits_per_word and b = i mod bits_per_word in
+  let old = s.words.(j) in
+  h lxor mix_word j old lxor mix_word j (old lxor (1 lsl b))
+
+(* Member iteration strips the lowest set bit each round instead of
+   scanning all 63 positions, so sparse sets iterate in O(members).
+   The isolated bit is indexed by a perfect hash: 2 is a primitive
+   root mod 67, so [2^k mod 67] is injective over k in [0, 61]; bit 62
+   (the word's sign bit) masks to 0 under [land max_int] and 0 is not
+   a power-of-two residue, so it gets the spare slot. *)
+let lsb_index =
+  let t = Array.make 67 0 in
+  let p = ref 1 in
+  for k = 0 to 61 do
+    t.(!p) <- k;
+    p := !p * 2 mod 67
+  done;
+  t.(0) <- 62;
+  t
 
 let iter f s =
   for w = 0 to Array.length s.words - 1 do
-    let word = s.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
-      done
+    let word = ref s.words.(w) in
+    let base = w * bits_per_word in
+    while !word <> 0 do
+      let lsb = !word land - !word in
+      f (base + lsb_index.(lsb land max_int mod 67));
+      word := !word land (!word - 1)
+    done
   done
 
 let fold f s init =

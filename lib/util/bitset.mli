@@ -19,6 +19,10 @@ val cap : t -> int
 (** [copy s] is a fresh set equal to [s] that shares no storage with it. *)
 val copy : t -> t
 
+(** [assign ~into src] overwrites [into] with the contents of [src] in
+    place, allocation-free. The two sets must have the same capacity. *)
+val assign : into:t -> t -> unit
+
 (** [clear s] empties [s] in place, keeping its capacity. *)
 val clear : t -> unit
 
@@ -57,6 +61,11 @@ val inter : t -> t -> t
     allocation-free. The two sets must have the same capacity. *)
 val inter_into : into:t -> t -> unit
 
+(** [union_inter_into ~into a b] adds [a ∩ b] to [into] in place,
+    allocation-free — one word-wise pass, no intermediate set. All
+    three sets must share one capacity. *)
+val union_inter_into : into:t -> t -> t -> unit
+
 (** [diff a b] is a fresh set holding [a \ b]. *)
 val diff : t -> t -> t
 
@@ -88,8 +97,17 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 
 (** [hash s] is a content hash suitable for [Hashtbl] keying. Equal sets
-    hash equally. *)
+    hash equally. The hash is an XOR of independently mixed words, so it
+    can be maintained incrementally under single-bit flips via
+    [hash_flip]. *)
 val hash : t -> int
+
+(** [hash_flip s i h] is [hash] of [s] with bit [i] flipped, given that
+    [h = hash s] — an O(1) re-derivation used by incrementally
+    maintained informed-set hashes. Call it {e before} mutating [s]
+    (it reads the current word). Raises [Invalid_argument] when [i] is
+    out of range. *)
+val hash_flip : t -> int -> int -> int
 
 (** [iter f s] applies [f] to each member in increasing order. *)
 val iter : (int -> unit) -> t -> unit

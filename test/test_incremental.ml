@@ -1,0 +1,139 @@
+(* The incremental search state must be indistinguishable, query for
+   query, from the from-scratch recomputations it replaces: a random
+   walk of interleaved [apply]/[undo] over random UDG deployments is
+   compared at every step against [Model]/[Mcounter] evaluated on the
+   materialised informed set, and the carried hash against
+   [Bitset.hash]. *)
+
+module Bitset = Mlbs_util.Bitset
+module Model = Mlbs_core.Model
+module Choices = Mlbs_core.Choices
+module Istate = Mlbs_core.Istate
+module Mcounter = Mlbs_core.Mcounter
+
+(* Naive frontier count: |N(u) ∩ W̄| straight off the graph. *)
+let naive_uncov model ~w u = Model.n_receivers model ~w u
+
+let check_agrees ~ctx model st ~w ~slot =
+  let n = Model.n_nodes model in
+  if not (Bitset.equal (Istate.w st) w) then
+    Alcotest.failf "%s: informed set diverged" ctx;
+  Alcotest.(check int) (ctx ^ ": whash") (Bitset.hash w) (Istate.whash st);
+  Alcotest.(check int) (ctx ^ ": n_informed") (Bitset.cardinal w) (Istate.n_informed st);
+  Alcotest.(check bool) (ctx ^ ": complete") (Model.complete model ~w) (Istate.complete st);
+  for u = 0 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: uncov %d" ctx u)
+      (naive_uncov model ~w u) (Istate.uncov st u)
+  done;
+  Alcotest.(check int) (ctx ^ ": lb") (Mcounter.hop_lower_bound model ~w) (Istate.lb st);
+  Alcotest.(check (list int))
+    (ctx ^ ": candidates")
+    (Model.candidates model ~w ~slot)
+    (Istate.candidates st ~slot);
+  Alcotest.(check (list (list int)))
+    (ctx ^ ": greedy classes")
+    (Model.greedy_classes model ~w ~slot)
+    (Istate.greedy_classes st ~slot);
+  Alcotest.(check (option int))
+    (ctx ^ ": next active slot")
+    (Model.next_active_slot model ~w ~after:slot)
+    (Istate.next_active_slot st ~after:slot);
+  List.iter
+    (fun space ->
+      Alcotest.(check (list (list int)))
+        (ctx ^ ": enumerate")
+        (Choices.enumerate model space ~w ~slot)
+        (Choices.enumerate_incremental st space ~slot))
+    [ Choices.Greedy; Choices.All { max_sets = 32 } ]
+
+(* Random walk: at each step either undo (when possible) or apply one
+   enumerated choice, checking full agreement after every move. The
+   stack holds the naive (copied) informed sets for comparison and for
+   slot bookkeeping. *)
+let walk_agrees ((model, _seed), moves) =
+  let n = Model.n_nodes model in
+  let st = Istate.create n in
+  let w0 = Model.initial_w model ~source:0 in
+  Istate.reset st model ~w:w0;
+  let stack = ref [ (Bitset.copy w0, 1) ] in
+  check_agrees ~ctx:"initial" model st ~w:w0 ~slot:1;
+  List.iter
+    (fun r ->
+      let w, slot = List.hd !stack in
+      if r mod 4 = 0 && Istate.depth st > 0 then begin
+        Istate.undo st;
+        stack := List.tl !stack;
+        let w', slot' = List.hd !stack in
+        check_agrees ~ctx:"after undo" model st ~w:w' ~slot:slot'
+      end
+      else if not (Model.complete model ~w) then begin
+        let choices = Choices.enumerate model Choices.Greedy ~w ~slot in
+        match choices with
+        | [] ->
+            (* No awake candidate this slot (async lull): advance time. *)
+            stack := (w, slot + 1) :: List.tl !stack
+        | _ ->
+            (* probe_child must agree with an apply/undo round-trip for
+               every enumerated choice, not just the one taken. *)
+            List.iter
+              (fun c ->
+                let plb, pcov = Istate.probe_child st ~senders:c in
+                Istate.apply st ~senders:c;
+                Alcotest.(check int) "probe lb" (Istate.lb st) plb;
+                Alcotest.(check int)
+                  "probe cov"
+                  (List.length (Istate.last_added st))
+                  pcov;
+                Istate.undo st)
+              choices;
+            let senders = List.nth choices (abs r mod List.length choices) in
+            Istate.apply st ~senders;
+            Alcotest.(check (list int))
+              "last_added matches newly_informed"
+              (List.sort compare (Model.newly_informed model ~w ~senders))
+              (List.sort compare (Istate.last_added st));
+            let w' = Model.apply model ~w ~senders in
+            stack := (w', slot + 1) :: !stack;
+            check_agrees ~ctx:"after apply" model st ~w:w' ~slot:(slot + 1)
+      end)
+    moves;
+  (* Full rewind lands exactly back on the root state. *)
+  Istate.rewind st ~depth:0;
+  check_agrees ~ctx:"after rewind" model st ~w:w0 ~slot:1;
+  true
+
+let prop ?(count = 60) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_walk gen_model =
+  QCheck2.Gen.(pair gen_model (list_size (int_bound 25) (int_bound 1000)))
+
+(* hash_flip: flipping any bit through the carried-hash update equals
+   re-hashing the mutated set. *)
+let hash_flip_agrees (members, i) =
+  let s = Bitset.create 80 in
+  List.iter (Bitset.add s) members;
+  let h = Bitset.hash s in
+  let h' = Bitset.hash_flip s i h in
+  (if Bitset.mem s i then Bitset.remove s i else Bitset.add s i);
+  h' = Bitset.hash s
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "istate",
+        [
+          prop "sync walk agrees with naive recompute" (gen_walk Test_support.gen_sync_model)
+            walk_agrees;
+          prop "async walk agrees with naive recompute"
+            (gen_walk Test_support.gen_async_model) walk_agrees;
+        ] );
+      ( "hash",
+        [
+          prop ~count:300 "hash_flip = hash of flipped set"
+            QCheck2.Gen.(
+              pair (list_size (int_bound 60) (int_bound 79)) (int_bound 79))
+            hash_flip_agrees;
+        ] );
+    ]
