@@ -19,7 +19,10 @@
    --no-json, --compare FILE (diff this run against a previous JSON
    dump: per-kernel old/new/Δ, exit non-zero when any tracked micro
    kernel regresses beyond --compare-threshold percent, default 25;
-   section timings are reported but never gate).
+   section timings are reported but never gate), --trace FILE /
+   --metrics FILE (record observability artifacts for the whole run;
+   off by default so timed sections pay only the registry's disabled
+   branch — which is exactly what the --compare gate then measures).
 
    Unless --no-json is given, the harness writes per-section wall-clock
    (figures additionally run at jobs=1 first — a parallel-speedup
@@ -37,6 +40,10 @@ module Emodel = Mlbs_core.Emodel
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Bitset = Mlbs_util.Bitset
 module Pool = Mlbs_util.Pool
+module Obs = Mlbs_obs.Obs
+module Obs_metrics = Mlbs_obs.Metrics
+module Obs_export = Mlbs_obs.Export
+module Telemetry = Mlbs_workload.Telemetry
 
 (* Monotonic nanoseconds (CLOCK_MONOTONIC via bechamel's stubs), so
    section timings survive wall-clock adjustments mid-run. *)
@@ -60,7 +67,12 @@ type entry = { name : string; seconds : float; seconds_jobs1 : float }
 
 let log : entry list ref = ref []
 
+(* Section timings also feed the registry (a no-op unless --metrics is
+   on), so a telemetry-enabled bench run ships its phase profile. *)
+let h_section_ms = Obs_metrics.histogram "bench/section_ms"
+
 let record name ?seconds_jobs1 seconds =
+  Obs_metrics.observe h_section_ms (int_of_float (seconds *. 1000.));
   let seconds_jobs1 = Option.value seconds_jobs1 ~default:seconds in
   log := { name; seconds; seconds_jobs1 } :: !log
 
@@ -255,6 +267,39 @@ let run_micro cfg =
   record "micro" dt;
   List.sort compare !estimates
 
+(* ------------------------- metrics probe --------------------------- *)
+
+let g_heap = Obs_metrics.gauge "gc/heap_words"
+let g_majors = Obs_metrics.gauge "gc/major_collections"
+let g_minors = Obs_metrics.gauge "gc/minor_collections"
+
+(* The metrics section of the bench JSON. The timed sections run with
+   the registry disabled (unless --metrics asked otherwise), so the
+   counters come from an untimed replay of the smoke scenario — G-OPT
+   plus the distributed protocol on the n=50 instance — whose totals
+   (search work, protocol traffic) are deterministic and explain the
+   timings next to them. With --metrics active the run's accumulated
+   registry is snapshotted instead. Gc figures are end-of-run either
+   way. *)
+let metrics_snapshot ~user_metrics =
+  if not user_metrics then begin
+    Obs.enable ~metrics:true ~tracing:false ();
+    Obs_metrics.reset ();
+    let cfg = Config.smoke in
+    let inst = Experiment.make_instance cfg ~n:50 ~seed:1 in
+    let model = Model.create inst.Experiment.net Model.Sync in
+    let source = inst.Experiment.source in
+    ignore (Scheduler.run model (Scheduler.Gopt cfg.Config.budget) ~source ~start:1);
+    ignore (Mlbs_proto.Broadcast_protocol.run model ~source ~start:1)
+  end;
+  let st = Gc.quick_stat () in
+  Obs_metrics.set g_heap st.Gc.heap_words;
+  Obs_metrics.set g_majors st.Gc.major_collections;
+  Obs_metrics.set g_minors st.Gc.minor_collections;
+  let snap = Obs_metrics.snapshot () in
+  if not user_metrics then Obs.disable ();
+  snap
+
 (* --------------------------- JSON dump ----------------------------- *)
 
 let json_escape s =
@@ -270,7 +315,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path ~quick ~jobs ~recommended_domains ~total entries micro =
+let write_json path ~quick ~jobs ~recommended_domains ~total ~metrics entries micro =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -293,7 +338,8 @@ let write_json path ~quick ~jobs ~recommended_domains ~total entries micro =
       p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" (json_escape name) est
         (if i = List.length micro - 1 then "" else ","))
     micro;
-  p "  ]\n";
+  p "  ],\n";
+  p "  \"metrics\": %s\n" (Obs_export.metrics_object ~indent:"  " metrics);
   p "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -522,27 +568,31 @@ let compare_against path ~threshold entries micro =
 let () =
   (* [json] is [None] until --json/--no-json appears, so --smoke can
      default to no file without overriding an explicit request. *)
-  let rec parse targets jobs json cmp thr = function
-    | [] -> (List.rev targets, jobs, json, cmp, thr)
+  let rec parse targets jobs json cmp thr tr mt = function
+    | [] -> (List.rev targets, jobs, json, cmp, thr, tr, mt)
     | "--jobs" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some j when j >= 1 -> parse targets (Some j) json cmp thr rest
+        | Some j when j >= 1 -> parse targets (Some j) json cmp thr tr mt rest
         | _ -> failwith (Printf.sprintf "bad --jobs value %S" v))
     | [ "--jobs" ] -> failwith "--jobs needs a value"
-    | "--json" :: v :: rest -> parse targets jobs (Some (Some v)) cmp thr rest
+    | "--json" :: v :: rest -> parse targets jobs (Some (Some v)) cmp thr tr mt rest
     | [ "--json" ] -> failwith "--json needs a value"
-    | "--no-json" :: rest -> parse targets jobs (Some None) cmp thr rest
-    | "--compare" :: v :: rest -> parse targets jobs json (Some v) thr rest
+    | "--no-json" :: rest -> parse targets jobs (Some None) cmp thr tr mt rest
+    | "--compare" :: v :: rest -> parse targets jobs json (Some v) thr tr mt rest
     | [ "--compare" ] -> failwith "--compare needs a value"
     | "--compare-threshold" :: v :: rest -> (
         match int_of_string_opt v with
-        | Some t when t >= 0 -> parse targets jobs json cmp (Some t) rest
+        | Some t when t >= 0 -> parse targets jobs json cmp (Some t) tr mt rest
         | _ -> failwith (Printf.sprintf "bad --compare-threshold value %S" v))
     | [ "--compare-threshold" ] -> failwith "--compare-threshold needs a value"
-    | a :: rest -> parse (a :: targets) jobs json cmp thr rest
+    | "--trace" :: v :: rest -> parse targets jobs json cmp thr (Some v) mt rest
+    | [ "--trace" ] -> failwith "--trace needs a value"
+    | "--metrics" :: v :: rest -> parse targets jobs json cmp thr tr (Some v) rest
+    | [ "--metrics" ] -> failwith "--metrics needs a value"
+    | a :: rest -> parse (a :: targets) jobs json cmp thr tr mt rest
   in
-  let args, jobs, json_arg, cmp, thr =
-    parse [] None None None None (List.tl (Array.to_list Sys.argv))
+  let args, jobs, json_arg, cmp, thr, trace_file, metrics_file =
+    parse [] None None None None None None (List.tl (Array.to_list Sys.argv))
   in
   let quick = List.mem "--quick" args in
   let smoke = List.mem "--smoke" args in
@@ -569,41 +619,50 @@ let () =
     if smoke then Config.smoke else if quick then Config.quick else Config.default
   in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
+  let cfg = { cfg with Config.trace_file; metrics_file } in
   let compare_jobs1 = json <> None in
-  (* Bring the shared pool up and pre-size every domain's search
-     scratch before anything is timed; the recommended-domain figure is
-     sampled only once the pool is live, after any runtime topology
-     detection the spawns trigger. *)
-  let max_n = List.fold_left max 150 cfg.Config.node_counts in
-  Pool.prewarm ~jobs:cfg.Config.jobs
-    ~setup:(fun () -> Mlbs_core.Mcounter.prewarm ~n:max_n)
-    ();
-  let recommended_domains = Pool.default_jobs () in
-  let total0 = now_s () in
-  if want "table2" then run_table "II" "table2" Figures.table2;
-  if want "table3" then run_table "III" "table3" Figures.table3;
-  if want "table4" then run_table "IV" "table4" Figures.table4;
-  if want "fig3" then run_figure cfg ~compare_jobs1 "fig3" Figures.fig3;
-  if want "fig4" then run_figure cfg ~compare_jobs1 "fig4" Figures.fig4;
-  if want "fig5" then run_figure cfg ~compare_jobs1 "fig5" Figures.fig5;
-  if want "fig6" then run_figure cfg ~compare_jobs1 "fig6" Figures.fig6;
-  if want "fig7" then run_figure cfg ~compare_jobs1 "fig7" Figures.fig7;
-  if want "reliability" then
-    run_figure_group cfg ~compare_jobs1 "reliability"
-      (Printf.sprintf "Reliability (loss sweep: %d rates x %d seeds)"
-         (List.length cfg.Config.loss_rates)
-         (List.length cfg.Config.seeds))
-      Figures.fig_reliability;
-  if want "ablation" then run_ablation cfg;
-  let micro = if want "micro" then run_micro cfg else [] in
-  let total = now_s () -. total0 in
-  Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
-  let entries = List.rev !log in
-  (match json with
-  | Some path ->
-      write_json path ~quick ~jobs:cfg.Config.jobs ~recommended_domains ~total entries
-        micro
-  | None -> ());
-  match cmp with
-  | Some path -> if compare_against path ~threshold entries micro then exit 1
-  | None -> ()
+  (* The whole run executes under the telemetry wrapper (a no-op
+     without --trace/--metrics); the regression exit happens outside
+     it, after the artifacts are on disk. *)
+  let failed =
+    Telemetry.with_config cfg @@ fun () ->
+    (* Bring the shared pool up and pre-size every domain's search
+       scratch before anything is timed; the recommended-domain figure is
+       sampled only once the pool is live, after any runtime topology
+       detection the spawns trigger. *)
+    let max_n = List.fold_left max 150 cfg.Config.node_counts in
+    Pool.prewarm ~jobs:cfg.Config.jobs
+      ~setup:(fun () -> Mlbs_core.Mcounter.prewarm ~n:max_n)
+      ();
+    let recommended_domains = Pool.default_jobs () in
+    let total0 = now_s () in
+    if want "table2" then run_table "II" "table2" Figures.table2;
+    if want "table3" then run_table "III" "table3" Figures.table3;
+    if want "table4" then run_table "IV" "table4" Figures.table4;
+    if want "fig3" then run_figure cfg ~compare_jobs1 "fig3" Figures.fig3;
+    if want "fig4" then run_figure cfg ~compare_jobs1 "fig4" Figures.fig4;
+    if want "fig5" then run_figure cfg ~compare_jobs1 "fig5" Figures.fig5;
+    if want "fig6" then run_figure cfg ~compare_jobs1 "fig6" Figures.fig6;
+    if want "fig7" then run_figure cfg ~compare_jobs1 "fig7" Figures.fig7;
+    if want "reliability" then
+      run_figure_group cfg ~compare_jobs1 "reliability"
+        (Printf.sprintf "Reliability (loss sweep: %d rates x %d seeds)"
+           (List.length cfg.Config.loss_rates)
+           (List.length cfg.Config.seeds))
+        Figures.fig_reliability;
+    if want "ablation" then run_ablation cfg;
+    let micro = if want "micro" then run_micro cfg else [] in
+    let total = now_s () -. total0 in
+    Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
+    let entries = List.rev !log in
+    (match json with
+    | Some path ->
+        let metrics = metrics_snapshot ~user_metrics:(metrics_file <> None) in
+        write_json path ~quick ~jobs:cfg.Config.jobs ~recommended_domains ~total
+          ~metrics entries micro
+    | None -> ());
+    match cmp with
+    | Some path -> compare_against path ~threshold entries micro
+    | None -> false
+  in
+  if failed then exit 1

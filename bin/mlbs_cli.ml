@@ -3,7 +3,9 @@
    Subcommands:
      generate    sample a deployment and print its topology statistics
      schedule    run one scheduling policy on a deployment and print the plan
-     trace       print the paper's Table II/III/IV walkthroughs
+     trace       print the paper's Table II/III/IV walkthroughs, or
+                 ('trace run') execute an instrumented scenario and dump
+                 Perfetto trace + metrics artifacts
      experiment  regenerate a figure of the paper's evaluation *)
 
 open Cmdliner
@@ -22,6 +24,8 @@ module Validate = Mlbs_sim.Validate
 module Config = Mlbs_workload.Config
 module Figures = Mlbs_workload.Figures
 module Report = Mlbs_workload.Report
+module Telemetry = Mlbs_workload.Telemetry
+module Obs_metrics = Mlbs_obs.Metrics
 
 (* ------------------------- common args ----------------------------- *)
 
@@ -41,6 +45,20 @@ let rate_arg =
 
 let make_network ~n ~seed =
   Deployment.generate (Rng.create seed) (Deployment.paper_spec ~n_nodes:n)
+
+let trace_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record span tracing and write a Chrome-trace JSON (loadable at \
+           ui.perfetto.dev) plus a .jsonl sibling to $(docv).")
+
+let metrics_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Record the metrics registry and write its merged snapshot to $(docv).")
 
 (* -------------------------- generate ------------------------------- *)
 
@@ -146,27 +164,92 @@ let schedule_cmd =
 
 (* ---------------------------- trace -------------------------------- *)
 
-let trace table =
-  (match table with
-  | "2" -> print_string (Figures.table2 ())
-  | "3" -> print_string (Figures.table3 ())
-  | "4" -> print_string (Figures.table4 ())
+(* 'trace run': one instrumented scenario — G-OPT schedule plus the
+   distributed protocol on the same instance — dumped as a
+   Perfetto-loadable trace and a metrics snapshot. *)
+let trace_run n seed rate trace_file metrics_file =
+  let trace_file = Option.value trace_file ~default:"mlbs.trace.json" in
+  let metrics_file = Option.value metrics_file ~default:"mlbs.metrics.json" in
+  let cfg =
+    { Config.default with Config.trace_file = Some trace_file;
+      metrics_file = Some metrics_file }
+  in
+  let net = make_network ~n ~seed in
+  let nn = Network.n_nodes net in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:nn ~seed ())
+  in
+  let model = Model.create net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let plan, report, stats =
+    Telemetry.with_config cfg (fun () ->
+        let plan = Scheduler.run model Scheduler.gopt ~source ~start:1 in
+        let report = Validate.check model plan in
+        let stats = Mlbs_proto.Broadcast_protocol.run model ~source ~start:1 in
+        (plan, report, stats))
+  in
+  let c = Obs_metrics.counter_value in
+  Printf.printf "telemetry run: n=%d seed=%d%s source=%d\n" n seed
+    (match rate with None -> " sync" | Some r -> Printf.sprintf " r=%d" r)
+    source;
+  Printf.printf "G-OPT latency:    %d (radio replay: %s)\n" (Schedule.elapsed plan)
+    (if report.Validate.ok then "valid" else "INVALID");
+  Printf.printf "protocol latency: %d\n" stats.Mlbs_proto.Broadcast_protocol.latency;
+  Printf.printf "search:   states=%d memo=%d/%d prunes=%d color-selections=%d\n"
+    (c "search/states") (c "search/memo_hit") (c "search/memo_miss")
+    (c "search/bnb_prunes") (c "search/color_selections");
+  Printf.printf "protocol: slots=%d sends=%d collisions=%d retransmissions=%d\n"
+    (c "proto/slots") (c "proto/sends") (c "proto/collisions")
+    (c "proto/retransmissions");
+  Printf.printf "waiting:  conflict=%d slots, cwt=%d slots\n"
+    (c "proto/wait_conflict_slots") (c "proto/wait_cwt_slots");
+  Printf.printf "trace:    %s (open at ui.perfetto.dev; events in %s)\n" trace_file
+    (Mlbs_obs.Export.jsonl_path trace_file);
+  Printf.printf "metrics:  %s\n" metrics_file;
+  if report.Validate.ok then 0 else 1
+
+let trace table n seed rate trace_file metrics_file =
+  match table with
+  | "2" ->
+      print_string (Figures.table2 ());
+      0
+  | "3" ->
+      print_string (Figures.table3 ());
+      0
+  | "4" ->
+      print_string (Figures.table4 ());
+      0
   | "all" ->
       print_string (Figures.table2 ());
       print_newline ();
       print_string (Figures.table3 ());
       print_newline ();
-      print_string (Figures.table4 ())
-  | other -> Printf.eprintf "unknown table %S (2|3|4|all)\n" other);
-  0
+      print_string (Figures.table4 ());
+      0
+  | "run" -> trace_run n seed rate trace_file metrics_file
+  | other ->
+      Printf.eprintf "unknown table %S (2|3|4|all|run)\n" other;
+      2
 
 let trace_cmd =
   let table_arg =
-    Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE" ~doc:"2 | 3 | 4 | all")
+    Arg.(
+      value & pos 0 string "all"
+      & info [] ~docv:"TABLE"
+          ~doc:
+            "2 | 3 | 4 | all — print the paper's schedule walkthroughs; or $(b,run) — \
+             execute an instrumented scenario and dump trace + metrics artifacts.")
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print the paper's Table II/III/IV schedule walkthroughs")
-    Term.(const trace $ table_arg)
+    (Cmd.info "trace"
+       ~doc:
+         "Print the paper's Table II/III/IV walkthroughs, or run an instrumented \
+          scenario ('trace run') producing Perfetto trace and metrics files")
+    Term.(
+      const trace $ table_arg $ nodes_arg $ seed_arg $ rate_arg $ trace_file_arg
+      $ metrics_file_arg)
 
 (* ----------------------- tree / energy ----------------------------- *)
 
@@ -262,7 +345,7 @@ let localized_cmd =
 
 (* ---------------------------- faults ------------------------------- *)
 
-let faults n seed rate loss crash fault_seed jitter sweep =
+let faults n seed rate loss crash fault_seed jitter sweep trace_file metrics_file =
   let cfg =
     {
       Config.default with
@@ -270,8 +353,11 @@ let faults n seed rate loss crash fault_seed jitter sweep =
       seeds = [ seed ];
       crash_fraction = crash;
       fault_seed;
+      trace_file;
+      metrics_file;
     }
   in
+  Telemetry.with_config cfg @@ fun () ->
   if sweep then begin
     List.iter
       (fun f ->
@@ -369,13 +455,15 @@ let faults_cmd =
        ~doc:"Inject packet loss, crashes and clock jitter and measure degradation")
     Term.(
       const faults $ nodes_arg $ seed_arg $ rate_arg $ loss_arg $ crash_arg
-      $ fault_seed_arg $ jitter_arg $ sweep_arg)
+      $ fault_seed_arg $ jitter_arg $ sweep_arg $ trace_file_arg $ metrics_file_arg)
 
 (* -------------------------- experiment ----------------------------- *)
 
-let experiment figure quick smoke jobs csv_dir =
+let experiment figure quick smoke jobs csv_dir trace_file metrics_file =
   let cfg = if smoke then Config.smoke else if quick then Config.quick else Config.default in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
+  let cfg = { cfg with Config.trace_file; metrics_file } in
+  Telemetry.with_config cfg @@ fun () ->
   let figures =
     match figure with
     | "fig3" -> [ Figures.fig3 cfg ]
@@ -440,7 +528,9 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
-    Term.(const experiment $ figure_arg $ quick_arg $ smoke_arg $ jobs_arg $ csv_arg)
+    Term.(
+      const experiment $ figure_arg $ quick_arg $ smoke_arg $ jobs_arg $ csv_arg
+      $ trace_file_arg $ metrics_file_arg)
 
 let () =
   let info =

@@ -28,6 +28,13 @@
 module Bitset = Mlbs_util.Bitset
 module Graph = Mlbs_graph.Graph
 module Coloring = Mlbs_graph.Coloring
+module Metrics = Mlbs_obs.Metrics
+
+(* Hot-path probes: one disabled-registry branch each (see lib/obs). *)
+let m_apply = Metrics.counter "istate/apply"
+let m_undo = Metrics.counter "istate/undo"
+let m_probe = Metrics.counter "istate/probe"
+let m_color = Metrics.counter "search/color_selections"
 
 type t = {
   cap : int;
@@ -187,6 +194,7 @@ let reset st m ~w =
 (* --------------------------- apply / undo -------------------------- *)
 
 let apply st ~senders =
+  Metrics.incr m_apply;
   let g = graph st in
   st.lay_valid <- false;
   push_frame st;
@@ -249,6 +257,7 @@ let apply st ~senders =
   end
 
 let undo st =
+  Metrics.incr m_undo;
   if st.n_frames = 0 then invalid_arg "Istate.undo: no frame to pop";
   let g = graph st in
   st.lay_valid <- false;
@@ -344,6 +353,7 @@ let ensure_layers st =
    The child's bound is [dmax - 1] exactly when the final cone layer
    reaches the whole top layer. *)
 let probe_seeded st ~seeds =
+  Metrics.incr m_probe;
   let cov = Bitset.cardinal seeds in
   let lb =
     if st.ninf + cov = st.cap then 0
@@ -399,6 +409,7 @@ let candidates st ~slot =
    N(v) meets the running union of the members' uninformed coverage
    zones, kept in a scratch bitset. O(|class|) pair tests become one. *)
 let greedy_classes_cov st ~slot =
+  Metrics.incr m_color;
   let m = model st in
   let counts =
     Bitset.fold

@@ -1,5 +1,20 @@
 module Bitset = Mlbs_util.Bitset
 module Bfs = Mlbs_graph.Bfs
+module Metrics = Mlbs_obs.Metrics
+module Otrace = Mlbs_obs.Trace
+
+(* Search observability (all behind the disabled-registry branch):
+   nodes expanded, memo traffic for both tables, pre-apply child memo
+   hits, branch-and-bound prunes, rollouts, budget exhaustions. Summed
+   across domains these are identical at any [--jobs]: each instance's
+   search is deterministic and runs whole on one domain. *)
+let m_states = Metrics.counter "search/states"
+let m_memo_hit = Metrics.counter "search/memo_hit"
+let m_memo_miss = Metrics.counter "search/memo_miss"
+let m_child_hit = Metrics.counter "search/child_memo_hit"
+let m_prunes = Metrics.counter "search/bnb_prunes"
+let m_rollouts = Metrics.counter "search/rollouts"
+let m_exhausted = Metrics.counter "search/exhausted"
 
 type budget = { max_states : int; lookahead : int; beam : int }
 
@@ -166,11 +181,15 @@ let child_cached ctx ~cov =
       h := Bitset.hash_flip ctx.cw v !h;
       Bitset.add ctx.cw v)
     cov;
-  if Bitset.is_full ctx.cw then Some 0
-  else begin
-    ctx.cprobe.h <- !h;
-    Wtbl.find_opt ctx.memo ctx.cprobe
-  end
+  let r =
+    if Bitset.is_full ctx.cw then Some 0
+    else begin
+      ctx.cprobe.h <- !h;
+      Wtbl.find_opt ctx.memo ctx.cprobe
+    end
+  in
+  if r <> None then Metrics.incr m_child_hit;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic rollout: a cheap, always-terminating upper bound.     *)
@@ -185,6 +204,7 @@ let rollout_step ctx ~slot =
       | [] -> None)
 
 let rollout_finish_i ctx ~slot =
+  Metrics.incr m_rollouts;
   if Istate.lb ctx.st = max_int then failwith unreachable_msg;
   let d0 = Istate.depth ctx.st in
   let rec loop slot last =
@@ -220,8 +240,11 @@ let rec sync_remaining ctx =
   else begin
     ctx.probe.h <- Istate.whash ctx.st;
     match Wtbl.find_opt ctx.memo ctx.probe with
-    | Some v -> v
+    | Some v ->
+        Metrics.incr m_memo_hit;
+        v
     | None ->
+        Metrics.incr m_memo_miss;
         let succs = ranked_successors ctx ~slot:1 in
         if succs = [] then failwith "Mcounter: no candidates before completion";
         let best = ref max_int in
@@ -240,9 +263,11 @@ let rec sync_remaining ctx =
                     v
               in
               if v < !best then best := v
-            end)
+            end
+            else Metrics.incr m_prunes)
           succs;
         if !best = max_int then failwith "Mcounter: dead end in sync search";
+        Metrics.incr m_states;
         ctx.states <- ctx.states + 1;
         if ctx.states > ctx.budget.max_states then raise Exhausted;
         Wtbl.add ctx.memo (memo_key ctx) !best;
@@ -260,8 +285,11 @@ let rec async_finish ctx ~slot =
         ctx.aprobe.sh <- Istate.whash ctx.st;
         ctx.aprobe.sslot <- t;
         match Wstbl.find_opt ctx.amemo ctx.aprobe with
-        | Some v -> v
+        | Some v ->
+            Metrics.incr m_memo_hit;
+            v
         | None ->
+            Metrics.incr m_memo_miss;
             let succs = ranked_successors ctx ~slot:t in
             if succs = [] then failwith "Mcounter: active slot without candidates";
             let best = ref max_int in
@@ -273,9 +301,11 @@ let rec async_finish ctx ~slot =
                   let v = async_finish ctx ~slot:(t + 1) in
                   Istate.undo ctx.st;
                   if v < !best then best := v
-                end)
+                end
+                else Metrics.incr m_prunes)
               succs;
             if !best = max_int then failwith "Mcounter: dead end in async search";
+            Metrics.incr m_states;
             ctx.states <- ctx.states + 1;
             if ctx.states > ctx.budget.max_states then raise Exhausted;
             Wstbl.add ctx.amemo (amemo_key ctx ~slot:t) !best;
@@ -310,7 +340,10 @@ let rec lookahead_value ctx ~slot ~depth =
                    below this child finishes at ≥ t + lb, so a child
                    whose bound already reaches [acc] cannot lower the
                    minimum. *)
-                if lb = max_int || (acc <> max_int && t + lb >= acc) then acc
+                if lb = max_int || (acc <> max_int && t + lb >= acc) then begin
+                  Metrics.incr m_prunes;
+                  acc
+                end
                 else begin
                   Istate.apply ctx.st ~senders:c;
                   let v = lookahead_value ctx ~slot:(t + 1) ~depth:(depth - 1) in
@@ -324,6 +357,7 @@ let rec lookahead_value ctx ~slot ~depth =
 (* ------------------------------------------------------------------ *)
 
 let evaluate model space ~budget ~w ~slot =
+  Otrace.with_span ~arg:slot ~cat:"search" "evaluate" @@ fun () ->
   let st = local_istate model ~w in
   if Istate.lb st = max_int then failwith unreachable_msg;
   let ctx = make_ctx st space budget in
@@ -333,6 +367,7 @@ let evaluate model space ~budget ~w ~slot =
         let r = sync_remaining ctx in
         { finish = slot - 1 + r; exact = true; states = ctx.states }
       with Exhausted ->
+        Metrics.incr m_exhausted;
         Istate.rewind st ~depth:0;
         let finish = lookahead_value ctx ~slot ~depth:budget.lookahead in
         { finish; exact = false; states = ctx.states })
@@ -341,6 +376,7 @@ let evaluate model space ~budget ~w ~slot =
         let finish = async_finish ctx ~slot in
         { finish; exact = true; states = ctx.states }
       with Exhausted ->
+        Metrics.incr m_exhausted;
         Istate.rewind st ~depth:0;
         let finish = lookahead_value ctx ~slot ~depth:budget.lookahead in
         { finish; exact = false; states = ctx.states })
@@ -349,6 +385,7 @@ let evaluate model space ~budget ~w ~slot =
    evaluator the top-level used, so the realised schedule matches the
    evaluated finish time in exact mode. *)
 let plan model space ~budget ~source ~start =
+  Otrace.with_span ~arg:start ~cat:"search" "plan" @@ fun () ->
   let w0 = Model.initial_w model ~source in
   let st = local_istate model ~w:w0 in
   if Istate.lb st = max_int then failwith unreachable_msg;
@@ -363,6 +400,7 @@ let plan model space ~budget ~source ~start =
           ignore (sync_remaining ctx);
           true
         with Exhausted ->
+          Metrics.incr m_exhausted;
           Istate.rewind st ~depth:0;
           false)
     | Model.Async _ -> (
@@ -370,6 +408,7 @@ let plan model space ~budget ~source ~start =
           ignore (async_finish ctx ~slot:start);
           true
         with Exhausted ->
+          Metrics.incr m_exhausted;
           Istate.rewind st ~depth:0;
           false)
   in
@@ -387,6 +426,7 @@ let plan model space ~budget ~source ~start =
       let d = Istate.depth st in
       try exact_score ~t
       with Exhausted ->
+        Metrics.incr m_exhausted;
         Istate.rewind st ~depth:d;
         fallback_score ~t)
     else fallback_score ~t
@@ -396,12 +436,20 @@ let plan model space ~budget ~source ~start =
     else
       match Istate.next_active_slot st ~after:(slot - 1) with
       | None -> failwith "Mcounter.plan: empty frontier before completion"
-      | Some t -> (
-          let succs = ranked_successors ctx ~slot:t in
-          match succs with
-          | [] -> failwith "Mcounter.plan: active slot without candidates"
-          | _ ->
-              let best =
+      | Some t ->
+          (* The round span covers this slot's selection only — the
+             recursion continues outside it, so rounds appear as
+             siblings (with nested color-selection) in the trace. *)
+          let step =
+            Otrace.with_span ~arg:t ~cat:"sched" "round" @@ fun () ->
+            let succs =
+              Otrace.with_span ~arg:t ~cat:"search" "color-select" (fun () ->
+                  ranked_successors ctx ~slot:t)
+            in
+            match succs with
+            | [] -> failwith "Mcounter.plan: active slot without candidates"
+            | _ ->
+                let best =
                 List.fold_left
                   (fun acc (lb, _, c, cov) ->
                     match acc with
@@ -442,11 +490,12 @@ let plan model space ~budget ~source ~start =
                               Some (v, c, informed)
                             end))
                   None succs
-              in
-              let _, c, informed = Option.get best in
-              Istate.apply st ~senders:c;
-              let step = { Schedule.slot = t; senders = c; informed } in
-              loop (t + 1) (step :: steps))
+                in
+                let _, c, informed = Option.get best in
+                Istate.apply st ~senders:c;
+                { Schedule.slot = t; senders = c; informed }
+          in
+          loop (t + 1) (step :: steps)
   in
   let steps = loop start [] in
   Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps

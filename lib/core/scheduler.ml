@@ -14,7 +14,13 @@ let name ~system = function
   | Gopt _ -> "G-OPT"
   | Opt _ -> "OPT"
 
+(* One top-level span per schedule construction, named after the
+   policy, so a trace shows which scheduler each round tree belongs
+   to. Disabled tracing costs one branch. *)
 let run model policy ~source ~start =
+  Mlbs_obs.Trace.with_span ~arg:start ~cat:"sched"
+    (name ~system:(Model.system model) policy)
+  @@ fun () ->
   match policy with
   | Baseline -> (
       match Model.system model with

@@ -1,0 +1,127 @@
+(* Structured span tracing into per-domain ring buffers.
+
+   Each domain records complete spans (name, category, start, duration,
+   numeric argument) into its own fixed-capacity ring; when a ring
+   fills, the oldest spans are overwritten, so a bounded-memory trace
+   always keeps the newest events. Rings are reached through
+   domain-local storage — recording never locks or contends.
+
+   [events] merges every ring at a quiescent point and sorts by
+   timestamp, ready for the Chrome-trace / JSONL exporters in
+   {!Export}. *)
+
+type ev = {
+  name : string;
+  cat : string;
+  ts_us : float;  (* start, relative to the trace epoch *)
+  dur_us : float;
+  tid : int;  (* recording domain *)
+  arg : int;
+}
+
+let dummy = { name = ""; cat = ""; ts_us = 0.; dur_us = 0.; tid = 0; arg = 0 }
+
+type ring = {
+  tid : int;
+  mutable buf : ev array;
+  mutable next : int;  (* slot of the next write *)
+  mutable count : int;  (* events currently held, <= capacity *)
+}
+
+let default_capacity = 1 lsl 15
+
+(* Configure before recording (or call [reset] after): existing rings
+   are re-sized by [reset], new rings are born at the current value. *)
+let capacity_ref = ref default_capacity
+let capacity () = !capacity_ref
+
+let rings_lock = Mutex.create ()
+let rings : ring list ref = ref []
+
+let ring_key : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          tid = (Domain.self () :> int);
+          buf = Array.make (max 1 !capacity_ref) dummy;
+          next = 0;
+          count = 0;
+        }
+      in
+      Mutex.lock rings_lock;
+      rings := r :: !rings;
+      Mutex.unlock rings_lock;
+      r)
+
+let record ev =
+  let r = Domain.DLS.get ring_key in
+  let cap = Array.length r.buf in
+  r.buf.(r.next) <- ev;
+  r.next <- (r.next + 1) mod cap;
+  if r.count < cap then r.count <- r.count + 1
+
+let complete ?(arg = 0) ~cat ~name ~t0_us ~dur_us () =
+  if Obs.tracing_enabled () then
+    record
+      {
+        name;
+        cat;
+        ts_us = t0_us -. Obs.epoch_us ();
+        dur_us;
+        tid = (Domain.self () :> int);
+        arg;
+      }
+
+let with_span ?(arg = 0) ~cat name f =
+  if not (Obs.tracing_enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_us () in
+    Fun.protect
+      ~finally:(fun () -> complete ~arg ~cat ~name ~t0_us:t0 ~dur_us:(Obs.now_us () -. t0) ())
+      f
+  end
+
+let instant ?(arg = 0) ~cat name =
+  if Obs.tracing_enabled () then complete ~arg ~cat ~name ~t0_us:(Obs.now_us ()) ~dur_us:0. ()
+
+(* Oldest-to-newest walk of one ring: the ring holds [count] events
+   ending just before [next]. Prepending newest-first leaves the list
+   oldest-first, which the stable sort below preserves for events whose
+   timestamps coincide within clock resolution. *)
+let ring_events r acc =
+  let cap = Array.length r.buf in
+  let acc = ref acc in
+  for i = 1 to r.count do
+    (* i-th newest is at next - i (mod cap) *)
+    let j = ((r.next - i) mod cap + cap) mod cap in
+    acc := r.buf.(j) :: !acc
+  done;
+  !acc
+
+let events () =
+  Mutex.lock rings_lock;
+  let rings = !rings in
+  Mutex.unlock rings_lock;
+  let all = List.fold_left (fun acc r -> ring_events r acc) [] rings in
+  List.sort
+    (fun a b ->
+      let c = compare a.ts_us b.ts_us in
+      if c <> 0 then c
+      else
+        let c = compare a.tid b.tid in
+        if c <> 0 then c else compare a.name b.name)
+    all
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  capacity_ref := n
+
+let reset () =
+  Mutex.lock rings_lock;
+  List.iter
+    (fun r ->
+      r.buf <- Array.make (max 1 !capacity_ref) dummy;
+      r.next <- 0;
+      r.count <- 0)
+    !rings;
+  Mutex.unlock rings_lock

@@ -5,6 +5,23 @@ module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
 module Fault = Mlbs_sim.Fault
+module Metrics = Mlbs_obs.Metrics
+module Otrace = Mlbs_obs.Trace
+
+(* Protocol observability (all behind the disabled-registry branch).
+   The waiting split mirrors the paper's cost decomposition: after a
+   transmission a sender is silent for its conflict-avoidance backoff
+   (k slots) plus however long the duty cycle then keeps it asleep —
+   the contention-waiting time (CWT) — and the two accumulate into
+   separate counters. *)
+let m_slots = Metrics.counter "proto/slots"
+let m_sends = Metrics.counter "proto/sends"
+let m_collisions = Metrics.counter "proto/collisions"
+let m_lost = Metrics.counter "proto/lost_packets"
+let m_beacons = Metrics.counter "proto/beacon_messages"
+let m_retx = Metrics.counter "proto/retransmissions"
+let m_wait_conflict = Metrics.counter "proto/wait_conflict_slots"
+let m_wait_cwt = Metrics.counter "proto/wait_cwt_slots"
 
 type stats = {
   schedule : Schedule.t;
@@ -138,6 +155,7 @@ let backoff u attempts =
   (h land max_int) mod window
 
 let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
+  Otrace.with_span ~arg:start ~cat:"proto" "broadcast" @@ fun () ->
   let n = Model.n_nodes model in
   let fault_active = not (Fault.is_noop faults) in
   (* Unbounded retries are safe fault-free (convergence is guaranteed);
@@ -438,27 +456,17 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
       states;
     !any
   in
-  let rec loop slot =
-    let finished =
-      if fault_active then slot > last_recovery && all_alive_informed slot
-      else Bitset.is_full truly_informed
-    in
-    if finished then slot - 1
-    else if slot - start >= max_slots then
-      if fault_active then slot - 1
-      else
-        failwith
-          (Printf.sprintf "Broadcast_protocol.run: no coverage within %d slots" max_slots)
-    else if fault_active && slot > last_recovery && not (progress_possible slot) then
-      (* Give-up: every remaining request is unservable — the holders
-         that could satisfy it are dead, partitioned away, or out of
-         retries — and no recovery is pending that could change that. *)
-      slot - 1
-    else begin
+  (* One slot's work, factored out of the recursion so the per-slot
+     span covers exactly this body and slots appear as sibling spans
+     in the trace; both the silent and the sending path fall through
+     to the caller's [loop (slot + 1)]. *)
+  let slot_body slot =
+      Metrics.incr m_slots;
       if fault_active then
         List.iter (fun (r, node) -> if r = slot then revive node) recoveries;
       beacon_phase ~slot;
       let senders = List.filter (fun u -> decide u ~slot) (List.init n Fun.id) in
+      if Mlbs_obs.Obs.metrics_enabled () then Metrics.add m_sends (List.length senders);
       Bitset.clear sender_set;
       Bitset.clear heard_set;
       Array.fill sender_count 0 n 0;
@@ -479,8 +487,7 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
           states.(u).stalled <- states.(u).stalled + 1
         else if Bitset.mem heard_set u then states.(u).stalled <- 0
       done;
-      if senders = [] then loop (slot + 1)
-      else begin
+      if senders <> [] then begin
         let received = ref [] in
         for v = 0 to n - 1 do
           if
@@ -500,8 +507,13 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
                   dst.has_msg <- true;
                   set_holds dst (Hashtbl.find dst.local_index last_sender.(v)) true
                 end
-                else incr lost_packets
-            | _ -> incr collisions
+                else begin
+                  incr lost_packets;
+                  Metrics.incr m_lost
+                end
+            | _ ->
+                incr collisions;
+                Metrics.incr m_collisions
           end
         done;
         List.iter
@@ -509,14 +521,40 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
             let st = states.(u) in
             st.attempts <- st.attempts + 1;
             (* Transmit-then-listen: back off and let the next beacons
-               say whether requests remain. *)
-            st.silent_until <- nth_wake u slot (backoff u st.attempts + 1))
+               say whether requests remain. The silence decomposes into
+               the backoff itself ([k] slots of conflict avoidance) and
+               the extra slots the duty cycle keeps the node asleep
+               beyond it — the CWT share. *)
+            let k = backoff u st.attempts + 1 in
+            let until = nth_wake u slot k in
+            Metrics.add m_wait_conflict k;
+            Metrics.add m_wait_cwt (until - slot - k);
+            st.silent_until <- until)
           senders;
         List.iter (Bitset.add truly_informed) !received;
         steps :=
-          { Schedule.slot; senders; informed = List.sort compare !received } :: !steps;
-        loop (slot + 1)
+          { Schedule.slot; senders; informed = List.sort compare !received } :: !steps
       end
+  in
+  let rec loop slot =
+    let finished =
+      if fault_active then slot > last_recovery && all_alive_informed slot
+      else Bitset.is_full truly_informed
+    in
+    if finished then slot - 1
+    else if slot - start >= max_slots then
+      if fault_active then slot - 1
+      else
+        failwith
+          (Printf.sprintf "Broadcast_protocol.run: no coverage within %d slots" max_slots)
+    else if fault_active && slot > last_recovery && not (progress_possible slot) then
+      (* Give-up: every remaining request is unservable — the holders
+         that could satisfy it are dead, partitioned away, or out of
+         retries — and no recovery is pending that could change that. *)
+      slot - 1
+    else begin
+      Otrace.with_span ~arg:slot ~cat:"proto" "slot" (fun () -> slot_body slot);
+      loop (slot + 1)
     end
   in
   let finish = loop start in
@@ -524,6 +562,8 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
   let retransmissions =
     Array.fold_left (fun acc st -> acc + max 0 (st.attempts - 1)) 0 states
   in
+  Metrics.add m_retx retransmissions;
+  Metrics.add m_beacons !beacon_messages;
   (* End-state accounting: a node is counted iff it survives every
      crash window of the plan, so delivery ratios computed against the
      plan's own end-state alive count never exceed 1. *)

@@ -2,6 +2,11 @@ module Quadrant = Mlbs_geom.Quadrant
 module Model = Mlbs_core.Model
 module Emodel = Mlbs_core.Emodel
 module Fault = Mlbs_sim.Fault
+module Metrics = Mlbs_obs.Metrics
+
+let m_rounds = Metrics.counter "eproto/rounds"
+let m_messages = Metrics.counter "eproto/messages"
+let m_retx = Metrics.counter "eproto/retransmissions"
 
 type result = {
   values : int array array;
@@ -17,6 +22,7 @@ let infinity_ = max_int
 let retry_cap = 16
 
 let construct ?(cwt_frames = 4) ?(faults = Fault.none) model views =
+  Mlbs_obs.Trace.with_span ~cat:"proto" "e-construct" @@ fun () ->
   let n = Array.length views in
   if n <> Model.n_nodes model then invalid_arg "E_protocol.construct: view count mismatch";
   (* Each node's quadrant partition of its neighbours, from its own
@@ -131,4 +137,7 @@ let construct ?(cwt_frames = 4) ?(faults = Fault.none) model views =
                    k))
         tup)
     e;
+  Metrics.add m_rounds !rounds;
+  Metrics.add m_messages !messages;
+  Metrics.add m_retx !retransmissions;
   { values = e; rounds = !rounds; messages = !messages; retransmissions = !retransmissions }

@@ -29,6 +29,16 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Observability: batch/chunk counts, a chunk-latency histogram (µs)
+   and per-domain busy time land in the metrics registry; each chunk
+   also records a span on its executing domain's track, which is where
+   per-worker utilisation becomes visible in the trace. All of it is
+   behind the registry's disabled branch. *)
+let m_batches = Mlbs_obs.Metrics.counter "pool/batches"
+let m_chunks = Mlbs_obs.Metrics.counter "pool/chunks"
+let m_busy_us = Mlbs_obs.Metrics.counter "pool/busy_us"
+let m_chunk_us = Mlbs_obs.Metrics.histogram "pool/chunk_us"
+
 let rec worker_loop t =
   Mutex.lock t.lock;
   while Queue.is_empty t.queue && not t.stopping do
@@ -96,6 +106,21 @@ let run_chunk f input results lo hi =
     results.(i) <- Some (try Ok (f input.(i)) with e -> Error e)
   done
 
+(* One clock pair per chunk (not per item) when observability is on:
+   the duration feeds both the span and the latency histogram. *)
+let run_chunk_obs c f input results lo hi =
+  if not (Mlbs_obs.Obs.metrics_enabled () || Mlbs_obs.Obs.tracing_enabled ()) then
+    run_chunk f input results lo hi
+  else begin
+    let t0 = Mlbs_obs.Obs.now_us () in
+    run_chunk f input results lo hi;
+    let dt = Mlbs_obs.Obs.now_us () -. t0 in
+    Mlbs_obs.Metrics.incr m_chunks;
+    Mlbs_obs.Metrics.add m_busy_us (int_of_float dt);
+    Mlbs_obs.Metrics.observe m_chunk_us (int_of_float dt);
+    Mlbs_obs.Trace.complete ~arg:c ~cat:"pool" ~name:"chunk" ~t0_us:t0 ~dur_us:dt ()
+  end
+
 let chunk_bounds ~len ~chunks c = (c * len / chunks, (c + 1) * len / chunks)
 
 let map_on t f input =
@@ -105,6 +130,7 @@ let map_on t f input =
   else begin
     let results = Array.make len None in
     let chunks = min t.jobs len in
+    Mlbs_obs.Metrics.incr m_batches;
     let pending = ref (chunks - 1) in
     Mutex.lock t.lock;
     if t.stopping then begin
@@ -115,7 +141,7 @@ let map_on t f input =
       let lo, hi = chunk_bounds ~len ~chunks c in
       Queue.add
         (fun () ->
-          run_chunk f input results lo hi;
+          run_chunk_obs c f input results lo hi;
           Mutex.lock t.lock;
           decr pending;
           if !pending = 0 then Condition.broadcast t.drained;
@@ -126,7 +152,7 @@ let map_on t f input =
     Mutex.unlock t.lock;
     (* Chunk 0 inline on the submitting domain. *)
     let lo0, hi0 = chunk_bounds ~len ~chunks 0 in
-    run_chunk f input results lo0 hi0;
+    run_chunk_obs 0 f input results lo0 hi0;
     (* Help drain (our chunks or a concurrent batch's — either keeps a
        domain busy and makes nested [map_on] deadlock-free), then wait. *)
     Mutex.lock t.lock;

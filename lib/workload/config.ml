@@ -15,6 +15,8 @@ type t = {
   loss_rates : float list;
   crash_fraction : float;
   fault_seed : int;
+  trace_file : string option;
+  metrics_file : string option;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     loss_rates = [ 0.; 0.05; 0.1; 0.2; 0.3 ];
     crash_fraction = 0.;
     fault_seed = 0xFA17;
+    trace_file = None;
+    metrics_file = None;
   }
 
 let quick =

@@ -9,10 +9,20 @@ module Validate = Mlbs_sim.Validate
 module Fault = Mlbs_sim.Fault
 module Energy = Mlbs_sim.Energy
 module Flooding = Mlbs_core.Flooding
+module Metrics = Mlbs_obs.Metrics
+module Otrace = Mlbs_obs.Trace
+
+(* The fault sweep mirrors its returned measurements into the registry
+   (test_fault cross-checks the two); energy overhead is recorded in
+   per-mille so it survives the integer cells. *)
+let m_instances = Metrics.counter "experiment/instances"
+let m_fault_retx = Metrics.counter "experiment/fault_retransmissions"
+let m_fault_energy_pm = Metrics.counter "experiment/fault_energy_pm"
 
 type instance = { net : Mlbs_wsn.Network.t; source : int; d : int }
 
 let make_instance (cfg : Config.t) ~n ~seed =
+  Metrics.incr m_instances;
   let rng = Rng.create (seed * 7919) in
   let spec =
     {
@@ -84,10 +94,12 @@ let tighten_opt ms =
   | _ -> ms
 
 let run_sync cfg inst =
+  Otrace.with_span ~cat:"exp" "run-sync" @@ fun () ->
   let model = Model.create inst.net Model.Sync in
   tighten_opt (List.map (measure cfg model inst) (policies cfg))
 
 let run_async cfg ~rate ~inst_seed inst =
+  Otrace.with_span ~arg:rate ~cat:"exp" "run-async" @@ fun () ->
   let sched =
     Wake_schedule.create ~rate ~n_nodes:(Mlbs_wsn.Network.n_nodes inst.net)
       ~seed:(inst_seed * 104729) ()
@@ -132,6 +144,7 @@ let stretch_of ~clean ~faulty =
 let flooding_p = 0.3
 
 let run_faulty (cfg : Config.t) ?rate ~inst_seed ?(jitter = 0) ~loss inst =
+  Otrace.with_span ~arg:inst_seed ~cat:"exp" "run-faulty" @@ fun () ->
   let n = Mlbs_wsn.Network.n_nodes inst.net in
   let system =
     match rate with
@@ -209,12 +222,20 @@ let run_faulty (cfg : Config.t) ?rate ~inst_seed ?(jitter = 0) ~loss inst =
       energy_overhead = energy_ratio ~allow_resend:false ~clean:schedule ~faulty:schedule;
     }
   in
-  [
-    flooding;
-    protocol;
-    static "G-OPT (static)" (Scheduler.Gopt cfg.Config.budget);
-    static "E-model (static)" Scheduler.Emodel;
-  ]
+  let ms =
+    [
+      flooding;
+      protocol;
+      static "G-OPT (static)" (Scheduler.Gopt cfg.Config.budget);
+      static "E-model (static)" Scheduler.Emodel;
+    ]
+  in
+  List.iter
+    (fun (m : fault_measurement) ->
+      Metrics.add m_fault_retx m.retransmissions;
+      Metrics.add m_fault_energy_pm (int_of_float (m.energy_overhead *. 1000.)))
+    ms;
+  ms
 
 let mean_by_policy runs =
   match runs with

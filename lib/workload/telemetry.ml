@@ -1,0 +1,20 @@
+module Obs = Mlbs_obs.Obs
+module Metrics = Mlbs_obs.Metrics
+module Trace = Mlbs_obs.Trace
+module Export = Mlbs_obs.Export
+
+let with_config (cfg : Config.t) f =
+  match (cfg.Config.trace_file, cfg.Config.metrics_file) with
+  | None, None -> f ()
+  | trace_file, metrics_file ->
+      (* Start from a clean registry so the artifacts describe this run
+         only, then dump whatever was requested — also on exceptions,
+         so a crashed sweep still leaves its telemetry behind. *)
+      Obs.enable ~metrics:(metrics_file <> None) ~tracing:(trace_file <> None) ();
+      if metrics_file <> None then Metrics.reset ();
+      if trace_file <> None then Trace.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.disable ();
+          Export.dump ?trace_file ?metrics_file ())
+        f

@@ -1,0 +1,10 @@
+(** Run-level telemetry: turn a {!Config.t}'s [trace_file] /
+    [metrics_file] requests into enabled observability plus artifact
+    dumps, with no call-site bookkeeping. *)
+
+(** [with_config cfg f] runs [f ()]. When [cfg] requests artifacts, the
+    corresponding {!Mlbs_obs} facilities are enabled (and reset) around
+    the call and the files are written when [f] returns — or raises, so
+    a failing run still dumps what it recorded. With both fields [None]
+    this is exactly [f ()]. *)
+val with_config : Config.t -> (unit -> 'a) -> 'a

@@ -309,6 +309,46 @@ let props =
         && r.Broadcast_protocol.delivered <= Model.n_nodes model);
   ]
 
+(* The fault sweep mirrors its returned measurements into the metrics
+   registry; the two accountings must agree exactly. *)
+let test_run_faulty_matches_registry () =
+  let module Experiment = Mlbs_workload.Experiment in
+  let module Obs = Mlbs_obs.Obs in
+  let module Metrics = Mlbs_obs.Metrics in
+  Obs.enable ~metrics:true ~tracing:false ();
+  Metrics.reset ();
+  Fun.protect ~finally:Obs.disable (fun () ->
+      let cfg = Mlbs_workload.Config.smoke in
+      let inst = Experiment.make_instance cfg ~n:50 ~seed:1 in
+      let ms = Experiment.run_faulty cfg ~inst_seed:1 ~loss:0.2 inst in
+      let retx =
+        List.fold_left
+          (fun acc (m : Experiment.fault_measurement) -> acc + m.Experiment.retransmissions)
+          0 ms
+      in
+      let energy_pm =
+        List.fold_left
+          (fun acc (m : Experiment.fault_measurement) ->
+            acc + int_of_float (m.Experiment.energy_overhead *. 1000.))
+          0 ms
+      in
+      Alcotest.(check int)
+        "retransmissions mirrored" retx
+        (Metrics.counter_value "experiment/fault_retransmissions");
+      Alcotest.(check int)
+        "energy overhead mirrored (per-mille)" energy_pm
+        (Metrics.counter_value "experiment/fault_energy_pm");
+      (* The protocol measurement's retransmissions also flow through the
+         protocol's own counter (one clean + one faulty run recorded). *)
+      let proto_retx =
+        match List.find_opt (fun (m : Experiment.fault_measurement) -> m.Experiment.policy = "protocol") ms with
+        | Some m -> m.Experiment.retransmissions
+        | None -> Alcotest.fail "protocol measurement missing"
+      in
+      Alcotest.(check bool)
+        "registry proto/retransmissions covers the faulty run" true
+        (Metrics.counter_value "proto/retransmissions" >= proto_retx))
+
 let () =
   Alcotest.run "fault"
     [
@@ -341,5 +381,10 @@ let () =
             test_protocol_schedule_audits_clean_under_loss;
         ] );
       ("E construction", [ Alcotest.test_case "loss tolerated" `Quick test_e_protocol_under_loss ]);
+      ( "telemetry",
+        [
+          Alcotest.test_case "run_faulty mirrors the registry" `Quick
+            test_run_faulty_matches_registry;
+        ] );
       ("properties", props);
     ]
