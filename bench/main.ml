@@ -10,7 +10,11 @@
      dune exec bench/main.exe -- --smoke --compare BENCH_SMOKE.json
 
    Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 reliability
-   ablation micro (default: all).
+   ablation service micro (default: all). The service target drives an
+   in-process scheduling daemon over its Unix socket — cold (distinct
+   instances) then warm (cache hits) — and dumps throughput and
+   p50/p95/p99 to BENCH_3.json (suppressed with the other JSON under
+   --smoke).
 
    Flags: --quick (reduced sweep), --smoke (Config.smoke — the CI
    gate: smallest sweep, JSON suppressed unless --json is given
@@ -180,6 +184,158 @@ let run_ablation cfg =
          print_newline ();
          Mlbs_util.Tab.print
            (Ablation.fault_table { small with Config.crash_fraction = 0.1 } ~n:100 ~loss:0.2)))
+
+(* ------------------------- service bench --------------------------- *)
+
+module Sv_daemon = Mlbs_server.Daemon
+module Sv_client = Mlbs_server.Client
+module Sv_codec = Mlbs_server.Codec
+
+(* One phase of the service benchmark (BENCH_3.json). *)
+type phase = {
+  pname : string;
+  requests : int;
+  p_seconds : float;
+  rps : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  hits : int;
+}
+
+let percentile sorted q =
+  if Array.length sorted = 0 then 0.0
+  else
+    sorted.(min
+              (Array.length sorted - 1)
+              (int_of_float (ceil (q *. float_of_int (Array.length sorted))) - 1))
+
+let service_phase name ~socket ~concurrency ~requests req_of =
+  let lat = Array.make requests 0.0 in
+  let hits = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let worker w () =
+    let c, _, _ = Sv_client.connect (Sv_client.Unix_socket socket) in
+    Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+    let i = ref w in
+    while !i < requests do
+      let t0 = now_s () in
+      (match Sv_client.request_retry ~attempts:8 c (req_of !i) with
+      | Sv_client.Ok ok -> if ok.Sv_codec.cache_hit then Atomic.incr hits
+      | Sv_client.Rejected _ | Sv_client.Error _ -> Atomic.incr errors);
+      lat.(!i) <- (now_s () -. t0) *. 1e6;
+      i := !i + concurrency
+    done
+  in
+  let t0 = now_s () in
+  let threads = List.init concurrency (fun w -> Thread.create (worker w) ()) in
+  List.iter Thread.join threads;
+  let dt = now_s () -. t0 in
+  if Atomic.get errors > 0 then
+    Printf.printf "  WARNING: %d failed requests in %s phase\n%!" (Atomic.get errors) name;
+  Array.sort compare lat;
+  {
+    pname = name;
+    requests;
+    p_seconds = dt;
+    rps = float_of_int requests /. dt;
+    p50_us = percentile lat 0.50;
+    p95_us = percentile lat 0.95;
+    p99_us = percentile lat 0.99;
+    hits = Atomic.get hits;
+  }
+
+(* Cold phase: every request is a distinct instance — pays deployment
+   generation, source selection and the solve. Warm phase: the same
+   instances again, repeatedly — served from the content-addressed
+   cache. The speedup between the two is the cache's service-level
+   value, gated at >= 10x in the acceptance criteria. *)
+let run_service cfg ~smoke =
+  section
+    (Printf.sprintf "Scheduling service (daemon + wire protocol, jobs=%d)"
+       cfg.Config.jobs);
+  (* The daemon force-enables the metrics registry; restore the bench's
+     registry state afterwards so later timed sections (micro!) still
+     run with the disabled-branch cost the baseline JSON was recorded
+     under. *)
+  let metrics0 = Obs.metrics_enabled () and tracing0 = Obs.tracing_enabled () in
+  let n = List.fold_left max 50 cfg.Config.node_counts in
+  let instances = if smoke then 8 else 32 in
+  let concurrency = if smoke then 4 else 8 in
+  let warm_requests = if smoke then 200 else 2000 in
+  let socket = Filename.temp_file "mlbs-bench" ".sock" in
+  let dcfg =
+    {
+      (Sv_daemon.default_config ~socket_path:socket) with
+      Sv_daemon.jobs = cfg.Config.jobs;
+      queue_capacity = 256;
+      cache_capacity = 2 * instances;
+    }
+  in
+  let req_of i =
+    {
+      Sv_codec.policy = Sv_codec.Gopt;
+      rate = None;
+      seed = 1 + (i mod instances);
+      topology = Sv_codec.Gen { n; radius = Config.default.Config.radius };
+      source = None;
+      start = 1;
+    }
+  in
+  let t0 = now_s () in
+  let d = Sv_daemon.start dcfg in
+  let cold, warm =
+    Fun.protect
+      ~finally:(fun () ->
+        Sv_daemon.stop d;
+        Sv_daemon.wait d;
+        if not metrics0 then begin
+          Obs.disable ();
+          if tracing0 then Obs.enable ~metrics:false ~tracing:true ()
+        end)
+      (fun () ->
+        let cold = service_phase "cold" ~socket ~concurrency ~requests:instances req_of in
+        let warm = service_phase "warm" ~socket ~concurrency ~requests:warm_requests req_of in
+        (cold, warm))
+  in
+  let dt = now_s () -. t0 in
+  let speedup = warm.rps /. cold.rps in
+  Printf.printf "  %d instances (n=%d), %d clients over a Unix socket\n" instances n
+    concurrency;
+  List.iter
+    (fun p ->
+      Printf.printf
+        "  %-5s %5d requests  %8.0f req/s  p50=%.0fus p95=%.0fus p99=%.0fus  (%d hits)\n"
+        p.pname p.requests p.rps p.p50_us p.p95_us p.p99_us p.hits)
+    [ cold; warm ];
+  Printf.printf "  warm/cold throughput: %.1fx\n" speedup;
+  Printf.printf "(%.1fs)\n\n%!" dt;
+  record "service" dt;
+  (cold, warm, speedup, n, instances, concurrency)
+
+let write_bench3 path ~jobs (cold, warm, speedup, n, instances, concurrency) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-3\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"n_nodes\": %d,\n" n;
+  p "  \"instances\": %d,\n" instances;
+  p "  \"concurrency\": %d,\n" concurrency;
+  p "  \"phases\": [\n";
+  List.iteri
+    (fun i ph ->
+      p
+        "    {\"name\": \"%s\", \"requests\": %d, \"seconds\": %.3f, \"rps\": %.1f, \
+         \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, \"cache_hits\": %d}%s\n"
+        ph.pname ph.requests ph.p_seconds ph.rps ph.p50_us ph.p95_us ph.p99_us ph.hits
+        (if i = 1 then "" else ","))
+    [ cold; warm ];
+  p "  ],\n";
+  p "  \"warm_over_cold_speedup\": %.1f\n" speedup;
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* ------------------------ bechamel micro --------------------------- *)
 
@@ -606,7 +762,7 @@ let () =
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-      "reliability"; "ablation"; "micro" ]
+      "reliability"; "ablation"; "service"; "micro" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -651,6 +807,13 @@ let () =
            (List.length cfg.Config.seeds))
         Figures.fig_reliability;
     if want "ablation" then run_ablation cfg;
+    if want "service" then begin
+      let svc = run_service cfg ~smoke in
+      (* BENCH_3.json rides the same switch as BENCH_2: suppressed under
+         --smoke (clean-worktree CI gate) unless --json asked for dumps
+         explicitly. *)
+      if json <> None then write_bench3 "BENCH_3.json" ~jobs:cfg.Config.jobs svc
+    end;
     let micro = if want "micro" then run_micro cfg else [] in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;

@@ -26,6 +26,10 @@ module Figures = Mlbs_workload.Figures
 module Report = Mlbs_workload.Report
 module Telemetry = Mlbs_workload.Telemetry
 module Obs_metrics = Mlbs_obs.Metrics
+module Sv_codec = Mlbs_server.Codec
+module Sv_client = Mlbs_server.Client
+module Sv_daemon = Mlbs_server.Daemon
+module Sv_version = Mlbs_server.Version
 
 (* ------------------------- common args ----------------------------- *)
 
@@ -457,6 +461,280 @@ let faults_cmd =
       const faults $ nodes_arg $ seed_arg $ rate_arg $ loss_arg $ crash_arg
       $ fault_seed_arg $ jitter_arg $ sweep_arg $ trace_file_arg $ metrics_file_arg)
 
+(* --------------------- scheduling service -------------------------- *)
+
+let default_socket = Filename.concat (Filename.get_temp_dir_name ()) "mlbs.sock"
+
+let socket_arg =
+  Arg.(
+    value & opt string default_socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the service.")
+
+let tcp_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"TCP port of the service (on 127.0.0.1).")
+
+let endpoint socket tcp =
+  match tcp with
+  | Some port -> Sv_client.Tcp { host = "127.0.0.1"; port }
+  | None -> Sv_client.Unix_socket socket
+
+let codec_policy = function
+  | Scheduler.Baseline -> Sv_codec.Baseline
+  | Scheduler.Emodel -> Sv_codec.Emodel
+  | Scheduler.Gopt _ -> Sv_codec.Gopt
+  | Scheduler.Opt _ -> Sv_codec.Opt
+
+let serve socket tcp jobs queue cache cache_dir trace_file metrics_file =
+  let base = { Config.default with Config.trace_file; metrics_file } in
+  Telemetry.with_config base @@ fun () ->
+  let jobs = Option.value jobs ~default:Config.default.Config.jobs in
+  let dcfg =
+    {
+      (Sv_daemon.default_config ~socket_path:socket) with
+      Sv_daemon.tcp_port = tcp;
+      jobs;
+      queue_capacity = queue;
+      cache_capacity = cache;
+      cache_dir;
+    }
+  in
+  let t = Sv_daemon.start dcfg in
+  Printf.printf "mlbs scheduling service %s (protocol v%d)\n" Sv_version.version
+    Sv_codec.protocol_version;
+  Printf.printf "listening on %s%s\n" socket
+    (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "");
+  Printf.printf "jobs=%d queue=%d cache=%d%s\n%!" jobs queue cache
+    (match cache_dir with Some d -> " cache-dir=" ^ d | None -> "");
+  let on_signal _ = Sv_daemon.stop t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sv_daemon.wait t;
+  Printf.printf "server stopped\n";
+  0
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Config.default.Config.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission-queue bound; further solve requests are shed with a retry hint.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int Config.default.Config.cache_capacity
+      & info [ "cache" ] ~docv:"N" ~doc:"Schedule-cache capacity (LRU entries).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Warm the cache from $(docv) on start; persist hot entries on shutdown.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc:"Solver pool size (default: all cores).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the scheduling service daemon")
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg $ cache_arg
+      $ cache_dir_arg $ trace_file_arg $ metrics_file_arg)
+
+let build_request ~policy ~rate ~seed ~n ~source ~start ~load =
+  let topology =
+    match load with
+    | Some path ->
+        let g = Network.graph (Mlbs_workload.Persist.load_network path) in
+        Sv_codec.Adj
+          (Array.init (Mlbs_graph.Graph.n_nodes g) (fun u ->
+               Array.to_list (Mlbs_graph.Graph.neighbors g u)))
+    | None -> Sv_codec.Gen { n; radius = Config.default.Config.radius }
+  in
+  { Sv_codec.policy = codec_policy policy; rate; seed; topology; source; start }
+
+let verify_against_local req (ok : Sv_codec.ok_reply) =
+  let _, local = Sv_daemon.solve req in
+  Sv_codec.schedule_bytes local = Sv_codec.schedule_bytes ok.Sv_codec.schedule
+
+let request socket tcp n seed rate policy source start load verify verbose =
+  let req = build_request ~policy ~rate ~seed ~n ~source ~start ~load in
+  let c, `Version server_version, `Match version_match = endpoint socket tcp |> Sv_client.connect in
+  Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+  match Sv_client.request_retry c req with
+  | Sv_client.Ok ok ->
+      Printf.printf "server:        %s%s\n" server_version
+        (if version_match then "" else Printf.sprintf " (client is %s)" Sv_version.version);
+      Printf.printf "trace id:      %s (cache %s)\n" ok.Sv_codec.trace_id
+        (if ok.Sv_codec.cache_hit then "hit" else "miss");
+      Printf.printf "latency:       %d %s\n" ok.Sv_codec.stats.Sv_codec.elapsed
+        (match rate with None -> "rounds" | Some _ -> "slots");
+      Printf.printf "transmissions: %d\n" ok.Sv_codec.stats.Sv_codec.transmissions;
+      Printf.printf "solve time:    %d us (%d search states)\n"
+        ok.Sv_codec.stats.Sv_codec.solve_us ok.Sv_codec.stats.Sv_codec.search_states;
+      if verbose then Format.printf "%a@." Schedule.pp ok.Sv_codec.schedule;
+      if verify then begin
+        let same = verify_against_local req ok in
+        Printf.printf "verify:        %s\n"
+          (if same then "byte-identical to direct scheduler" else "MISMATCH");
+        if same then 0 else 1
+      end
+      else 0
+  | Sv_client.Rejected { retry_after_ms } ->
+      Printf.eprintf "rejected: queue full, retry after %d ms\n" retry_after_ms;
+      1
+  | Sv_client.Error msg ->
+      Printf.eprintf "server error: %s\n" msg;
+      1
+
+let request_cmd =
+  let source_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "source" ] ~docv:"NODE"
+          ~doc:"Broadcast source (default: the server's eccentricity-based pick).")
+  in
+  let start_arg =
+    Arg.(value & opt int 1 & info [ "start" ] ~docv:"SLOT" ~doc:"Start slot t_s.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "load" ] ~docv:"FILE"
+          ~doc:
+            "Send the explicit adjacency of a deployment saved by 'generate --save' \
+             instead of generator parameters.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Re-solve locally and check the reply is byte-identical.")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc:"Send one solve request to the scheduling service")
+    Term.(
+      const request $ socket_arg $ tcp_arg $ nodes_arg $ seed_arg $ rate_arg
+      $ policy_arg $ source_arg $ start_arg $ load_arg $ verify_arg $ verbose_arg)
+
+(* loadgen: [concurrency] client threads, each with its own connection,
+   striping [requests] requests over [seeds] distinct instances (the
+   seed space sets the attainable hit ratio: after each instance's
+   first solve, repeats are cache hits). *)
+let loadgen socket tcp requests concurrency n seeds policy rate verify_sample smoke =
+  let ep = endpoint socket tcp in
+  let lat_us = Array.make (max 1 requests) 0.0 in
+  let results = Array.make (max 1 requests) `Err in
+  let req_of i =
+    build_request ~policy ~rate ~seed:(1 + (i mod seeds)) ~n ~source:None ~start:1
+      ~load:None
+  in
+  let worker w () =
+    let c, _, _ = Sv_client.connect ep in
+    Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+    let i = ref w in
+    while !i < requests do
+      let t0 = Unix.gettimeofday () in
+      (results.(!i) <-
+         (match Sv_client.request_retry ~attempts:8 c (req_of !i) with
+         | Sv_client.Ok ok -> if ok.Sv_codec.cache_hit then `Hit else `Miss
+         | Sv_client.Rejected _ -> `Rejected
+         | Sv_client.Error _ -> `Err));
+      lat_us.(!i) <- (Unix.gettimeofday () -. t0) *. 1e6;
+      i := !i + concurrency
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init concurrency (fun w -> Thread.create (worker w) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let count tag = Array.fold_left (fun a r -> if r = tag then a + 1 else a) 0 results in
+  let hits = count `Hit and misses = count `Miss in
+  let rejected = count `Rejected and errors = count `Err in
+  let ok_lats =
+    Array.of_list
+      (List.filteri (fun i _ -> results.(i) = `Hit || results.(i) = `Miss)
+         (Array.to_list lat_us))
+  in
+  Array.sort compare ok_lats;
+  let pct q =
+    if Array.length ok_lats = 0 then 0.0
+    else
+      ok_lats.(min (Array.length ok_lats - 1)
+                 (int_of_float (ceil (q *. float_of_int (Array.length ok_lats))) - 1))
+  in
+  Printf.printf "loadgen: %d requests, %d clients, %d instances (n=%d, %s)\n" requests
+    concurrency seeds n
+    (match rate with None -> "sync" | Some r -> Printf.sprintf "r=%d" r);
+  Printf.printf "outcome: ok=%d (hit=%d miss=%d) rejected=%d error=%d\n"
+    (hits + misses) hits misses rejected errors;
+  Printf.printf "throughput: %.0f req/s (%.2f s wall)\n"
+    (float_of_int requests /. wall_s)
+    wall_s;
+  Printf.printf "latency us: p50=%.0f p95=%.0f p99=%.0f\n" (pct 0.50) (pct 0.95) (pct 0.99);
+  (* Byte-compare a sample of served schedules against the direct
+     scheduler — one per distinct instance sampled. *)
+  let mismatches = ref 0 in
+  let sample = min verify_sample seeds in
+  if sample > 0 then begin
+    let c, _, _ = Sv_client.connect ep in
+    Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+    for s = 0 to sample - 1 do
+      let req = req_of s in
+      match Sv_client.request_retry ~attempts:8 c req with
+      | Sv_client.Ok ok -> if not (verify_against_local req ok) then incr mismatches
+      | Sv_client.Rejected _ | Sv_client.Error _ -> incr mismatches
+    done;
+    Printf.printf "verify: %d/%d sampled replies byte-identical to direct scheduler\n"
+      (sample - !mismatches) sample
+  end;
+  let failed = errors + !mismatches + if smoke then rejected else 0 in
+  if smoke && failed > 0 then begin
+    Printf.eprintf "smoke: %d failed requests\n" failed;
+    1
+  end
+  else if !mismatches > 0 then 1
+  else 0
+
+let loadgen_cmd =
+  let requests_arg =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency" ] ~docv:"C" ~doc:"Concurrent client connections.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "instances" ] ~docv:"K"
+          ~doc:
+            "Distinct instance seeds striped over the requests — sets the attainable \
+             cache-hit ratio.")
+  in
+  let verify_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "verify-sample" ] ~docv:"K"
+          ~doc:"Byte-compare $(docv) served instances against the direct scheduler.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI mode: any error, mismatch or unserved rejection fails the run.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc:"Drive the scheduling service with concurrent clients")
+    Term.(
+      const loadgen $ socket_arg $ tcp_arg $ requests_arg $ concurrency_arg $ nodes_arg
+      $ seeds_arg $ policy_arg $ rate_arg $ verify_arg $ smoke_arg)
+
 (* -------------------------- experiment ----------------------------- *)
 
 let experiment figure quick smoke jobs csv_dir trace_file metrics_file =
@@ -534,15 +812,17 @@ let experiment_cmd =
 
 let () =
   let info =
-    Cmd.info "mlbs" ~version:"1.0.0"
+    Cmd.info "mlbs" ~version:Sv_version.version
       ~doc:
         "Minimum-latency broadcast scheduling with conflict awareness in WSNs \
          (Jiang et al., ICPP 2012)"
   in
+  (* [~term_err:2]: malformed flags and unknown subcommands exit 2 (with
+     usage on stderr), distinct from the domain failures that exit 1. *)
   exit
-    (Cmd.eval'
+    (Cmd.eval' ~term_err:2
        (Cmd.group info
           [
             generate_cmd; schedule_cmd; trace_cmd; experiment_cmd; tree_cmd; energy_cmd;
-            localized_cmd; faults_cmd;
+            localized_cmd; faults_cmd; serve_cmd; request_cmd; loadgen_cmd;
           ]))

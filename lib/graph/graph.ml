@@ -92,4 +92,25 @@ let common_neighbor_in g u v ~candidates =
   in
   loop 0
 
+(* Canonical digest: fold a splitmix64-style finalizer over the sorted
+   CSR rows, so the value depends on the labelled edge set alone and
+   never on how the graph was presented to the constructor. *)
+let dmix h x =
+  let open Int64 in
+  let h = add h x in
+  let h = mul (logxor h (shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
+  let h = mul (logxor h (shift_right_logical h 27)) 0x94d049bb133111ebL in
+  logxor h (shift_right_logical h 31)
+
+let digest g =
+  let h = ref (dmix 0x6d6c62732d676468L (Int64.of_int g.n)) in
+  for u = 0 to g.n - 1 do
+    let arr = g.adj.(u) in
+    for i = 0 to Array.length arr - 1 do
+      let v = arr.(i) in
+      if u < v then h := dmix (dmix !h (Int64.of_int u)) (Int64.of_int v)
+    done
+  done;
+  !h
+
 let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

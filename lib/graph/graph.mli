@@ -56,5 +56,14 @@ val max_degree : t -> int
     predicate with [candidates = W̄]. Allocation-free. *)
 val common_neighbor_in : t -> int -> int -> candidates:Mlbs_util.Bitset.t -> bool
 
+(** [digest g] is a canonical 64-bit digest of the labelled adjacency:
+    two graphs digest equal iff they have the same node count and the
+    same edge set, however they were presented — edge-list order,
+    duplicate edges and [of_edges]-vs-[of_adjacency] construction all
+    collapse to the same value, while flipping a single edge changes
+    it (with overwhelming probability). This is the content-address
+    primitive of the scheduling service's schedule cache. *)
+val digest : t -> int64
+
 (** [pp] prints a summary "graph(n=…, m=…)". *)
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(** Wire protocol of the scheduling service: length-prefixed binary
+    frames over a Unix-domain or TCP stream.
+
+    Frame layout: a 4-byte big-endian payload length, then the payload.
+    The first payload byte is the message tag; the rest is the
+    fixed-order field encoding below (big-endian integers, 8-byte IEEE
+    floats, strings and lists length-prefixed). A frame longer than
+    {!max_frame} is rejected before any allocation proportional to it,
+    so a corrupt or hostile peer cannot OOM the daemon.
+
+    The encoding is canonical: equal values encode to equal bytes,
+    which is what lets the CI smoke job byte-compare served schedules
+    against direct {!Mlbs_core.Scheduler} output. *)
+
+(** Protocol revision carried in the handshake; bumped on any frame
+    layout change. *)
+val protocol_version : int
+
+(** Hard ceiling on a frame's payload size (bytes). *)
+val max_frame : int
+
+(** Scheduling policy requested for a solve; [Gopt]/[Opt] run with the
+    library's default budgets (the same ones [mlbs schedule] uses). *)
+type policy = Baseline | Emodel | Gopt | Opt
+
+(** What to solve over: either generator parameters — the daemon samples
+    the deployment exactly as [mlbs schedule --n N --seed S] would — or
+    an explicit symmetric adjacency shipped in the request. *)
+type topology =
+  | Gen of { n : int; radius : float }
+  | Adj of int list array
+
+type request = {
+  policy : policy;
+  rate : int option;  (** duty-cycle rate; [None] = synchronous *)
+  seed : int;  (** deployment / wake-schedule / source-selection seed *)
+  topology : topology;
+  source : int option;
+      (** explicit source; [None] derives it (paper eccentricity window
+          for [Gen], node 0 for [Adj]) *)
+  start : int;  (** first transmission slot, [mlbs schedule] uses 1 *)
+}
+
+(** Per-solve statistics carried in an [Ok] reply. [search_states] is
+    the process-wide M-counter state delta observed around the solve —
+    exact when the daemon is idle, an aggregate under concurrency. *)
+type stats = {
+  elapsed : int;
+  transmissions : int;
+  n_steps : int;
+  search_states : int;
+  solve_us : int;
+}
+
+type ok_reply = {
+  trace_id : string;  (** server-side span id, greppable in the trace *)
+  cache_hit : bool;
+  stats : stats;
+  schedule : Mlbs_core.Schedule.t;
+}
+
+type msg =
+  | Hello of { proto : int; version : string }
+  | Hello_ack of { proto : int; version : string; version_match : bool }
+  | Request of request
+  | Reply_ok of ok_reply
+  | Reply_rejected of { retry_after_ms : int }
+      (** admission queue full: overload is shed explicitly, retry after
+          the hinted delay *)
+  | Reply_error of string  (** malformed or unsatisfiable request *)
+  | Stats_request
+  | Stats_reply of (string * int) list
+  | Shutdown
+  | Shutdown_ack
+
+exception Malformed of string
+
+(** [encode msg] is the payload bytes (no length prefix). *)
+val encode : msg -> string
+
+(** [decode payload] parses one payload; raises {!Malformed} on
+    anything but a complete well-formed message. *)
+val decode : string -> msg
+
+(** [schedule_bytes s] is the canonical encoding of a schedule alone —
+    the byte string loadgen and the CI smoke job compare against a
+    direct scheduler run. *)
+val schedule_bytes : Mlbs_core.Schedule.t -> string
+
+(** [send fd msg] writes one frame, handling partial writes. *)
+val send : Unix.file_descr -> msg -> unit
+
+(** [recv fd] reads one frame; [None] on a clean EOF at a frame
+    boundary. Raises {!Malformed} on truncation mid-frame, an oversized
+    length, or a payload that does not parse. *)
+val recv : Unix.file_descr -> msg option

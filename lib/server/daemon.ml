@@ -1,0 +1,581 @@
+module C = Codec
+module Pool = Mlbs_util.Pool
+module Rng = Mlbs_prng.Rng
+module Point = Mlbs_geom.Point
+module Graph = Mlbs_graph.Graph
+module Network = Mlbs_wsn.Network
+module Deployment = Mlbs_wsn.Deployment
+module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+module Scheduler = Mlbs_core.Scheduler
+module Config = Mlbs_workload.Config
+module Persist = Mlbs_workload.Persist
+module Obs = Mlbs_obs.Obs
+module Metrics = Mlbs_obs.Metrics
+module Trace = Mlbs_obs.Trace
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  jobs : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  cache_dir : string option;
+  persist_limit : int;
+}
+
+let default_config ~socket_path =
+  let c = Config.default in
+  {
+    socket_path = Some socket_path;
+    tcp_port = None;
+    jobs = c.Config.jobs;
+    queue_capacity = c.Config.queue_capacity;
+    cache_capacity = c.Config.cache_capacity;
+    cache_dir = None;
+    persist_limit = 64;
+  }
+
+type entry = { stats : C.stats; schedule : Schedule.t }
+
+(* ---------------------------- metrics ------------------------------ *)
+
+let m_requests = Metrics.counter "server/requests"
+let m_ok = Metrics.counter "server/replies_ok"
+let m_rejected = Metrics.counter "server/rejected"
+let m_errors = Metrics.counter "server/errors"
+let m_connections = Metrics.counter "server/connections"
+let m_batches = Metrics.counter "server/batches"
+let m_bad_frames = Metrics.counter "server/bad_frames"
+let h_request_us = Metrics.histogram "server/request_us"
+let h_solve_us = Metrics.histogram "server/solve_us"
+let g_queue_depth = Metrics.gauge "server/queue_depth"
+
+(* ------------------------ request resolution ----------------------- *)
+
+(* The paper's source-eccentricity window, as [mlbs schedule] uses. *)
+let min_ecc = Config.default.Config.min_ecc
+let max_ecc = Config.default.Config.max_ecc
+
+type resolved = { rnet : Network.t; rdigest : int64; rsource : int }
+
+(* Explicit adjacencies carry no geometry; synthesize a unit grid of
+   distinct positions (quadrants and hull then derive from the fake
+   geometry, deterministically — the schedule's conflict-freedom only
+   depends on the graph). *)
+let network_of_adjacency adj =
+  let g = Graph.of_adjacency adj in
+  let n = Graph.n_nodes g in
+  let cols = max 1 (int_of_float (ceil (sqrt (float_of_int (max n 1))))) in
+  let points =
+    Array.init n (fun i -> Point.v (float_of_int (i mod cols)) (float_of_int (i / cols)))
+  in
+  Network.of_graph ~radius:1.0 ~points g
+
+let build_topology (req : C.request) =
+  match req.C.topology with
+  | C.Gen { n; radius } ->
+      let spec =
+        {
+          Deployment.n_nodes = n;
+          width = Config.default.Config.width;
+          height = Config.default.Config.height;
+          radius;
+          shape = Deployment.Uniform;
+        }
+      in
+      Deployment.generate (Rng.create req.C.seed) spec
+  | C.Adj adj -> network_of_adjacency adj
+
+let resolve_fresh (req : C.request) =
+  let net = build_topology req in
+  let rdigest = Graph.digest (Network.graph net) in
+  let rsource =
+    match req.C.topology with
+    | C.Gen _ -> Deployment.select_source (Rng.create req.C.seed) net ~min_ecc ~max_ecc
+    | C.Adj _ -> 0
+  in
+  { rnet = net; rdigest; rsource }
+
+(* Generator requests are memoised on (n, radius, seed) so a warm
+   request never re-samples the deployment or re-runs the source
+   eccentricity scan; explicit adjacencies were shipped in the frame
+   and are rebuilt in O(n + m). *)
+let resolve ?memo (req : C.request) =
+  match (req.C.topology, memo) with
+  | C.Gen { n; radius }, Some memo -> (
+      let mkey = Printf.sprintf "g:%d:%h:%d" n radius req.C.seed in
+      match Cache.find memo mkey with
+      | Some r -> r
+      | None ->
+          let r = resolve_fresh req in
+          Cache.add memo mkey r;
+          r)
+  | _ -> resolve_fresh req
+
+let source_of (req : C.request) r =
+  match req.C.source with
+  | None -> r.rsource
+  | Some s ->
+      if s < 0 || s >= Network.n_nodes r.rnet then
+        failwith (Printf.sprintf "source %d out of range [0,%d)" s (Network.n_nodes r.rnet));
+      s
+
+let system_of (req : C.request) net =
+  match req.C.rate with
+  | None -> Model.Sync
+  | Some rate ->
+      Model.Async (Wake_schedule.create ~rate ~n_nodes:(Network.n_nodes net) ~seed:req.C.seed ())
+
+let policy_of = function
+  | C.Baseline -> Scheduler.Baseline
+  | C.Emodel -> Scheduler.Emodel
+  | C.Gopt -> Scheduler.gopt
+  | C.Opt -> Scheduler.opt
+
+let policy_tag = function C.Baseline -> 0 | C.Emodel -> 1 | C.Gopt -> 2 | C.Opt -> 3
+
+(* The content address: everything the served schedule is a function
+   of. The wake-schedule seed participates only under a duty cycle, so
+   sync requests for the same graph content hit regardless of seed. *)
+let key_of (req : C.request) ~digest ~source =
+  Printf.sprintf "%016Lx:p%d:r%d:w%d:s%d:t%d" digest (policy_tag req.C.policy)
+    (match req.C.rate with None -> -1 | Some r -> r)
+    (match req.C.rate with None -> 0 | Some _ -> req.C.seed)
+    source req.C.start
+
+let cache_key req =
+  let r = resolve req in
+  key_of req ~digest:r.rdigest ~source:(source_of req r)
+
+let do_solve model policy ~source ~start =
+  let s0 = Metrics.counter_value "search/states" in
+  let t0 = Obs.now_us () in
+  let plan = Scheduler.run model policy ~source ~start in
+  let dt = Obs.now_us () -. t0 in
+  let stats =
+    {
+      C.elapsed = Schedule.elapsed plan;
+      transmissions = Schedule.n_transmissions plan;
+      n_steps = List.length (Schedule.steps plan);
+      search_states = max 0 (Metrics.counter_value "search/states" - s0);
+      solve_us = int_of_float dt;
+    }
+  in
+  Metrics.observe h_solve_us stats.C.solve_us;
+  (stats, plan)
+
+let solve req =
+  let r = resolve req in
+  let source = source_of req r in
+  let model = Model.create r.rnet (system_of req r.rnet) in
+  do_solve model (policy_of req.C.policy) ~source ~start:req.C.start
+
+(* ------------------------ cache persistence ------------------------ *)
+
+let rec mkdir_p d =
+  if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let index_file dir = Filename.concat dir "index.txt"
+
+let save_cache ~dir ~limit cache =
+  mkdir_p dir;
+  let entries =
+    List.filteri (fun i _ -> i < limit) (Cache.to_list_mru cache)
+  in
+  let oc = open_out (index_file dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "mlbs-cache-index 1 %d\n" (List.length entries);
+      List.iteri
+        (fun i (key, e) ->
+          let stem = Printf.sprintf "e%04d" i in
+          Persist.save_schedule (Filename.concat dir (stem ^ ".sched")) e.schedule;
+          Printf.fprintf oc "entry %s %s %d %d %d %d %d\n" stem key e.stats.C.elapsed
+            e.stats.C.transmissions e.stats.C.n_steps e.stats.C.search_states
+            e.stats.C.solve_us)
+        entries);
+  List.length entries
+
+let load_cache ~dir cache =
+  if not (Sys.file_exists (index_file dir)) then 0
+  else begin
+    let ic = open_in (index_file dir) in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    match lines with
+    | header :: rest when String.length header >= 18
+                          && String.sub header 0 18 = "mlbs-cache-index 1" ->
+        let parsed =
+          List.filter_map
+            (fun line ->
+              match String.split_on_char ' ' line with
+              | [ "entry"; stem; key; el; tx; st; ss; su ] -> (
+                  try
+                    let schedule =
+                      Persist.load_schedule (Filename.concat dir (stem ^ ".sched"))
+                    in
+                    let stats =
+                      {
+                        C.elapsed = int_of_string el;
+                        transmissions = int_of_string tx;
+                        n_steps = int_of_string st;
+                        search_states = int_of_string ss;
+                        solve_us = int_of_string su;
+                      }
+                    in
+                    Some (key, { stats; schedule })
+                  with _ -> None)
+              | _ -> None)
+            rest
+        in
+        (* The index lists MRU first; re-insert LRU first so the warm
+           cache restores the recency order. *)
+        List.iter (fun (key, e) -> Cache.add cache key e) (List.rev parsed);
+        List.length parsed
+    | _ -> failwith (Printf.sprintf "Daemon.load_cache: %s is not a v1 index" (index_file dir))
+  end
+
+(* ----------------------------- daemon ------------------------------ *)
+
+type job = {
+  jmodel : Model.t;
+  jpolicy : C.policy;
+  jsource : int;
+  jstart : int;
+  jkey : string;
+  jm : Mutex.t;
+  jcv : Condition.t;
+  mutable jresult : (entry, string) result option;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : entry Cache.t;
+  topo : resolved Cache.t;
+  qm : Mutex.t;
+  qcv : Condition.t;
+  jobs_q : job Queue.t;
+  stop_requested : bool Atomic.t;
+  mutable draining_done : bool;
+  mutable listeners : (Unix.file_descr * string option) list;
+      (* fd plus the path to unlink for Unix-domain listeners *)
+  trace_ctr : int Atomic.t;
+  mutable acceptor : Thread.t option;
+  mutable dispatcher : Thread.t option;
+  mutable cleaned : bool;
+}
+
+let stop t = Atomic.set t.stop_requested true
+
+let fresh_trace_id t digest =
+  Printf.sprintf "rq-%06d-%08Lx" (Atomic.fetch_and_add t.trace_ctr 1)
+    (Int64.logand digest 0xffff_ffffL)
+
+(* -------------------------- dispatcher ----------------------------- *)
+
+let run_job job =
+  try
+    let stats, schedule =
+      do_solve job.jmodel (policy_of job.jpolicy) ~source:job.jsource ~start:job.jstart
+    in
+    Ok { stats; schedule }
+  with e -> Error (Printexc.to_string e)
+
+let rec dispatcher_loop t =
+  Mutex.lock t.qm;
+  while Queue.is_empty t.jobs_q && not (Atomic.get t.stop_requested) do
+    Condition.wait t.qcv t.qm
+  done;
+  if Queue.is_empty t.jobs_q then begin
+    (* Drained and stopping: admission observes [draining_done] under
+       the same mutex, so no job can slip in after this point. *)
+    t.draining_done <- true;
+    Mutex.unlock t.qm
+  end
+  else begin
+    let batch_n = min (Pool.size t.pool) (Queue.length t.jobs_q) in
+    let batch = Array.init batch_n (fun _ -> Queue.pop t.jobs_q) in
+    Metrics.set g_queue_depth (Queue.length t.jobs_q);
+    Mutex.unlock t.qm;
+    Metrics.incr m_batches;
+    let results = Pool.map_on t.pool run_job batch in
+    Array.iteri
+      (fun i job ->
+        (match results.(i) with
+        | Ok e -> Cache.add t.cache job.jkey e
+        | Error _ -> ());
+        Mutex.lock job.jm;
+        job.jresult <- Some results.(i);
+        Condition.signal job.jcv;
+        Mutex.unlock job.jm)
+      batch;
+    dispatcher_loop t
+  end
+
+(* ------------------------ request handling ------------------------- *)
+
+let reply_error msg =
+  Metrics.incr m_errors;
+  C.Reply_error msg
+
+let admit t job =
+  Mutex.lock t.qm;
+  if t.draining_done || Atomic.get t.stop_requested then begin
+    Mutex.unlock t.qm;
+    Some (reply_error "server is shutting down")
+  end
+  else if Queue.length t.jobs_q >= t.cfg.queue_capacity then begin
+    let depth = Queue.length t.jobs_q in
+    Mutex.unlock t.qm;
+    Metrics.incr m_rejected;
+    Some (C.Reply_rejected { retry_after_ms = 10 * (depth + 1) })
+  end
+  else begin
+    Queue.add job t.jobs_q;
+    Metrics.set g_queue_depth (Queue.length t.jobs_q);
+    Condition.signal t.qcv;
+    Mutex.unlock t.qm;
+    None
+  end
+
+let handle_request t (req : C.request) =
+  Metrics.incr m_requests;
+  let t0 = Obs.now_us () in
+  let reply =
+    match resolve ~memo:t.topo req with
+    | exception e -> reply_error (Printexc.to_string e)
+    | r -> (
+        match source_of req r with
+        | exception e -> reply_error (Printexc.to_string e)
+        | source -> (
+            let key = key_of req ~digest:r.rdigest ~source in
+            match Cache.find t.cache key with
+            | Some e ->
+                Metrics.incr m_ok;
+                C.Reply_ok
+                  {
+                    trace_id = fresh_trace_id t r.rdigest;
+                    cache_hit = true;
+                    stats = e.stats;
+                    schedule = e.schedule;
+                  }
+            | None -> (
+                match Model.create r.rnet (system_of req r.rnet) with
+                | exception e -> reply_error (Printexc.to_string e)
+                | model -> (
+                    let job =
+                      {
+                        jmodel = model;
+                        jpolicy = req.C.policy;
+                        jsource = source;
+                        jstart = req.C.start;
+                        jkey = key;
+                        jm = Mutex.create ();
+                        jcv = Condition.create ();
+                        jresult = None;
+                      }
+                    in
+                    match admit t job with
+                    | Some shed -> shed
+                    | None ->
+                        Mutex.lock job.jm;
+                        while job.jresult = None do
+                          Condition.wait job.jcv job.jm
+                        done;
+                        let result = Option.get job.jresult in
+                        Mutex.unlock job.jm;
+                        (match result with
+                        | Ok e ->
+                            Metrics.incr m_ok;
+                            C.Reply_ok
+                              {
+                                trace_id = fresh_trace_id t r.rdigest;
+                                cache_hit = false;
+                                stats = e.stats;
+                                schedule = e.schedule;
+                              }
+                        | Error msg -> reply_error msg)))))
+  in
+  let dt = Obs.now_us () -. t0 in
+  Metrics.observe h_request_us (int_of_float dt);
+  if Obs.tracing_enabled () then
+    Trace.complete ~cat:"server" ~name:"request" ~t0_us:t0 ~dur_us:dt ();
+  reply
+
+let server_stats () =
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name >= 7 && String.sub name 0 7 = "server/" then
+        Some
+          ( name,
+            match (v : Metrics.value) with
+            | Metrics.Count c -> c
+            | Metrics.Level l -> l
+            | Metrics.Dist { total; _ } -> total )
+      else None)
+    (Metrics.snapshot ())
+
+let handle_conn t fd =
+  Metrics.incr m_connections;
+  let rec loop () =
+    match C.recv fd with
+    | None -> ()
+    | Some msg ->
+        let continue =
+          match msg with
+          | C.Hello { proto; version } ->
+              C.send fd
+                (C.Hello_ack
+                   {
+                     proto = C.protocol_version;
+                     version = Version.version;
+                     version_match =
+                       proto = C.protocol_version && version = Version.version;
+                   });
+              true
+          | C.Request req ->
+              C.send fd (handle_request t req);
+              true
+          | C.Stats_request ->
+              C.send fd (C.Stats_reply (server_stats ()));
+              true
+          | C.Shutdown ->
+              C.send fd C.Shutdown_ack;
+              stop t;
+              false
+          | C.Hello_ack _ | C.Reply_ok _ | C.Reply_rejected _ | C.Reply_error _
+          | C.Stats_reply _ | C.Shutdown_ack ->
+              C.send fd (C.Reply_error "unexpected message from client");
+              true
+        in
+        if continue then loop ()
+  in
+  (try loop () with
+  | C.Malformed _ ->
+      Metrics.incr m_bad_frames;
+      (try C.send fd (C.Reply_error "malformed frame") with _ -> ())
+  | Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+(* --------------------------- listeners ----------------------------- *)
+
+let bind_unix path =
+  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  (fd, Some path)
+
+let bind_tcp port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  (fd, None)
+
+let acceptor_loop t =
+  let fds = List.map fst t.listeners in
+  let rec loop () =
+    if not (Atomic.get t.stop_requested) then begin
+      (match Unix.select fds [] [] 0.25 with
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ -> ignore (Thread.create (handle_conn t) fd)
+              | exception Unix.Unix_error (_, _, _) -> ())
+            ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* --------------------------- lifecycle ----------------------------- *)
+
+let start cfg =
+  if cfg.socket_path = None && cfg.tcp_port = None then
+    failwith "Daemon.start: no listener configured (need a socket path or TCP port)";
+  (* The registry is the server's own observability surface; tracing
+     stays at whatever the caller (Telemetry.with_config) selected. *)
+  Obs.enable ~metrics:true ~tracing:(Obs.tracing_enabled ()) ();
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let cache = Cache.create ~metrics_prefix:"server/cache" ~capacity:cfg.cache_capacity () in
+  (match cfg.cache_dir with Some dir -> ignore (load_cache ~dir cache) | None -> ());
+  let t =
+    {
+      cfg;
+      pool = Pool.create ~jobs:cfg.jobs;
+      cache;
+      topo = Cache.create ~metrics_prefix:"server/topo" ~capacity:256 ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      jobs_q = Queue.create ();
+      stop_requested = Atomic.make false;
+      draining_done = false;
+      listeners = [];
+      trace_ctr = Atomic.make 0;
+      acceptor = None;
+      dispatcher = None;
+      cleaned = false;
+    }
+  in
+  let listeners =
+    (match cfg.socket_path with Some p -> [ bind_unix p ] | None -> [])
+    @ (match cfg.tcp_port with Some p -> [ bind_tcp p ] | None -> [])
+  in
+  t.listeners <- listeners;
+  t.dispatcher <- Some (Thread.create dispatcher_loop t);
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let cleanup t =
+  if not t.cleaned then begin
+    t.cleaned <- true;
+    List.iter
+      (fun (fd, path) ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        match path with
+        | Some p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) -> ())
+        | None -> ())
+      t.listeners;
+    (match t.cfg.cache_dir with
+    | Some dir -> ignore (save_cache ~dir ~limit:t.cfg.persist_limit t.cache)
+    | None -> ());
+    Pool.shutdown t.pool
+  end
+
+let wait t =
+  (* Poll rather than block in a join: the waiting thread keeps
+     executing OCaml code, so a SIGINT/SIGTERM handler that calls
+     [stop] gets to run here. *)
+  while not (Atomic.get t.stop_requested) do
+    Thread.delay 0.05
+  done;
+  (* Wake the dispatcher from a normal (non-signal) context. *)
+  Mutex.lock t.qm;
+  Condition.broadcast t.qcv;
+  Mutex.unlock t.qm;
+  Option.iter Thread.join t.acceptor;
+  Option.iter Thread.join t.dispatcher;
+  cleanup t
+
+let run cfg = wait (start cfg)

@@ -1,0 +1,94 @@
+(** The scheduling daemon: a long-running service that accepts solve
+    requests over a Unix-domain (and optionally TCP) socket, dispatches
+    them onto a {!Mlbs_util.Pool} of worker domains behind a bounded
+    admission queue, and serves repeats from a content-addressed
+    schedule cache.
+
+    Flow of one request (see DESIGN.md §7):
+    + a connection thread decodes the frame and resolves the topology
+      (generator parameters are memoised, explicit adjacencies rebuilt),
+      giving the canonical {!Mlbs_graph.Graph.digest};
+    + the schedule cache is probed under the content address
+      [digest:policy:rate:wake-seed:source:start] — a hit replies
+      immediately, without touching the solvers;
+    + a miss is admitted to the bounded queue — or, when
+      [queue_capacity] solves are already waiting, shed with an explicit
+      [Reply_rejected] carrying a retry hint (the daemon never buffers
+      without bound);
+    + the dispatcher drains the queue in batches over the pool's
+      domains, inserts results into the cache, and wakes the waiting
+      connection threads.
+
+    Served schedules are byte-identical to a direct
+    {!Mlbs_core.Scheduler.run} on the same request, at any [jobs],
+    cache hit or miss — {!solve} below is that reference path, shared
+    by the dispatcher, [mlbs loadgen --verify] and the tests. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener *)
+  tcp_port : int option;  (** optional TCP listener on 127.0.0.1 *)
+  jobs : int;  (** solver pool size, as in [Pool.create] *)
+  queue_capacity : int;  (** admission bound; 0 rejects every miss *)
+  cache_capacity : int;  (** schedule-cache LRU entries *)
+  cache_dir : string option;
+      (** when set: warm the cache from this directory on start and
+          persist the hottest entries back on shutdown *)
+  persist_limit : int;  (** how many MRU entries to persist *)
+}
+
+(** Defaults from {!Mlbs_workload.Config.default}: jobs = all cores,
+    queue 64, cache 512, persist 64, no TCP, socket required. *)
+val default_config : socket_path:string -> config
+
+(** A running daemon. *)
+type t
+
+(** [start cfg] binds the listeners, spawns the acceptor and dispatcher
+    threads and returns. Raises [Failure] when no listener is
+    configured or a bind fails. Enables the {!Mlbs_obs} metrics
+    registry (the server's own counters live under [server/…]). *)
+val start : config -> t
+
+(** [stop t] initiates shutdown: stops accepting, lets queued solves
+    finish, wakes everything. Idempotent, safe from signal handlers and
+    connection threads (the [Shutdown] frame calls it). *)
+val stop : t -> unit
+
+(** [wait t] blocks until the daemon has stopped, then releases
+    everything: joins the threads, shuts the pool down, persists hot
+    cache entries when [cache_dir] is set, closes and unlinks the
+    sockets. *)
+val wait : t -> unit
+
+(** [run cfg] is [start] + [wait] — serve until {!stop} is called from
+    a signal handler or a client sends [Shutdown]. *)
+val run : config -> unit
+
+(* ------------------------------------------------------------------ *)
+
+(** [solve req] is the reference solve path: build the topology, derive
+    the model and source, run the scheduler — no daemon, no cache. The
+    daemon's replies carry exactly this schedule. Raises [Failure] on
+    unsatisfiable requests (bad source, disconnected density, …). *)
+val solve : Codec.request -> Codec.stats * Mlbs_core.Schedule.t
+
+(** [cache_key req] is the content address the daemon files [req]
+    under: canonical graph digest + policy + rate + wake-seed + source
+    + start. Exposed for tests. *)
+val cache_key : Codec.request -> string
+
+(* --------------------- cache persistence ------------------------- *)
+
+(** One cached solve. *)
+type entry = { stats : Codec.stats; schedule : Mlbs_core.Schedule.t }
+
+(** [save_cache ~dir ~limit cache] writes the [limit] hottest entries
+    (MRU first) into [dir] — an [index.txt] plus one
+    {!Mlbs_workload.Persist} schedule file per entry — creating [dir]
+    if needed. Returns the number persisted. *)
+val save_cache : dir:string -> limit:int -> entry Cache.t -> int
+
+(** [load_cache ~dir cache] warms [cache] from a directory written by
+    {!save_cache}, restoring the recency order; unreadable entries are
+    skipped. Returns the number loaded (0 when [dir] has no index). *)
+val load_cache : dir:string -> entry Cache.t -> int

@@ -1,0 +1,4 @@
+(** The build's version string (injected by dune from the project
+    version), shared by [mlbs --version] and the scheduling service's
+    handshake so client and server can detect a skew. *)
+val version : string

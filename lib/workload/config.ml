@@ -17,6 +17,8 @@ type t = {
   fault_seed : int;
   trace_file : string option;
   metrics_file : string option;
+  queue_capacity : int;
+  cache_capacity : int;
 }
 
 let default =
@@ -37,6 +39,8 @@ let default =
     fault_seed = 0xFA17;
     trace_file = None;
     metrics_file = None;
+    queue_capacity = 64;
+    cache_capacity = 512;
   }
 
 let quick =

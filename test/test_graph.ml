@@ -204,6 +204,36 @@ let gen_relation =
            let conflict a b = a <> b && arr.((min a b * 9) + max a b) in
            (n, conflict)))
 
+(* ----------------------------- digest ------------------------------ *)
+
+let test_digest_canonical () =
+  (* The same labelled adjacency built two different ways. *)
+  let a = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (4, 5) ] in
+  let b =
+    Graph.of_edges ~n:6
+      [ (5, 4); (4, 3); (0, 4); (2, 1); (3, 2); (1, 0); (0, 1) (* dup collapses *) ]
+  in
+  let c =
+    Graph.of_adjacency
+      [| [ 1; 4 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2; 4 ]; [ 0; 3; 5 ]; [ 4 ] |]
+  in
+  Alcotest.(check int64) "edge order irrelevant" (Graph.digest a) (Graph.digest b);
+  Alcotest.(check int64) "adjacency build equal" (Graph.digest a) (Graph.digest c)
+
+let test_digest_discriminates () =
+  let base = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (4, 5) ] in
+  let flipped = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (3, 5) ] in
+  let extra = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (4, 5); (0, 2) ] in
+  let bigger = Graph.of_edges ~n:7 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0); (4, 5) ] in
+  Alcotest.(check bool) "edge flip differs" true (Graph.digest base <> Graph.digest flipped);
+  Alcotest.(check bool) "extra edge differs" true (Graph.digest base <> Graph.digest extra);
+  Alcotest.(check bool) "node count differs" true (Graph.digest base <> Graph.digest bigger);
+  (* Labels matter: digest is over the labelled graph, not the
+     isomorphism class. *)
+  let relabel = Graph.of_edges ~n:6 [ (1, 2); (2, 3); (3, 4); (4, 0); (0, 1); (0, 5) ] in
+  Alcotest.(check bool) "relabelling differs" true
+    (Graph.digest base <> Graph.digest relabel)
+
 let props =
   [
     prop "greedy coloring always valid" gen_relation (fun (n, conflict) ->
@@ -229,6 +259,22 @@ let props =
             (* The class itself may already be maximal and enumerated. *)
             List.mem (List.sort compare cls) (List.map (List.sort compare) sets))
           classes);
+    prop "digest invariant under edge-list shuffle" QCheck2.Gen.(0 -- 1000) (fun seed ->
+        let rng = Mlbs_prng.Rng.create seed in
+        let n = 2 + Mlbs_prng.Rng.int rng 20 in
+        let edges = ref [] in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if Mlbs_prng.Rng.float rng 1.0 < 0.3 then edges := (u, v) :: !edges
+          done
+        done;
+        let shuffled =
+          List.sort
+            (fun a b -> compare (Hashtbl.hash (a, seed)) (Hashtbl.hash (b, seed)))
+            (List.map (fun (u, v) -> if seed mod 2 = 0 then (v, u) else (u, v)) !edges)
+        in
+        Graph.digest (Graph.of_edges ~n !edges)
+        = Graph.digest (Graph.of_edges ~n shuffled));
   ]
 
 let () =
@@ -253,6 +299,11 @@ let () =
         ] );
       ( "components",
         [ Alcotest.test_case "components" `Quick test_components ] );
+      ( "digest",
+        [
+          Alcotest.test_case "canonical" `Quick test_digest_canonical;
+          Alcotest.test_case "discriminates" `Quick test_digest_discriminates;
+        ] );
       ("metrics", [ Alcotest.test_case "metrics" `Quick test_metrics ]);
       ( "coloring",
         [

@@ -1,0 +1,430 @@
+module Codec = Mlbs_server.Codec
+module Cache = Mlbs_server.Cache
+module Daemon = Mlbs_server.Daemon
+module Client = Mlbs_server.Client
+module Schedule = Mlbs_core.Schedule
+module Pool = Mlbs_util.Pool
+
+let temp_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mlbs_server_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let sample_schedule =
+  Schedule.make ~n_nodes:6 ~source:0 ~start:1
+    [
+      { Schedule.slot = 1; senders = [ 0 ]; informed = [ 1; 4 ] };
+      { Schedule.slot = 3; senders = [ 1; 4 ]; informed = [ 2; 3; 5 ] };
+    ]
+
+let sample_stats =
+  { Codec.elapsed = 3; transmissions = 3; n_steps = 2; search_states = 17; solve_us = 1234 }
+
+let gen_request =
+  {
+    Codec.policy = Codec.Gopt;
+    rate = None;
+    seed = 7;
+    topology = Codec.Gen { n = 60; radius = 10.0 };
+    source = None;
+    start = 1;
+  }
+
+(* ------------------------------ codec ------------------------------ *)
+
+let roundtrip msg = Codec.decode (Codec.encode msg)
+
+let check_roundtrip name msg =
+  Alcotest.(check bool) name true (roundtrip msg = msg)
+
+let test_codec_roundtrip () =
+  check_roundtrip "hello" (Codec.Hello { proto = 1; version = "1.1.0" });
+  check_roundtrip "hello_ack"
+    (Codec.Hello_ack { proto = 1; version = "1.1.0"; version_match = false });
+  check_roundtrip "request gen" (Codec.Request gen_request);
+  check_roundtrip "request adj"
+    (Codec.Request
+       {
+         gen_request with
+         Codec.topology = Codec.Adj [| [ 1 ]; [ 0; 2 ]; [ 1 ] |];
+         rate = Some 5;
+         source = Some 2;
+       });
+  check_roundtrip "reply_ok"
+    (Codec.Reply_ok
+       {
+         trace_id = "rq-000001-aabbccdd";
+         cache_hit = true;
+         stats = sample_stats;
+         schedule = sample_schedule;
+       });
+  check_roundtrip "rejected" (Codec.Reply_rejected { retry_after_ms = 120 });
+  check_roundtrip "error" (Codec.Reply_error "boom");
+  check_roundtrip "stats_request" Codec.Stats_request;
+  check_roundtrip "stats_reply"
+    (Codec.Stats_reply [ ("server/requests", 42); ("server/cache/hits", 7) ]);
+  check_roundtrip "shutdown" Codec.Shutdown;
+  check_roundtrip "shutdown_ack" Codec.Shutdown_ack
+
+let expect_malformed name payload =
+  match Codec.decode payload with
+  | _ -> Alcotest.failf "%s: expected Malformed" name
+  | exception Codec.Malformed _ -> ()
+
+let test_codec_malformed () =
+  expect_malformed "empty" "";
+  expect_malformed "unknown tag" "\xff";
+  expect_malformed "truncated hello" "\x01\x00\x00";
+  (* A count field claiming more elements than the payload holds must be
+     rejected before anything that size is allocated. *)
+  expect_malformed "hostile count" "\x06\x7f\xff\xff\xff";
+  let ok = Codec.encode (Codec.Reply_error "x") in
+  expect_malformed "trailing bytes" (ok ^ "y");
+  (* An inconsistent schedule (steps out of order) must not decode. *)
+  let b = Buffer.create 64 in
+  Buffer.add_string b "\x04";
+  Buffer.add_string b "\x00\x00\x00\x02id";
+  Buffer.add_string b "\x00";
+  Buffer.add_string b (String.concat "" (List.map (fun _ -> "\x00\x00\x00\x01") [ 1; 2; 3 ]));
+  Buffer.add_string b "\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\x00\x01";
+  Buffer.add_string b "\x00\x00\x00\x06\x00\x00\x00\x00\x00\x00\x00\x01";
+  Buffer.add_string b "\x00\x00\x00\x02";
+  (* two steps, both at slot 1 *)
+  let step =
+    "\x00\x00\x00\x01" ^ "\x00\x00\x00\x01\x00\x00\x00\x00" ^ "\x00\x00\x00\x01\x00\x00\x00\x01"
+  in
+  Buffer.add_string b step;
+  Buffer.add_string b step;
+  expect_malformed "non-increasing slots" (Buffer.contents b)
+
+let test_codec_framing () =
+  let r, w = Unix.pipe () in
+  let msgs =
+    [ Codec.Hello { proto = 1; version = "x" }; Codec.Request gen_request; Codec.Shutdown ]
+  in
+  List.iter (Codec.send w) msgs;
+  Unix.close w;
+  let got = List.map (fun _ -> Option.get (Codec.recv r)) msgs in
+  Alcotest.(check bool) "all frames round-trip" true (got = msgs);
+  Alcotest.(check bool) "clean EOF" true (Codec.recv r = None);
+  Unix.close r
+
+(* ------------------------------ cache ------------------------------ *)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~metrics_prefix:"test/lru" ~capacity:3 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  (* Touch "a": it becomes MRU, so "b" is now the eviction victim. *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  Cache.add c "d" 4;
+  Alcotest.(check int) "still at capacity" 3 (Cache.length c);
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survived" (Some 1) (Cache.find c "a");
+  Alcotest.(check (list string)) "mru order"
+    [ "a"; "d"; "c" ]
+    (List.map fst (Cache.to_list_mru c));
+  (* Replacing a key must not grow the cache. *)
+  Cache.add c "d" 40;
+  Alcotest.(check int) "replace keeps length" 3 (Cache.length c);
+  Alcotest.(check (option int)) "replace updates" (Some 40) (Cache.find c "d")
+
+let test_cache_zero_capacity () =
+  let c = Cache.create ~metrics_prefix:"test/zero" ~capacity:0 () in
+  Cache.add c "a" 1;
+  Alcotest.(check int) "stores nothing" 0 (Cache.length c);
+  Alcotest.(check (option int)) "always misses" None (Cache.find c "a")
+
+let test_cache_concurrent_domains () =
+  (* Hammer one cache from real domains: every hit must return the
+     value written for that key — never a torn or foreign entry. *)
+  let c = Cache.create ~metrics_prefix:"test/conc" ~capacity:64 () in
+  let ops = Array.init 400 (fun i -> i) in
+  let ok =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map_on pool
+          (fun i ->
+            let key = Printf.sprintf "k%d" (i mod 50) in
+            Cache.add c key (String.make 5 (Char.chr (65 + (i mod 26))));
+            match Cache.find c key with
+            | None -> true (* may have been evicted by a neighbour *)
+            | Some v ->
+                String.length v = 5 && Array.for_all (fun ch -> ch = v.[0])
+                  (Array.init 5 (fun j -> v.[j])))
+          ops)
+  in
+  Alcotest.(check bool) "no torn entries" true (Array.for_all Fun.id ok);
+  Alcotest.(check bool) "capacity respected" true (Cache.length c <= 64)
+
+(* ------------------------- cache persistence ----------------------- *)
+
+let entry_of_request req =
+  let stats, schedule = Daemon.solve req in
+  { Daemon.stats; schedule }
+
+let test_cache_persistence_roundtrip () =
+  let dir = temp_dir () in
+  let c = Cache.create ~metrics_prefix:"test/persist" ~capacity:8 () in
+  let reqs =
+    List.map
+      (fun seed ->
+        { gen_request with Codec.seed; topology = Codec.Gen { n = 50; radius = 10.0 } })
+      [ 1; 2; 3 ]
+  in
+  List.iter (fun req -> Cache.add c (Daemon.cache_key req) (entry_of_request req)) reqs;
+  let saved = Daemon.save_cache ~dir ~limit:8 c in
+  Alcotest.(check int) "saved all" 3 saved;
+  let c' = Cache.create ~metrics_prefix:"test/persist2" ~capacity:8 () in
+  let loaded = Daemon.load_cache ~dir c' in
+  Alcotest.(check int) "loaded all" 3 loaded;
+  Alcotest.(check (list string)) "recency order restored"
+    (List.map fst (Cache.to_list_mru c))
+    (List.map fst (Cache.to_list_mru c'));
+  List.iter2
+    (fun (k, (e : Daemon.entry)) (k', (e' : Daemon.entry)) ->
+      Alcotest.(check string) "key" k k';
+      Alcotest.(check string) "schedule bytes"
+        (Codec.schedule_bytes e.Daemon.schedule)
+        (Codec.schedule_bytes e'.Daemon.schedule);
+      Alcotest.(check int) "elapsed" e.Daemon.stats.Codec.elapsed e'.Daemon.stats.Codec.elapsed)
+    (Cache.to_list_mru c) (Cache.to_list_mru c');
+  (* Persisting on top of an existing directory truncates the index. *)
+  let saved2 = Daemon.save_cache ~dir ~limit:2 c in
+  Alcotest.(check int) "limit respected" 2 saved2;
+  let c'' = Cache.create ~metrics_prefix:"test/persist3" ~capacity:8 () in
+  Alcotest.(check int) "reload sees the truncation" 2 (Daemon.load_cache ~dir c'');
+  rm_rf dir
+
+let test_load_cache_missing_dir () =
+  Alcotest.(check int) "no index -> 0"
+    0
+    (Daemon.load_cache ~dir:"/nonexistent/mlbs-cache"
+       (Cache.create ~metrics_prefix:"test/missing" ~capacity:4 ()))
+
+(* ---------------------------- cache keys --------------------------- *)
+
+let test_cache_key_content_addressing () =
+  (* The same labelled adjacency, neighbour lists built in different
+     orders, must file under the same key. *)
+  let adj_a = [| [ 1; 2 ]; [ 0; 2 ]; [ 0; 1; 3 ]; [ 2 ] |] in
+  let adj_b = [| [ 2; 1 ]; [ 2; 0 ]; [ 3; 1; 0 ]; [ 2 ] |] in
+  let req adj = { gen_request with Codec.topology = Codec.Adj adj; source = Some 0 } in
+  Alcotest.(check string) "permuted adjacency, same key" (Daemon.cache_key (req adj_a))
+    (Daemon.cache_key (req adj_b));
+  let base = req adj_a in
+  Alcotest.(check bool) "policy in key" true
+    (Daemon.cache_key base <> Daemon.cache_key { base with Codec.policy = Codec.Emodel });
+  Alcotest.(check bool) "rate in key" true
+    (Daemon.cache_key base <> Daemon.cache_key { base with Codec.rate = Some 5 });
+  Alcotest.(check bool) "source in key" true
+    (Daemon.cache_key base <> Daemon.cache_key { base with Codec.source = Some 3 });
+  Alcotest.(check bool) "start in key" true
+    (Daemon.cache_key base <> Daemon.cache_key { base with Codec.start = 4 });
+  (* Under Sync, the seed only picks the deployment; with an explicit
+     adjacency it must not affect the key at all. *)
+  Alcotest.(check string) "sync seed not in adj key" (Daemon.cache_key base)
+    (Daemon.cache_key { base with Codec.seed = 99 });
+  (* Under a duty cycle the seed drives the wake schedule: it must. *)
+  let dc = { base with Codec.rate = Some 5 } in
+  Alcotest.(check bool) "wake seed in duty-cycle key" true
+    (Daemon.cache_key dc <> Daemon.cache_key { dc with Codec.seed = 99 })
+
+(* --------------------------- daemon e2e ---------------------------- *)
+
+let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?cache_dir f =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let cfg =
+    {
+      (Daemon.default_config ~socket_path) with
+      Daemon.jobs;
+      queue_capacity;
+      cache_capacity = 32;
+      cache_dir;
+    }
+  in
+  let d = Daemon.start cfg in
+  let finish () =
+    Daemon.stop d;
+    Daemon.wait d;
+    rm_rf dir
+  in
+  Fun.protect ~finally:finish (fun () -> f socket_path)
+
+let connect path =
+  let c, `Version _, `Match m = Client.connect (Client.Unix_socket path) in
+  Alcotest.(check bool) "client and server builds match" true m;
+  c
+
+let test_daemon_serves_and_caches () =
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.request c gen_request with
+  | Client.Ok ok ->
+      Alcotest.(check bool) "first solve is a miss" false ok.Codec.cache_hit;
+      let _, direct = Daemon.solve gen_request in
+      Alcotest.(check string) "byte-identical to direct scheduler"
+        (Codec.schedule_bytes direct)
+        (Codec.schedule_bytes ok.Codec.schedule)
+  | _ -> Alcotest.fail "expected Ok");
+  (match Client.request c gen_request with
+  | Client.Ok ok ->
+      Alcotest.(check bool) "repeat is a hit" true ok.Codec.cache_hit;
+      let _, direct = Daemon.solve gen_request in
+      Alcotest.(check string) "hit still byte-identical"
+        (Codec.schedule_bytes direct)
+        (Codec.schedule_bytes ok.Codec.schedule)
+  | _ -> Alcotest.fail "expected Ok");
+  let stats = Client.stats c in
+  Alcotest.(check bool) "stats has request counter" true
+    (List.mem_assoc "server/requests" stats);
+  Alcotest.(check bool) "two requests counted" true
+    (List.assoc "server/requests" stats >= 2)
+
+let test_daemon_duty_cycle_and_explicit_source () =
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let req = { gen_request with Codec.rate = Some 5; source = Some 0; policy = Codec.Emodel } in
+  match Client.request c req with
+  | Client.Ok ok ->
+      let _, direct = Daemon.solve req in
+      Alcotest.(check string) "duty-cycle reply byte-identical"
+        (Codec.schedule_bytes direct)
+        (Codec.schedule_bytes ok.Codec.schedule);
+      Alcotest.(check int) "source honoured" 0 (Schedule.source ok.Codec.schedule)
+  | _ -> Alcotest.fail "expected Ok"
+
+let test_daemon_rejects_bad_requests () =
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.request c { gen_request with Codec.source = Some 1000 } with
+  | Client.Error _ -> ()
+  | _ -> Alcotest.fail "out-of-range source must be an error reply");
+  (* The connection survives an error reply. *)
+  match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "connection must survive an error reply"
+
+let test_daemon_sheds_overload () =
+  (* queue_capacity 0: every miss is shed with an explicit reject frame
+     carrying a retry hint — the daemon must never hang. *)
+  with_daemon ~jobs:1 ~queue_capacity:0 @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.request c gen_request with
+  | Client.Rejected { retry_after_ms } ->
+      Alcotest.(check bool) "positive retry hint" true (retry_after_ms > 0)
+  | _ -> Alcotest.fail "expected Rejected"
+
+let test_daemon_warm_restart () =
+  let dir = temp_dir () in
+  let key = Daemon.cache_key gen_request in
+  with_daemon ~cache_dir:(Filename.concat dir "cache") (fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.request c gen_request with
+      | Client.Ok ok -> Alcotest.(check bool) "cold miss" false ok.Codec.cache_hit
+      | _ -> Alcotest.fail "expected Ok");
+  (* Same cache_dir, fresh daemon: the entry must come back from disk. *)
+  with_daemon ~cache_dir:(Filename.concat dir "cache") (fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.request c gen_request with
+      | Client.Ok ok ->
+          Alcotest.(check bool) "warm hit" true ok.Codec.cache_hit;
+          let _, direct = Daemon.solve gen_request in
+          Alcotest.(check string) "disk round-trip byte-identical"
+            (Codec.schedule_bytes direct)
+            (Codec.schedule_bytes ok.Codec.schedule)
+      | _ -> Alcotest.fail "expected Ok");
+  ignore key;
+  rm_rf dir
+
+let test_daemon_concurrent_clients () =
+  with_daemon ~jobs:2 @@ fun socket ->
+  let expected = Hashtbl.create 8 in
+  List.iter
+    (fun seed ->
+      let req = { gen_request with Codec.seed } in
+      let _, s = Daemon.solve req in
+      Hashtbl.replace expected seed (Codec.schedule_bytes s))
+    [ 1; 2; 3; 4 ];
+  let errors = Atomic.make 0 in
+  let worker w () =
+    let c, _, _ = Client.connect (Client.Unix_socket socket) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for i = 0 to 19 do
+      let seed = 1 + ((w + i) mod 4) in
+      match Client.request_retry ~attempts:8 c { gen_request with Codec.seed } with
+      | Client.Ok ok ->
+          if Codec.schedule_bytes ok.Codec.schedule <> Hashtbl.find expected seed then
+            Atomic.incr errors
+      | _ -> Atomic.incr errors
+    done
+  in
+  let threads = List.init 4 (fun w -> Thread.create (worker w) ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "80 concurrent requests all byte-identical" 0 (Atomic.get errors)
+
+let test_daemon_shutdown_frame () =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let d = Daemon.start (Daemon.default_config ~socket_path) in
+  let c, _, _ = Client.connect (Client.Unix_socket socket_path) in
+  Client.shutdown c;
+  Client.close c;
+  Daemon.wait d;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
+  rm_rf dir
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_codec_malformed;
+          Alcotest.test_case "framing" `Quick test_codec_framing;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
+          Alcotest.test_case "concurrent domains" `Quick test_cache_concurrent_domains;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cache_persistence_roundtrip;
+          Alcotest.test_case "missing dir" `Quick test_load_cache_missing_dir;
+        ] );
+      ( "keys",
+        [ Alcotest.test_case "content addressing" `Quick test_cache_key_content_addressing ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "serves and caches" `Quick test_daemon_serves_and_caches;
+          Alcotest.test_case "duty cycle + source" `Quick test_daemon_duty_cycle_and_explicit_source;
+          Alcotest.test_case "bad requests" `Quick test_daemon_rejects_bad_requests;
+          Alcotest.test_case "overload shedding" `Quick test_daemon_sheds_overload;
+          Alcotest.test_case "warm restart" `Quick test_daemon_warm_restart;
+          Alcotest.test_case "concurrent clients" `Quick test_daemon_concurrent_clients;
+          Alcotest.test_case "shutdown frame" `Quick test_daemon_shutdown_frame;
+        ] );
+    ]
