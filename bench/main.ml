@@ -337,6 +337,317 @@ let write_bench3 path ~jobs (cold, warm, speedup, n, instances, concurrency) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------- churn bench ----------------------------- *)
+
+module Reschedule = Mlbs_core.Reschedule
+module Churn = Mlbs_wsn.Churn
+module Deployment = Mlbs_wsn.Deployment
+module Network = Mlbs_wsn.Network
+module Rng = Mlbs_prng.Rng
+
+(* One churn level of BENCH_4.json: [c_k] nodes drift per event, the
+   repaired schedule is byte-compared against a full re-solve of the
+   edited model every time (the re-solve doubles as the resolve
+   timing). *)
+type churn_level = {
+  c_pct : int;
+  c_k : int;
+  c_events : int;
+  repair_mean_us : float;
+  repair_p50_us : float;
+  resolve_mean_us : float;
+  resolve_p50_us : float;
+  speedup_mean : float;  (** mean over events of resolve/repair, paired *)
+  speedup_p50 : float;
+  c_mismatches : int;
+}
+
+let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 (Array.length a))
+
+let median a =
+  let s = Array.copy a in
+  Array.sort compare s;
+  percentile s 0.50
+
+(* The position jitter of one drift event: 20% of the paper deployment's
+   transmission radius — local enough that most deltas touch a handful
+   of neighbourhoods, large enough that every event rewires someone. *)
+let drift_jitter = 2.0
+
+let run_churn_level ~net ~model ~source ~policy ~snap ~sched ~rng ~events ~pct =
+  let n = Network.n_nodes net in
+  let k = max 1 (n * pct / 100) in
+  let rep_us = Array.make events 0.0 in
+  let res_us = Array.make events 0.0 in
+  let mismatches = ref 0 in
+  for e = 0 to events - 1 do
+    let d = Churn.drift rng net ~k ~jitter:drift_jitter in
+    let t0 = now_s () in
+    let rep =
+      Reschedule.reschedule model policy ?snapshot:snap ~old_schedule:sched ~added:[]
+        ~removed:[] ~rewired:d.Churn.rewired ()
+    in
+    rep_us.(e) <- (now_s () -. t0) *. 1e6;
+    let t1 = now_s () in
+    let full = Scheduler.run rep.Reschedule.model policy ~source ~start:1 in
+    res_us.(e) <- (now_s () -. t1) *. 1e6;
+    if Sv_codec.schedule_bytes full <> Sv_codec.schedule_bytes rep.Reschedule.schedule
+    then incr mismatches
+  done;
+  (* Speedup is paired per event — each edited instance is its own
+     baseline, so a hard instance inflating both sides does not skew
+     the ratio the way a ratio of means would. *)
+  let ratios = Array.init events (fun e -> res_us.(e) /. rep_us.(e)) in
+  {
+    c_pct = pct;
+    c_k = k;
+    c_events = events;
+    repair_mean_us = mean rep_us;
+    repair_p50_us = median rep_us;
+    resolve_mean_us = mean res_us;
+    resolve_p50_us = median res_us;
+    speedup_mean = mean ratios;
+    speedup_p50 = median ratios;
+    c_mismatches = !mismatches;
+  }
+
+(* A churn instance: paper-spec deployment re-anchored on synthetic
+   geometry — the exact network the scheduling service resolves for the
+   same adjacency, so daemon-side repairs and these in-process numbers
+   describe one code path. *)
+let churn_instance ~n ~seed =
+  let rng = Rng.create seed in
+  let net = Deployment.generate rng (Deployment.paper_spec ~n_nodes:n) in
+  let model = Model.create (Network.synthetic (Network.graph net)) Model.Sync in
+  let source = Deployment.select_source rng net ~min_ecc:5 ~max_ecc:8 in
+  (rng, net, model, source)
+
+let run_churn_levels ~n ~seed ~events ~pcts =
+  let rng, net, model, source = churn_instance ~n ~seed in
+  let policy = Scheduler.gopt in
+  let sched, snap = Scheduler.run_warm model policy ~source ~start:1 () in
+  List.map
+    (fun pct -> run_churn_level ~net ~model ~source ~policy ~snap ~sched ~rng ~events ~pct)
+    pcts
+
+(* The service-side half of the churn story: one daemon, one base solve
+   (cold), then a stream of [Reschedule] frames — every one a cache
+   miss on the edited digest, served by warm-started repair. *)
+type churn_service = {
+  s_n : int;
+  s_events : int;
+  s_cold_us : float;
+  s_warm_us : float;
+      (* near-miss solves: the same broadcast re-issued at later start
+         slots — family hits with an empty diff, so the whole memo
+         seeds and the sync search replays from it *)
+  s_repair_mean_us : float;
+  s_repair_p50_us : float;
+  s_warm_hits : int;
+  s_errors : int;
+}
+
+let run_churn_service cfg ~n ~seed ~events ~pct =
+  let metrics0 = Obs.metrics_enabled () and tracing0 = Obs.tracing_enabled () in
+  let rng, net, _, source = churn_instance ~n ~seed in
+  let g = Network.graph net in
+  let adj =
+    Array.init (Mlbs_graph.Graph.n_nodes g) (fun u ->
+        Array.to_list (Mlbs_graph.Graph.neighbors g u))
+  in
+  let base =
+    {
+      Sv_codec.policy = Sv_codec.Gopt;
+      rate = None;
+      seed;
+      topology = Sv_codec.Adj adj;
+      source = Some source;
+      start = 1;
+    }
+  in
+  let socket = Filename.temp_file "mlbs-churn" ".sock" in
+  let dcfg =
+    {
+      (Sv_daemon.default_config ~socket_path:socket) with
+      Sv_daemon.jobs = cfg.Config.jobs;
+      queue_capacity = 64;
+      cache_capacity = 2 * events;
+    }
+  in
+  let d = Sv_daemon.start dcfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Sv_daemon.stop d;
+      Sv_daemon.wait d;
+      if not metrics0 then begin
+        Obs.disable ();
+        if tracing0 then Obs.enable ~metrics:false ~tracing:true ()
+      end)
+  @@ fun () ->
+  let c, _, _ = Sv_client.connect (Sv_client.Unix_socket socket) in
+  Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+  let errors = ref 0 in
+  let timed_request req =
+    let t = now_s () in
+    (match Sv_client.request_retry ~attempts:8 c req with
+    | Sv_client.Ok _ -> ()
+    | Sv_client.Rejected _ | Sv_client.Error _ -> incr errors);
+    (now_s () -. t) *. 1e6
+  in
+  (* Warm-start near misses vs family misses, paired per family: the
+     warm index is keyed on node count (not digest), so deployments at
+     distinct [n] are distinct families. For each, the first request
+     is the family-miss (cold) sample; re-issues of the same broadcast
+     at later start slots are the near-miss (warm) samples — a
+     different content address (cache miss) but a family hit whose
+     graph diff is empty, so every memo entry seeds, and the sync memo
+     is keyed on the informed set alone, so the re-solve replays the
+     whole search from it. Several families beat one: a single cold
+     sample is too noisy to compare against. *)
+  (* One untimed solve first: the daemon's first search pays one-time
+     costs (domain-local scratch sizing, allocator warm-up) that would
+     otherwise land entirely in the first cold sample. *)
+  ignore
+    (timed_request
+       { base with Sv_codec.topology = Sv_codec.Gen { n = 120; radius = 10.0 }; source = None });
+  let families = [ 0; 1; 2; 3; 4; 5 ] in
+  let cold_lat, warm_lat =
+    List.fold_left
+      (fun (cold, warm) i ->
+        let nf = n - i in
+        let rngf, netf, _, srcf =
+          churn_instance ~n:nf ~seed:(seed + (31 * i))
+        in
+        ignore rngf;
+        let gf = Network.graph netf in
+        let adjf =
+          Array.init (Mlbs_graph.Graph.n_nodes gf) (fun u ->
+              Array.to_list (Mlbs_graph.Graph.neighbors gf u))
+        in
+        let basef = { base with Sv_codec.topology = Sv_codec.Adj adjf; source = Some srcf } in
+        let cold_us = timed_request basef in
+        let warm_us =
+          List.map (fun s -> timed_request { basef with Sv_codec.start = s }) [ 2; 3; 4 ]
+        in
+        (cold_us :: cold, warm_us @ warm))
+      ([], []) families
+  in
+  let cold_us = mean (Array.of_list cold_lat) in
+  let warm_us = mean (Array.of_list warm_lat) in
+  let k = max 1 (n * pct / 100) in
+  let lat = Array.make events 0.0 in
+  for e = 0 to events - 1 do
+    let dr = Churn.drift rng net ~k ~jitter:drift_jitter in
+    let delta = { Sv_codec.d_added = []; d_removed = []; d_rewired = dr.Churn.rewired } in
+    let t1 = now_s () in
+    (match Sv_client.reschedule_retry ~attempts:8 c ~base ~delta with
+    | Sv_client.Ok _ -> ()
+    | Sv_client.Rejected _ | Sv_client.Error _ -> incr errors);
+    lat.(e) <- (now_s () -. t1) *. 1e6
+  done;
+  let warm_hits =
+    match List.assoc_opt "server/warmstart/hit" (Sv_client.stats c) with
+    | Some v -> v
+    | None -> 0
+  in
+  {
+    s_n = n;
+    s_events = events;
+    s_cold_us = cold_us;
+    s_warm_us = warm_us;
+    s_repair_mean_us = mean lat;
+    s_repair_p50_us = median lat;
+    s_warm_hits = warm_hits;
+    s_errors = !errors;
+  }
+
+(* The CI gate pair: repair and resolve at a fixed small size, present
+   in every BENCH_4.json regardless of --smoke so the committed
+   baseline and the CI run always share these two kernel names. *)
+let churn_gate_kernels () =
+  let levels = run_churn_levels ~n:80 ~seed:7 ~events:6 ~pcts:[ 10 ] in
+  match levels with
+  | [ l ] ->
+      ( l.c_mismatches,
+        [
+          ("churn/repair (n=80, 10%)", l.repair_mean_us *. 1e3);
+          ("churn/resolve (n=80, 10%)", l.resolve_mean_us *. 1e3);
+        ] )
+  | _ -> (0, [])
+
+let run_churn cfg ~smoke =
+  let n = if smoke then 80 else 300 in
+  let events = if smoke then 6 else 20 in
+  let pcts = [ 1; 3; 10; 30 ] in
+  section
+    (Printf.sprintf "Churn repair (n=%d, %d events/level, G-OPT, jobs=%d)" n events
+       cfg.Config.jobs);
+  let t0 = now_s () in
+  let levels = run_churn_levels ~n ~seed:42 ~events ~pcts in
+  List.iter
+    (fun l ->
+      Printf.printf
+        "  churn %2d%% (k=%3d): repair %8.0f us (p50 %8.0f)  resolve %8.0f us (p50 \
+         %8.0f)  speedup %4.1fx (p50 %4.1fx)%s\n"
+        l.c_pct l.c_k l.repair_mean_us l.repair_p50_us l.resolve_mean_us l.resolve_p50_us
+        l.speedup_mean l.speedup_p50
+        (if l.c_mismatches = 0 then ""
+         else Printf.sprintf "  %d BYTE MISMATCHES" l.c_mismatches))
+    levels;
+  let svc = run_churn_service cfg ~n ~seed:42 ~events ~pct:10 in
+  Printf.printf
+    "  service: cold %8.0f us, warm near-miss %8.0f us, repair mean %8.0f us (p50 \
+     %8.0f), %d warm-start hits%s\n"
+    svc.s_cold_us svc.s_warm_us svc.s_repair_mean_us svc.s_repair_p50_us svc.s_warm_hits
+    (if svc.s_errors = 0 then "" else Printf.sprintf "  %d ERRORS" svc.s_errors);
+  let gate_mismatches, kernels = churn_gate_kernels () in
+  let dt = now_s () -. t0 in
+  Printf.printf "(%.1fs)\n\n%!" dt;
+  record "churn" dt;
+  let mismatches =
+    gate_mismatches + List.fold_left (fun a l -> a + l.c_mismatches) 0 levels
+  in
+  (levels, svc, kernels, mismatches, n, events)
+
+let write_bench4 path ~jobs (levels, svc, kernels, _, n, events) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-4\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"n_nodes\": %d,\n" n;
+  p "  \"events_per_level\": %d,\n" events;
+  p "  \"policy\": \"gopt\",\n";
+  p "  \"levels\": [\n";
+  List.iteri
+    (fun i l ->
+      p
+        "    {\"churn_pct\": %d, \"k\": %d, \"repair_mean_us\": %.1f, \"repair_p50_us\": \
+         %.1f, \"resolve_mean_us\": %.1f, \"resolve_p50_us\": %.1f, \"speedup_mean\": \
+         %.2f, \"speedup_p50\": %.2f, \"byte_equal\": %b}%s\n"
+        l.c_pct l.c_k l.repair_mean_us l.repair_p50_us l.resolve_mean_us l.resolve_p50_us
+        l.speedup_mean l.speedup_p50
+        (l.c_mismatches = 0)
+        (if i = List.length levels - 1 then "" else ","))
+    levels;
+  p "  ],\n";
+  p
+    "  \"service\": {\"n_nodes\": %d, \"events\": %d, \"cold_us\": %.1f, \"warm_us\": \
+     %.1f, \"repair_mean_us\": %.1f, \"repair_p50_us\": %.1f, \"warmstart_hits\": %d, \
+     \"errors\": %d},\n"
+    svc.s_n svc.s_events svc.s_cold_us svc.s_warm_us svc.s_repair_mean_us
+    svc.s_repair_p50_us svc.s_warm_hits svc.s_errors;
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" name ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ------------------------ bechamel micro --------------------------- *)
 
 let micro_tests cfg =
@@ -762,7 +1073,7 @@ let () =
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-      "reliability"; "ablation"; "service"; "micro" ]
+      "reliability"; "ablation"; "service"; "churn"; "micro" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -814,7 +1125,19 @@ let () =
          explicitly. *)
       if json <> None then write_bench3 "BENCH_3.json" ~jobs:cfg.Config.jobs svc
     end;
+    let churn_mismatches = ref 0 in
+    let churn_kernels = ref [] in
+    if want "churn" then begin
+      let ((_, _, kernels, mismatches, _, _) as res) = run_churn cfg ~smoke in
+      churn_mismatches := mismatches;
+      churn_kernels := kernels;
+      (* BENCH_4.json rides the same switch as BENCH_2/BENCH_3. *)
+      if json <> None then write_bench4 "BENCH_4.json" ~jobs:cfg.Config.jobs res
+    end;
     let micro = if want "micro" then run_micro cfg else [] in
+    (* Churn gate kernels join the micro list for --compare, so a CI
+       smoke run gates repair latency against the committed BENCH_4. *)
+    let micro = micro @ !churn_kernels in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
     let entries = List.rev !log in
@@ -824,8 +1147,15 @@ let () =
         write_json path ~quick ~jobs:cfg.Config.jobs ~recommended_domains ~total
           ~metrics entries micro
     | None -> ());
-    match cmp with
-    | Some path -> compare_against path ~threshold entries micro
-    | None -> false
+    let cmp_failed =
+      match cmp with
+      | Some path -> compare_against path ~threshold entries micro
+      | None -> false
+    in
+    if !churn_mismatches > 0 then
+      Printf.printf
+        "FAIL: %d repaired schedules were not byte-identical to full re-solves\n%!"
+        !churn_mismatches;
+    cmp_failed || !churn_mismatches > 0
   in
   if failed then exit 1

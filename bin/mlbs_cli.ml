@@ -13,6 +13,7 @@ open Cmdliner
 module Rng = Mlbs_prng.Rng
 module Network = Mlbs_wsn.Network
 module Deployment = Mlbs_wsn.Deployment
+module Churn = Mlbs_wsn.Churn
 module Metrics = Mlbs_graph.Metrics
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Model = Mlbs_core.Model
@@ -561,11 +562,43 @@ let verify_against_local req (ok : Sv_codec.ok_reply) =
   let _, local = Sv_daemon.solve req in
   Sv_codec.schedule_bytes local = Sv_codec.schedule_bytes ok.Sv_codec.schedule
 
-let request socket tcp n seed rate policy source start load verify verbose =
+(* The client-side replica of the base topology a delta drifts: the
+   same deployment recipe the daemon resolves for the request, so the
+   generated rewires apply to the graph the daemon actually holds. *)
+let base_network ~n ~seed ~load =
+  match load with
+  | Some path -> Mlbs_workload.Persist.load_network path
+  | None ->
+      Deployment.generate (Rng.create seed)
+        {
+          Deployment.n_nodes = n;
+          width = Config.default.Config.width;
+          height = Config.default.Config.height;
+          radius = Config.default.Config.radius;
+          shape = Deployment.Uniform;
+        }
+
+(* One churn event: drift [k] nodes of [net] by up to 20% of the radius
+   and ship the resulting rewires as a wire delta. *)
+let drift_delta rng net ~k =
+  let d = Churn.drift rng net ~k ~jitter:(Config.default.Config.radius /. 5.) in
+  (d.Churn.network, { Sv_codec.d_added = []; d_removed = []; d_rewired = d.Churn.rewired })
+
+let request socket tcp n seed rate policy source start load delta delta_seed verify verbose =
   let req = build_request ~policy ~rate ~seed ~n ~source ~start ~load in
   let c, `Version server_version, `Match version_match = endpoint socket tcp |> Sv_client.connect in
   Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
-  match Sv_client.request_retry c req with
+  let outcome, vreq =
+    if delta = 0 then (Sv_client.request_retry c req, req)
+    else begin
+      let net = base_network ~n ~seed ~load in
+      let _, d = drift_delta (Rng.create delta_seed) net ~k:delta in
+      Printf.printf "delta:         %d nodes drifted, %d rewired\n" delta
+        (List.length d.Sv_codec.d_rewired);
+      (Sv_client.reschedule_retry c ~base:req ~delta:d, Sv_daemon.derived_request req d)
+    end
+  in
+  match outcome with
   | Sv_client.Ok ok ->
       Printf.printf "server:        %s%s\n" server_version
         (if version_match then "" else Printf.sprintf " (client is %s)" Sv_version.version);
@@ -578,7 +611,7 @@ let request socket tcp n seed rate policy source start load verify verbose =
         ok.Sv_codec.stats.Sv_codec.solve_us ok.Sv_codec.stats.Sv_codec.search_states;
       if verbose then Format.printf "%a@." Schedule.pp ok.Sv_codec.schedule;
       if verify then begin
-        let same = verify_against_local req ok in
+        let same = verify_against_local vreq ok in
         Printf.printf "verify:        %s\n"
           (if same then "byte-identical to direct scheduler" else "MISMATCH");
         if same then 0 else 1
@@ -615,17 +648,99 @@ let request_cmd =
       & info [ "verify" ]
           ~doc:"Re-solve locally and check the reply is byte-identical.")
   in
+  let delta_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delta" ] ~docv:"K"
+          ~doc:
+            "Send a reschedule instead of a plain request: drift $(docv) nodes of the \
+             base topology and ask the service to repair the cached schedule for the \
+             edited graph.")
+  in
+  let delta_seed_arg =
+    Arg.(
+      value & opt int 0xD1F7
+      & info [ "delta-seed" ] ~docv:"SEED" ~doc:"RNG seed of the drift (with --delta).")
+  in
   Cmd.v
     (Cmd.info "request" ~doc:"Send one solve request to the scheduling service")
     Term.(
       const request $ socket_arg $ tcp_arg $ nodes_arg $ seed_arg $ rate_arg
-      $ policy_arg $ source_arg $ start_arg $ load_arg $ verify_arg $ verbose_arg)
+      $ policy_arg $ source_arg $ start_arg $ load_arg $ delta_arg $ delta_seed_arg
+      $ verify_arg $ verbose_arg)
+
+(* Churn mode: one connection replaying a topology-churn stream per
+   instance — a base solve, then [requests/seeds] drift events, each
+   shipped as a [Reschedule] frame the daemon serves by warm-started
+   repair of the cached base schedule. Repair latency is reported
+   against the cold base solves; sampled events are byte-compared
+   against a direct solve of the edited topology. *)
+let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~churn ~verify_sample ~smoke =
+  let events = max 1 (requests / max 1 seeds) in
+  let c, _, _ = Sv_client.connect ep in
+  Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+  let errors = ref 0 and hits = ref 0 and mismatches = ref 0 and verified = ref 0 in
+  let cold = ref [] and repair = ref [] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  for s = 1 to seeds do
+    let base = build_request ~policy ~rate ~seed:s ~n ~source:None ~start:1 ~load:None in
+    let net = base_network ~n ~seed:s ~load:None in
+    (match time (fun () -> Sv_client.request_retry ~attempts:8 c base) with
+    | Sv_client.Ok _, us -> cold := us :: !cold
+    | (Sv_client.Rejected _ | Sv_client.Error _), _ -> incr errors);
+    let rng = Rng.create (0xC0FFEE + s) in
+    for _ = 1 to events do
+      let _, d = drift_delta rng net ~k:churn in
+      (match time (fun () -> Sv_client.reschedule_retry ~attempts:8 c ~base ~delta:d) with
+      | Sv_client.Ok ok, us ->
+          repair := us :: !repair;
+          if ok.Sv_codec.cache_hit then incr hits;
+          if !verified < verify_sample then begin
+            incr verified;
+            if not (verify_against_local (Sv_daemon.derived_request base d) ok) then
+              incr mismatches
+          end
+      | (Sv_client.Rejected _ | Sv_client.Error _), _ -> incr errors)
+    done
+  done;
+  let summarize l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int (max 1 (Array.length a)) in
+    let p50 = if Array.length a = 0 then 0.0 else a.(Array.length a / 2) in
+    (mean, p50)
+  in
+  let cold_mean, cold_p50 = summarize !cold in
+  let rep_mean, rep_p50 = summarize !repair in
+  Printf.printf "churn: %d instances (n=%d), %d drift events each (k=%d, %s)\n" seeds n
+    events churn
+    (match rate with None -> "sync" | Some r -> Printf.sprintf "r=%d" r);
+  Printf.printf "cold solve us: mean=%.0f p50=%.0f   repair us: mean=%.0f p50=%.0f \
+                 (%.1fx)\n"
+    cold_mean cold_p50 rep_mean rep_p50
+    (if rep_mean > 0. then cold_mean /. rep_mean else 0.);
+  Printf.printf "outcome: repairs=%d (cache hits=%d) errors=%d\n" (List.length !repair)
+    !hits !errors;
+  List.iter
+    (fun k ->
+      match List.assoc_opt k (Sv_client.stats c) with
+      | Some v -> Printf.printf "%s: %d\n" k v
+      | None -> ())
+    [ "server/warmstart/hit"; "server/warmstart/miss"; "server/repair_ms" ];
+  if !verified > 0 then
+    Printf.printf "verify: %d/%d sampled repairs byte-identical to direct scheduler\n"
+      (!verified - !mismatches) !verified;
+  if !mismatches > 0 || (smoke && !errors > 0) then 1 else 0
 
 (* loadgen: [concurrency] client threads, each with its own connection,
    striping [requests] requests over [seeds] distinct instances (the
    seed space sets the attainable hit ratio: after each instance's
    first solve, repeats are cache hits). *)
-let loadgen socket tcp requests concurrency n seeds policy rate verify_sample smoke =
+let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke =
   let ep = endpoint socket tcp in
   let lat_us = Array.make (max 1 requests) 0.0 in
   let results = Array.make (max 1 requests) `Err in
@@ -700,6 +815,12 @@ let loadgen socket tcp requests concurrency n seeds policy rate verify_sample sm
   else if !mismatches > 0 then 1
   else 0
 
+let loadgen socket tcp requests concurrency n seeds policy rate churn verify_sample smoke =
+  if churn > 0 then
+    churn_loadgen (endpoint socket tcp) ~requests ~n ~seeds ~policy ~rate ~churn
+      ~verify_sample ~smoke
+  else loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
+
 let loadgen_cmd =
   let requests_arg =
     Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc:"Total requests to send.")
@@ -729,11 +850,19 @@ let loadgen_cmd =
       & info [ "smoke" ]
           ~doc:"CI mode: any error, mismatch or unserved rejection fails the run.")
   in
+  let churn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "churn" ] ~docv:"K"
+          ~doc:
+            "Churn-stream mode: per instance, solve once then send the remaining \
+             budget as reschedule frames, each drifting $(docv) nodes of the topology.")
+  in
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Drive the scheduling service with concurrent clients")
     Term.(
       const loadgen $ socket_arg $ tcp_arg $ requests_arg $ concurrency_arg $ nodes_arg
-      $ seeds_arg $ policy_arg $ rate_arg $ verify_arg $ smoke_arg)
+      $ seeds_arg $ policy_arg $ rate_arg $ churn_arg $ verify_arg $ smoke_arg)
 
 (* -------------------------- experiment ----------------------------- *)
 

@@ -15,6 +15,7 @@ let m_child_hit = Metrics.counter "search/child_memo_hit"
 let m_prunes = Metrics.counter "search/bnb_prunes"
 let m_rollouts = Metrics.counter "search/rollouts"
 let m_exhausted = Metrics.counter "search/exhausted"
+let m_seeded = Metrics.counter "search/seeded_entries"
 
 type budget = { max_states : int; lookahead : int; beam : int }
 
@@ -381,56 +382,137 @@ let evaluate model space ~budget ~w ~slot =
         let finish = lookahead_value ctx ~slot ~depth:budget.lookahead in
         { finish; exact = false; states = ctx.states })
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a completed plan's memo tables, frozen for reuse. The    *)
+(* stored informed sets are the private copies [memo_key] made at      *)
+(* insertion time and are never mutated afterwards, so a snapshot is   *)
+(* safe to publish across domains and to share between chained        *)
+(* snapshots. Reusing an entry is sound exactly when the caller's      *)
+(* validity predicate certifies its value unchanged — see              *)
+(* [plan_snapshot] in the interface for the contract.                  *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_n : int;
+  snap_space : Choices.t;
+  snap_sync : (int * Bitset.t * int) array;  (* (hash, W, remaining) *)
+  snap_async : (int * Bitset.t * int * int) array;  (* (hash, W, slot, finish) *)
+  snap_exact : bool;
+  snap_states : int;
+}
+
+let snapshot_entries s = Array.length s.snap_sync + Array.length s.snap_async
+let snapshot_exact s = s.snap_exact
+
+(* Seeds only ever shrink the explored state count, so a seeded search
+   that exhausts the budget implies the unseeded one would too — but
+   not conversely. Near the budget cliff a seeded run could stay exact
+   where a cold run degrades, which would break schedule equality; the
+   4x margin keeps warm starts well clear of that cliff (churn deltas
+   move the state count by far less). *)
+let snapshot_reusable s ~space ~budget ~n =
+  s.snap_exact && s.snap_space = space && s.snap_n = n
+  && s.snap_states <= budget.max_states / 4
+
+(* Raised when a seeded plan hits the budget: rerun without seeds so
+   the degraded path is byte-identical to a cold solve's. *)
+exception Restart_unseeded
+
 (* Plan construction: walk greedily, scoring each choice with the same
    evaluator the top-level used, so the realised schedule matches the
-   evaluated finish time in exact mode. *)
-let plan model space ~budget ~source ~start =
-  Otrace.with_span ~arg:start ~cat:"search" "plan" @@ fun () ->
-  let w0 = Model.initial_w model ~source in
-  let st = local_istate model ~w:w0 in
-  if Istate.lb st = max_int then failwith unreachable_msg;
-  let ctx = make_ctx st space budget in
-  let is_sync = match Model.system model with Model.Sync -> true | Model.Async _ -> false in
-  (* Root search first: if the budget holds, candidate scores reuse its
-     memo; otherwise every score degrades to the lookahead policy. *)
-  let exact_ok =
-    match Model.system model with
-    | Model.Sync -> (
-        try
-          ignore (sync_remaining ctx);
-          true
+   evaluated finish time in exact mode. [seeds] pre-populates the memo
+   with still-valid entries from a previous solve: every value the
+   search reads is the same pure function of (graph, wake schedules,
+   informed set) either way, so the constructed schedule is unchanged —
+   only the work to re-derive it shrinks. *)
+let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
+  try
+    Otrace.with_span ~arg:start ~cat:"search" "plan" @@ fun () ->
+    let w0 = Model.initial_w model ~source in
+    let st = local_istate model ~w:w0 in
+    if Istate.lb st = max_int then failwith unreachable_msg;
+    let ctx = make_ctx st space budget in
+    let n_seeded =
+      match seeds with
+      | None -> 0
+      | Some (snap, valid) ->
+          if snap.snap_n <> Model.n_nodes model || snap.snap_space <> space then 0
+          else begin
+            let k = ref 0 in
+            (match Model.system model with
+            | Model.Sync ->
+                Array.iter
+                  (fun (h, set, v) ->
+                    if valid set then begin
+                      Wtbl.add ctx.memo { h; set } v;
+                      incr k
+                    end)
+                  snap.snap_sync
+            | Model.Async _ ->
+                Array.iter
+                  (fun (h, set, slot, v) ->
+                    if valid set then begin
+                      Wstbl.add ctx.amemo { sh = h; sset = set; sslot = slot } v;
+                      incr k
+                    end)
+                  snap.snap_async);
+            Metrics.add m_seeded !k;
+            !k
+          end
+    in
+    let is_sync = match Model.system model with Model.Sync -> true | Model.Async _ -> false in
+    (* The warm path (snapshot capture / seeded repair) prunes the
+       round scoring below with the same admissible floor the search
+       uses; [plan] keeps the exhaustive re-scoring as the reference
+       the property tests compare against. *)
+    let warm = capture || seeds <> None in
+    let degraded = ref false in
+    (* Root search first: if the budget holds, candidate scores reuse its
+       memo; otherwise every score degrades to the lookahead policy. *)
+    let exact_ok =
+      match Model.system model with
+      | Model.Sync -> (
+          try
+            ignore (sync_remaining ctx);
+            true
+          with Exhausted ->
+            if n_seeded > 0 then raise Restart_unseeded;
+            Metrics.incr m_exhausted;
+            Istate.rewind st ~depth:0;
+            false)
+      | Model.Async _ -> (
+          try
+            ignore (async_finish ctx ~slot:start);
+            true
+          with Exhausted ->
+            if n_seeded > 0 then raise Restart_unseeded;
+            Metrics.incr m_exhausted;
+            Istate.rewind st ~depth:0;
+            false)
+    in
+    (* Score the already-applied candidate for an advance at slot [t]. *)
+    let fallback_score ~t =
+      degraded := true;
+      lookahead_value ctx ~slot:(t + 1) ~depth:budget.lookahead
+    in
+    let exact_score ~t =
+      match Model.system model with
+      | Model.Sync -> t + sync_remaining ctx
+      | Model.Async _ -> async_finish ctx ~slot:(t + 1)
+    in
+    let score ~t =
+      if exact_ok then (
+        (* Replanning can touch sibling states the root search never
+           expanded; degrade to lookahead if that blows the budget. *)
+        let d = Istate.depth st in
+        try exact_score ~t
         with Exhausted ->
+          if n_seeded > 0 then raise Restart_unseeded;
           Metrics.incr m_exhausted;
-          Istate.rewind st ~depth:0;
-          false)
-    | Model.Async _ -> (
-        try
-          ignore (async_finish ctx ~slot:start);
-          true
-        with Exhausted ->
-          Metrics.incr m_exhausted;
-          Istate.rewind st ~depth:0;
-          false)
-  in
-  (* Score the already-applied candidate for an advance at slot [t]. *)
-  let fallback_score ~t = lookahead_value ctx ~slot:(t + 1) ~depth:budget.lookahead in
-  let exact_score ~t =
-    match Model.system model with
-    | Model.Sync -> t + sync_remaining ctx
-    | Model.Async _ -> async_finish ctx ~slot:(t + 1)
-  in
-  let score ~t =
-    if exact_ok then (
-      (* Replanning can touch sibling states the root search never
-         expanded; degrade to lookahead if that blows the budget. *)
-      let d = Istate.depth st in
-      try exact_score ~t
-      with Exhausted ->
-        Metrics.incr m_exhausted;
-        Istate.rewind st ~depth:d;
-        fallback_score ~t)
-    else fallback_score ~t
-  in
+          Istate.rewind st ~depth:d;
+          fallback_score ~t)
+      else fallback_score ~t
+    in
   let rec loop slot steps =
     if Istate.complete st then List.rev steps
     else
@@ -454,10 +536,13 @@ let plan model space ~budget ~source ~start =
                   (fun acc (lb, _, c, cov) ->
                     match acc with
                     | Some (bv, _, _)
-                      when (not exact_ok) && lb <> max_int && bv <= t + lb ->
-                        (* Lookahead scores are bounded below by t + lb,
-                           and ties keep the earlier candidate, so this
-                           candidate cannot displace the incumbent. *)
+                      when ((not exact_ok) || warm) && lb <> max_int && bv <= t + lb ->
+                        (* Scores (exact or lookahead) are bounded below
+                           by t + lb, and ties keep the earlier
+                           candidate, so this candidate cannot displace
+                           the incumbent. Exact mode only elides the
+                           bound on the reference path, where every
+                           sibling's score is re-derived in full. *)
                         acc
                     | _ -> (
                         (* In exact sync mode an already-memoised (or
@@ -497,5 +582,36 @@ let plan model space ~budget ~source ~start =
           in
           loop (t + 1) (step :: steps)
   in
-  let steps = loop start [] in
-  Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps
+    let steps = loop start [] in
+    let schedule = Schedule.make ~n_nodes:(Model.n_nodes model) ~source ~start steps in
+    let snap =
+      if not capture then None
+      else
+        Some
+          {
+            snap_n = Model.n_nodes model;
+            snap_space = space;
+            snap_sync =
+              Array.of_list
+                (Wtbl.fold (fun k v acc -> (k.h, k.set, v) :: acc) ctx.memo []);
+            snap_async =
+              Array.of_list
+                (Wstbl.fold (fun k v acc -> (k.sh, k.sset, k.sslot, v) :: acc) ctx.amemo []);
+            snap_exact = exact_ok && not !degraded;
+            (* Chained repairs carry the base's state count forward so
+               the reuse margin reflects the whole lineage, not just the
+               (small) incremental re-exploration. *)
+            snap_states =
+              (ctx.states + match seeds with Some (s, _) -> s.snap_states | None -> 0);
+          }
+    in
+    (schedule, snap)
+  with Restart_unseeded -> plan_gen model space ~budget ~source ~start ~seeds:None ~capture
+
+let plan model space ~budget ~source ~start =
+  fst (plan_gen model space ~budget ~source ~start ~seeds:None ~capture:false)
+
+let plan_snapshot ?seeds model space ~budget ~source ~start =
+  match plan_gen model space ~budget ~source ~start ~seeds ~capture:true with
+  | schedule, Some snap -> (schedule, snap)
+  | _, None -> assert false

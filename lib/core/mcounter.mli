@@ -52,6 +52,57 @@ val evaluate :
 val plan :
   Model.t -> Choices.t -> budget:budget -> source:int -> start:int -> Schedule.t
 
+(** A completed plan's memo tables, frozen: every (informed set →
+    value) the search established, plus enough metadata to decide
+    whether they may seed a later search. Snapshots are immutable and
+    safe to share across domains. *)
+type snapshot
+
+(** Number of frozen memo entries. *)
+val snapshot_entries : snapshot -> int
+
+(** Whether the capturing solve stayed exact end to end. *)
+val snapshot_exact : snapshot -> bool
+
+(** [snapshot_reusable s ~space ~budget ~n] gates warm starts: the
+    capture must have been exact, over the same choice space and node
+    count, and comfortably inside the state budget (a 4x margin), so a
+    seeded re-solve can never stay exact where a cold one would have
+    degraded to the lookahead fallback. *)
+val snapshot_reusable : snapshot -> space:Choices.t -> budget:budget -> n:int -> bool
+
+(** [plan_snapshot ?seeds model space ~budget ~source ~start] is
+    {!plan} that also captures the snapshot of its memo tables, and
+    optionally seeds the search from a previous snapshot.
+
+    [seeds = (snap, valid)] pre-loads every entry of [snap] whose
+    informed set satisfies [valid] before the search runs. Soundness is
+    the caller's contract: [valid w] must certify that the entry's
+    value is unchanged on this model. Two predicates are used in this
+    repository:
+    - same graph, different [source]/[start]: every entry is valid
+      (the value function never depends on the source), so
+      [fun _ -> true];
+    - edited graph: valid iff every {!Mlbs_graph.Graph.diff_endpoints}
+      node is inside [w] — the search below [w] only reads edges with
+      an uninformed endpoint, and every changed edge has both
+      endpoints in the diff.
+
+    Because seeded values equal what the search would have recomputed,
+    the returned schedule is byte-identical to an unseeded
+    {!plan} in exact mode; a seeded search that hits the budget is
+    transparently rerun without seeds so the degraded path matches a
+    cold solve's exactly. Callers should gate with
+    {!snapshot_reusable}. *)
+val plan_snapshot :
+  ?seeds:snapshot * (Bitset.t -> bool) ->
+  Model.t ->
+  Choices.t ->
+  budget:budget ->
+  source:int ->
+  start:int ->
+  Schedule.t * snapshot
+
 (** [rollout_finish model space ~w ~slot] is the finish slot of the
     cheap deterministic rollout policy (at every state, take the choice
     minimising the hop lower bound, then maximising coverage) — an upper

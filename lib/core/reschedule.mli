@@ -1,0 +1,90 @@
+(** Delta repair for dynamic topologies: patch a solved broadcast after
+    a localised graph change instead of re-solving from scratch.
+
+    The engine takes the model and schedule of a completed solve, a
+    topology delta (edges added/removed, nodes rewired), and optionally
+    the solve's memo {!Mcounter.snapshot}. It
+
+    + applies the delta with {!Mlbs_graph.Graph.edit} and identifies
+      the {e changed endpoints} — the nodes whose neighbourhood the
+      delta touched ({!Mlbs_graph.Graph.diff_endpoints});
+    + replays the old schedule on the edited model through an
+      {!Istate}, then rewinds exactly the frames the affected region
+      touches via the watermarked undo log
+      ({!Istate.rewind_region}) — certifying how long a prefix of the
+      broadcast the delta provably leaves intact;
+    + re-solves with {!Scheduler.run_warm}, seeding the M-counter memo
+      with every snapshot entry whose informed set already contains
+      all changed endpoints: the search below such a set only reads
+      edges with an uninformed endpoint, and every changed edge has
+      both endpoints in the diff, so the seeded values are exactly
+      what a cold search would recompute.
+
+    Consequently the repaired schedule is byte-identical to a full
+    {!Scheduler.run} on the edited model (property-tested in
+    [test/test_reschedule.ml]); the seeds only skip re-deriving values
+    that cannot have changed. Under small deltas most of the memo
+    survives, which is where the repair-vs-resolve speedup of BENCH_4
+    comes from.
+
+    The edited model's geometry is synthesised with
+    {!Mlbs_wsn.Network.synthetic} — the same recipe the scheduling
+    service uses for explicit adjacencies — so daemon-side repairs and
+    direct calls agree byte for byte. *)
+
+module Bitset = Mlbs_util.Bitset
+
+(** What a repair did, beyond the schedule itself. *)
+type report = {
+  schedule : Schedule.t;  (** the repaired schedule *)
+  model : Model.t;  (** the edited model the schedule is for *)
+  changed : int list;
+      (** changed endpoints: nodes whose adjacency differs, ascending *)
+  region : Bitset.t;
+      (** the affected region — changed endpoints plus their 1-hop
+          neighbourhoods on the edited graph *)
+  clear_steps : int;
+      (** length of the certified-intact prefix: leading old-schedule
+          steps whose senders and newly-informed nodes all avoid the
+          changed endpoints (these replay identically on both graphs) *)
+  warm : bool;
+      (** whether snapshot seeding was actually engaged (a reusable
+          snapshot was supplied and passed {!Mcounter.snapshot_reusable}) *)
+  snapshot : Mcounter.snapshot option;
+      (** the repair's own memo snapshot, for chaining further repairs
+          (search policies only) *)
+}
+
+(** [reschedule model policy ?snapshot ?snapshot_graph ?source
+    ~old_schedule ~added ~removed ~rewired ()] repairs [old_schedule]
+    after the topology delta. [model] must be the model
+    [old_schedule] was solved on; the node count is fixed — deltas
+    change edges only (see {!Mlbs_graph.Graph.edit} for the delta
+    semantics and ordering). [source] defaults to
+    [Schedule.source old_schedule]; the start slot is always
+    [Schedule.start old_schedule].
+
+    [snapshot] warm-starts the re-solve; it is ignored unless
+    {!Scheduler.warm_seeds} accepts it for this policy.
+    [snapshot_graph] names the graph the snapshot's solve ran on and
+    defaults to [model]'s graph — pass it when chaining repairs, where
+    the freshest snapshot belongs to the previously edited graph
+    rather than the base. Seed validity is derived from the diff
+    between [snapshot_graph] and the edited graph, so a stale or
+    unrelated (same-size) graph only shrinks the usable seed set,
+    never the correctness of the result.
+
+    Raises [Invalid_argument] on malformed deltas and [Failure] when
+    the edited graph disconnects the source from some node. *)
+val reschedule :
+  Model.t ->
+  Scheduler.policy ->
+  ?snapshot:Mcounter.snapshot ->
+  ?snapshot_graph:Mlbs_graph.Graph.t ->
+  ?source:int ->
+  old_schedule:Schedule.t ->
+  added:(int * int) list ->
+  removed:(int * int) list ->
+  rewired:(int * int list) list ->
+  unit ->
+  report

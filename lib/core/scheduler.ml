@@ -30,4 +30,53 @@ let run model policy ~source ~start =
   | Gopt budget -> Gopt.plan ~budget model ~source ~start
   | Opt { budget; max_sets } -> Opt.plan ~budget ~max_sets model ~source ~start
 
+(* The search space a policy's M-counter runs over, when it has one. *)
+let space_of = function
+  | Baseline | Emodel -> None
+  | Gopt _ -> Some Choices.Greedy
+  | Opt { max_sets; _ } -> Some (Choices.All { max_sets })
+
+(* Gate a snapshot for reuse under [policy]: search-based policy, same
+   choice space, exact capture, comfortable budget margin (see
+   [Mcounter.snapshot_reusable]). The validity predicate is the
+   caller's soundness obligation. *)
+let warm_seeds policy snap ~n ~valid =
+  match policy with
+  | Baseline | Emodel -> None
+  | Gopt budget ->
+      if Mcounter.snapshot_reusable snap ~space:Choices.Greedy ~budget ~n then
+        Some (snap, valid)
+      else None
+  | Opt { budget; max_sets } ->
+      if Mcounter.snapshot_reusable snap ~space:(Choices.All { max_sets }) ~budget ~n
+      then Some (snap, valid)
+      else None
+
+(* Warm entry point: same schedules as [run], byte for byte, but the
+   search-based policies capture their memo snapshot for later reuse
+   and accept seeds from a previous one. Policies without a search
+   (Baseline, E-model) are already microseconds-cheap: they re-run
+   plainly and carry no snapshot. *)
+let run_warm model policy ?seeds ~source ~start () =
+  match policy with
+  | Baseline | Emodel -> (run model policy ~source ~start, None)
+  | Gopt budget ->
+      Mlbs_obs.Trace.with_span ~arg:start ~cat:"sched"
+        (name ~system:(Model.system model) policy)
+      @@ fun () ->
+      let s, snap =
+        Mcounter.plan_snapshot ?seeds model Choices.Greedy ~budget ~source ~start
+      in
+      (s, Some snap)
+  | Opt { budget; max_sets } ->
+      Mlbs_obs.Trace.with_span ~arg:start ~cat:"sched"
+        (name ~system:(Model.system model) policy)
+      @@ fun () ->
+      let s, snap =
+        Mcounter.plan_snapshot ?seeds model
+          (Choices.All { max_sets })
+          ~budget ~source ~start
+      in
+      (s, Some snap)
+
 let all_policies = [ Baseline; opt; gopt; Emodel ]

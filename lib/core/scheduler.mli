@@ -30,6 +30,40 @@ val name : system:Model.system -> policy -> string
     under the policy. *)
 val run : Model.t -> policy -> source:int -> start:int -> Schedule.t
 
+(** [space_of p] is the M-counter choice space of a search-based
+    policy, [None] for the closed-form ones. *)
+val space_of : policy -> Choices.t option
+
+(** [warm_seeds policy snap ~n ~valid] packages [snap] as a [?seeds]
+    argument for {!run_warm} when the policy can reuse it — a
+    search-based policy whose choice space and budget pass
+    {!Mcounter.snapshot_reusable} for [n]-node models — and [None]
+    otherwise. [valid] is the per-entry validity predicate; its
+    soundness contract is documented at {!Mcounter.plan_snapshot}. *)
+val warm_seeds :
+  policy ->
+  Mcounter.snapshot ->
+  n:int ->
+  valid:(Model.Bitset.t -> bool) ->
+  (Mcounter.snapshot * (Model.Bitset.t -> bool)) option
+
+(** [run_warm model policy ?seeds ~source ~start ()] is {!run} with
+    warm-start plumbing: for the search-based policies ([Gopt], [Opt])
+    it returns the memo {!Mcounter.snapshot} of the solve and accepts
+    seeds from a previous one (see {!Mcounter.plan_snapshot} for the
+    validity contract); for [Baseline]/[Emodel] it runs plainly and
+    returns no snapshot. The schedule is byte-identical to [run]'s on
+    the same inputs, seeded or not — the scheduling service's
+    cache-transparency invariant depends on this. *)
+val run_warm :
+  Model.t ->
+  policy ->
+  ?seeds:Mcounter.snapshot * (Model.Bitset.t -> bool) ->
+  source:int ->
+  start:int ->
+  unit ->
+  Schedule.t * Mcounter.snapshot option
+
 (** [all_policies] in the order the paper's figures list them:
     baseline, OPT, G-OPT, E-model. *)
 val all_policies : policy list

@@ -113,4 +113,62 @@ let digest g =
   done;
   !h
 
+(* ---------------------------- deltas ------------------------------- *)
+
+(* Topology edits keep the node count fixed: churn in the service is
+   edge-level (links appear and vanish, moved nodes swap their whole
+   neighbourhood), so repaired schedules stay comparable index-for-index
+   with the schedules they patch. *)
+
+let edit g ~add ~remove ~rewire =
+  let n = g.n in
+  let check ctx u =
+    if u < 0 || u >= n then
+      invalid_arg (Printf.sprintf "Graph.edit: %s endpoint %d outside [0,%d)" ctx u n)
+  in
+  let sets = Array.init n (fun u -> Bitset.copy g.sets.(u)) in
+  let drop u v =
+    Bitset.remove sets.(u) v;
+    Bitset.remove sets.(v) u
+  in
+  let put ctx u v =
+    if u = v then invalid_arg (Printf.sprintf "Graph.edit: %s self-loop at %d" ctx u);
+    Bitset.add sets.(u) v;
+    Bitset.add sets.(v) u
+  in
+  List.iter
+    (fun (u, v) ->
+      check "remove" u;
+      check "remove" v;
+      drop u v)
+    remove;
+  (* Rewires apply in list order: each replaces the node's whole
+     neighbourhood, so later entries win over earlier ones (generators
+     emitting one consistent entry per moved node are order-free). *)
+  List.iter
+    (fun (u, nbrs) ->
+      check "rewire" u;
+      List.iter (fun v -> drop u v) (Bitset.elements sets.(u));
+      List.iter
+        (fun v ->
+          check "rewire" v;
+          put "rewire" u v)
+        nbrs)
+    rewire;
+  List.iter
+    (fun (u, v) ->
+      check "add" u;
+      check "add" v;
+      put "add" u v)
+    add;
+  build n (Array.map Bitset.elements sets)
+
+let diff_endpoints a b =
+  if a.n <> b.n then invalid_arg "Graph.diff_endpoints: node counts differ";
+  let out = ref [] in
+  for u = a.n - 1 downto 0 do
+    if not (Bitset.equal a.sets.(u) b.sets.(u)) then out := u :: !out
+  done;
+  !out
+
 let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

@@ -65,5 +65,32 @@ val common_neighbor_in : t -> int -> int -> candidates:Mlbs_util.Bitset.t -> boo
     primitive of the scheduling service's schedule cache. *)
 val digest : t -> int64
 
+(** [edit g ~add ~remove ~rewire] is [g] with the delta applied, node
+    count unchanged: [remove]d edges dropped first, then each
+    [(u, nbrs)] in [rewire] replaces [u]'s entire neighbourhood (in
+    list order — one consistent entry per moved node makes the order
+    irrelevant), then [add]ed edges inserted. Duplicates collapse;
+    self-loops and out-of-range endpoints raise [Invalid_argument].
+    This is the churn primitive behind the scheduling service's delta
+    requests: the edited graph's {!digest} is the repaired schedule's
+    new content address, while the base digest keys the warm-start
+    family (see lib/server). *)
+val edit :
+  t ->
+  add:(int * int) list ->
+  remove:(int * int) list ->
+  rewire:(int * int list) list ->
+  t
+
+(** [diff_endpoints a b] is the sorted list of nodes whose neighbour
+    sets differ between [a] and [b] — both endpoints of every changed
+    edge. A memoised search value for informed set [W] survives a
+    topology delta iff every one of these nodes is inside [W] (the
+    search below [W] never looks at an edge between two informed
+    nodes), which is exactly the re-validation predicate the
+    reschedule engine feeds to the seeded search. Raises
+    [Invalid_argument] when node counts differ. *)
+val diff_endpoints : t -> t -> int list
+
 (** [pp] prints a summary "graph(n=…, m=…)". *)
 val pp : Format.formatter -> t -> unit

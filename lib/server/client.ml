@@ -68,6 +68,20 @@ let rec request_retry ?(attempts = 5) t req =
       request_retry ~attempts:(attempts - 1) t req
   | outcome -> outcome
 
+let reschedule t ~base ~delta =
+  match roundtrip t (C.Reschedule { base; delta }) with
+  | C.Reply_ok ok -> Ok ok
+  | C.Reply_rejected { retry_after_ms } -> Rejected { retry_after_ms }
+  | C.Reply_error m -> Error m
+  | _ -> Error "unexpected reply to reschedule"
+
+let rec reschedule_retry ?(attempts = 5) t ~base ~delta =
+  match reschedule t ~base ~delta with
+  | Rejected { retry_after_ms } when attempts > 1 ->
+      Unix.sleepf (float_of_int retry_after_ms /. 1000.);
+      reschedule_retry ~attempts:(attempts - 1) t ~base ~delta
+  | outcome -> outcome
+
 let stats t =
   match roundtrip t C.Stats_request with
   | C.Stats_reply kvs -> kvs

@@ -29,6 +29,16 @@ val request : t -> Codec.request -> outcome
     (possibly still [Rejected]). *)
 val request_retry : ?attempts:int -> t -> Codec.request -> outcome
 
+(** [reschedule t ~base ~delta] asks the daemon to serve the topology
+    obtained by applying [delta] to [base]'s resolved graph — repaired
+    from the cached base schedule when possible, byte-identical to a
+    plain {!request} for {!Daemon.derived_request}[ base delta]. *)
+val reschedule : t -> base:Codec.request -> delta:Codec.delta -> outcome
+
+(** [reschedule_retry ?attempts t ~base ~delta] retries like
+    {!request_retry}. *)
+val reschedule_retry : ?attempts:int -> t -> base:Codec.request -> delta:Codec.delta -> outcome
+
 (** [stats t] fetches the daemon's [server/…] metric snapshot. *)
 val stats : t -> (string * int) list
 

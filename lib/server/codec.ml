@@ -1,6 +1,6 @@
 module Schedule = Mlbs_core.Schedule
 
-let protocol_version = 1
+let protocol_version = 2
 let max_frame = 1 lsl 26 (* 64 MiB *)
 
 type policy = Baseline | Emodel | Gopt | Opt
@@ -16,6 +16,12 @@ type request = {
   topology : topology;
   source : int option;
   start : int;
+}
+
+type delta = {
+  d_added : (int * int) list;
+  d_removed : (int * int) list;
+  d_rewired : (int * int list) list;
 }
 
 type stats = {
@@ -37,6 +43,7 @@ type msg =
   | Hello of { proto : int; version : string }
   | Hello_ack of { proto : int; version : string; version_match : bool }
   | Request of request
+  | Reschedule of { base : request; delta : delta }
   | Reply_ok of ok_reply
   | Reply_rejected of { retry_after_ms : int }
   | Reply_error of string
@@ -184,6 +191,43 @@ let get_request r =
   let start = get_u32 r in
   { policy; rate; seed; topology; source; start }
 
+let put_pair_list b l =
+  put_u32 b (List.length l);
+  List.iter
+    (fun (u, v) ->
+      put_u32 b u;
+      put_u32 b v)
+    l
+
+let get_pair_list r =
+  let k = get_count r ~elt_bytes:8 in
+  List.init k (fun _ ->
+      let u = get_u32 r in
+      let v = get_u32 r in
+      (u, v))
+
+let put_delta b (d : delta) =
+  put_pair_list b d.d_added;
+  put_pair_list b d.d_removed;
+  put_u32 b (List.length d.d_rewired);
+  List.iter
+    (fun (u, nbrs) ->
+      put_u32 b u;
+      put_int_list b nbrs)
+    d.d_rewired
+
+let get_delta r =
+  let d_added = get_pair_list r in
+  let d_removed = get_pair_list r in
+  let k = get_count r ~elt_bytes:8 in
+  let d_rewired =
+    List.init k (fun _ ->
+        let u = get_u32 r in
+        let nbrs = get_int_list r in
+        (u, nbrs))
+  in
+  { d_added; d_removed; d_rewired }
+
 let put_stats b (s : stats) =
   put_u32 b s.elapsed;
   put_u32 b s.transmissions;
@@ -271,7 +315,11 @@ let encode msg =
           put_i64 b v)
         kvs
   | Shutdown -> put_u8 b 9
-  | Shutdown_ack -> put_u8 b 10);
+  | Shutdown_ack -> put_u8 b 10
+  | Reschedule { base; delta } ->
+      put_u8 b 11;
+      put_request b base;
+      put_delta b delta);
   Buffer.contents b
 
 let decode payload =
@@ -307,6 +355,10 @@ let decode payload =
                (key, v)))
     | 9 -> Shutdown
     | 10 -> Shutdown_ack
+    | 11 ->
+        let base = get_request r in
+        let delta = get_delta r in
+        Reschedule { base; delta }
     | t -> fail "unknown message tag %d" t
   in
   if r.pos <> String.length payload then fail "trailing bytes after message";

@@ -41,6 +41,18 @@ type request = {
   start : int;  (** first transmission slot, [mlbs schedule] uses 1 *)
 }
 
+(** A topology delta riding a {!msg.Reschedule} message: edge
+    endpoints to connect / disconnect, plus full replacement
+    neighbourhoods for rewired nodes — the same three lists
+    {!Mlbs_graph.Graph.edit} consumes, applied in its order
+    (removals, rewires in list order, additions). Node count is
+    fixed; a delta never adds or deletes nodes. *)
+type delta = {
+  d_added : (int * int) list;
+  d_removed : (int * int) list;
+  d_rewired : (int * int list) list;
+}
+
 (** Per-solve statistics carried in an [Ok] reply. [search_states] is
     the process-wide M-counter state delta observed around the solve —
     exact when the daemon is idle, an aggregate under concurrency. *)
@@ -63,6 +75,14 @@ type msg =
   | Hello of { proto : int; version : string }
   | Hello_ack of { proto : int; version : string; version_match : bool }
   | Request of request
+  | Reschedule of { base : request; delta : delta }
+      (** repair the base request's schedule after a topology delta:
+          the daemon resolves [base] (hitting its caches), applies the
+          delta, and serves a schedule for the edited graph — warm
+          starting from the base solve when it has one. The reply is a
+          plain [Reply_ok]; the repaired schedule is cached under the
+          {e edited} graph's content address, byte-identical to what a
+          plain [Request] for that adjacency would compute. *)
   | Reply_ok of ok_reply
   | Reply_rejected of { retry_after_ms : int }
       (** admission queue full: overload is shed explicitly, retry after

@@ -1,14 +1,16 @@
 module C = Codec
 module Pool = Mlbs_util.Pool
 module Rng = Mlbs_prng.Rng
-module Point = Mlbs_geom.Point
 module Graph = Mlbs_graph.Graph
 module Network = Mlbs_wsn.Network
 module Deployment = Mlbs_wsn.Deployment
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Bitset = Mlbs_util.Bitset
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
 module Scheduler = Mlbs_core.Scheduler
+module Mcounter = Mlbs_core.Mcounter
+module Reschedule = Mlbs_core.Reschedule
 module Config = Mlbs_workload.Config
 module Persist = Mlbs_workload.Persist
 module Obs = Mlbs_obs.Obs
@@ -50,7 +52,22 @@ let m_batches = Metrics.counter "server/batches"
 let m_bad_frames = Metrics.counter "server/bad_frames"
 let h_request_us = Metrics.histogram "server/request_us"
 let h_solve_us = Metrics.histogram "server/solve_us"
+let h_repair_ms = Metrics.histogram "server/repair_ms"
+let m_warm_hit = Metrics.counter "server/warmstart/hit"
+let m_warm_miss = Metrics.counter "server/warmstart/miss"
 let g_queue_depth = Metrics.gauge "server/queue_depth"
+
+(* EWMA of recent solve/repair wall time, process-wide — the basis of
+   the load-scaled retry hint handed to shed clients. *)
+let ewma_solve_us = Atomic.make 0
+
+let note_solve_us us =
+  let rec go () =
+    let cur = Atomic.get ewma_solve_us in
+    let next = if cur = 0 then us else ((7 * cur) + us) / 8 in
+    if not (Atomic.compare_and_set ewma_solve_us cur next) then go ()
+  in
+  go ()
 
 (* ------------------------ request resolution ----------------------- *)
 
@@ -64,14 +81,7 @@ type resolved = { rnet : Network.t; rdigest : int64; rsource : int }
    distinct positions (quadrants and hull then derive from the fake
    geometry, deterministically — the schedule's conflict-freedom only
    depends on the graph). *)
-let network_of_adjacency adj =
-  let g = Graph.of_adjacency adj in
-  let n = Graph.n_nodes g in
-  let cols = max 1 (int_of_float (ceil (sqrt (float_of_int (max n 1))))) in
-  let points =
-    Array.init n (fun i -> Point.v (float_of_int (i mod cols)) (float_of_int (i / cols)))
-  in
-  Network.of_graph ~radius:1.0 ~points g
+let network_of_adjacency adj = Network.synthetic (Graph.of_adjacency adj)
 
 let build_topology (req : C.request) =
   match req.C.topology with
@@ -172,6 +182,118 @@ let solve req =
   let model = Model.create r.rnet (system_of req r.rnet) in
   do_solve model (policy_of req.C.policy) ~source ~start:req.C.start
 
+(* [derived_request base delta] is the plain request for the edited
+   topology: the adjacency of [Graph.edit] applied to [base]'s
+   resolved graph, with the resolved source pinned. A [Reschedule]
+   reply is byte-identical to this request's reply, and both land on
+   the same content address. *)
+let derived_request (base : C.request) (delta : C.delta) =
+  let r = resolve base in
+  let source = source_of base r in
+  let g' =
+    Graph.edit (Network.graph r.rnet) ~add:delta.C.d_added ~remove:delta.C.d_removed
+      ~rewire:delta.C.d_rewired
+  in
+  let adj = Array.init (Graph.n_nodes g') (fun u -> Array.to_list (Graph.neighbors g' u)) in
+  { base with C.topology = C.Adj adj; source = Some source }
+
+(* ------------------------- warm-start index ------------------------ *)
+
+(* One memo snapshot per (policy, rate, wake seed, node count) family,
+   keyed WITHOUT the graph digest — near misses (same deployment
+   family, different source, edited graph) are exactly the lookups we
+   want to catch. The stored graph is the one the snapshot's solve ran
+   on; per-entry validity is re-derived against it at use time, which
+   keeps chained churn repairs sound. *)
+type wentry = { wgraph : Graph.t; wsnapshot : Mcounter.snapshot }
+
+let family_key (req : C.request) ~n =
+  Printf.sprintf "p%d:r%d:w%d:n%d" (policy_tag req.C.policy)
+    (match req.C.rate with None -> -1 | Some r -> r)
+    (match req.C.rate with None -> 0 | Some _ -> req.C.seed)
+    n
+
+let searchful = function C.Gopt | C.Opt -> true | C.Baseline | C.Emodel -> false
+
+(* Probe the family index for seeds valid on [g]: a memo entry is
+   reused iff its informed set contains every endpoint of the diff
+   between the snapshot's graph and [g] (the soundness contract of
+   [Mcounter.plan_snapshot]). On a same-graph near miss — different
+   source, say — the diff is empty and the whole memo seeds. *)
+let family_seeds warm policy ~family ~g =
+  let n = Graph.n_nodes g in
+  match Cache.find warm family with
+  | Some we when Graph.n_nodes we.wgraph = n ->
+      let eps = Bitset.of_list n (Graph.diff_endpoints we.wgraph g) in
+      Scheduler.warm_seeds policy we.wsnapshot ~n ~valid:(fun w -> Bitset.subset eps w)
+  | _ -> None
+
+(* Warm solve: same schedules as [do_solve], byte for byte, but
+   through [Scheduler.run_warm] — family-index seeds in, memo snapshot
+   out. *)
+let do_solve_warm warm (req : C.request) model ~source ~family =
+  let policy = policy_of req.C.policy in
+  let g = Model.graph model in
+  let seeds = family_seeds warm policy ~family ~g in
+  if searchful req.C.policy then
+    Metrics.incr (match seeds with Some _ -> m_warm_hit | None -> m_warm_miss);
+  let s0 = Metrics.counter_value "search/states" in
+  let t0 = Obs.now_us () in
+  let schedule, snap = Scheduler.run_warm model policy ?seeds ~source ~start:req.C.start () in
+  let dt = Obs.now_us () -. t0 in
+  let stats =
+    {
+      C.elapsed = Schedule.elapsed schedule;
+      transmissions = Schedule.n_transmissions schedule;
+      n_steps = List.length (Schedule.steps schedule);
+      search_states = max 0 (Metrics.counter_value "search/states" - s0);
+      solve_us = int_of_float dt;
+    }
+  in
+  Metrics.observe h_solve_us stats.C.solve_us;
+  note_solve_us stats.C.solve_us;
+  (match snap with
+  | Some s -> Cache.add warm family { wgraph = g; wsnapshot = s }
+  | None -> ());
+  (stats, schedule)
+
+(* Delta repair: patch the cached base schedule for the edited graph
+   through [Reschedule], seeding from the family snapshot when one is
+   on hand. Byte-identical to a cold solve of the edited topology. *)
+let do_repair warm (req : C.request) ~base_model ~(base_entry : entry) ~family ~source
+    (delta : C.delta) =
+  let prev = Cache.find warm family in
+  let s0 = Metrics.counter_value "search/states" in
+  let t0 = Obs.now_us () in
+  let rep =
+    Reschedule.reschedule base_model (policy_of req.C.policy)
+      ?snapshot:(Option.map (fun we -> we.wsnapshot) prev)
+      ?snapshot_graph:(Option.map (fun we -> we.wgraph) prev)
+      ~source ~old_schedule:base_entry.schedule ~added:delta.C.d_added
+      ~removed:delta.C.d_removed ~rewired:delta.C.d_rewired ()
+  in
+  let dt = Obs.now_us () -. t0 in
+  if searchful req.C.policy then
+    Metrics.incr (if rep.Reschedule.warm then m_warm_hit else m_warm_miss);
+  let schedule = rep.Reschedule.schedule in
+  let stats =
+    {
+      C.elapsed = Schedule.elapsed schedule;
+      transmissions = Schedule.n_transmissions schedule;
+      n_steps = List.length (Schedule.steps schedule);
+      search_states = max 0 (Metrics.counter_value "search/states" - s0);
+      solve_us = int_of_float dt;
+    }
+  in
+  Metrics.observe h_solve_us stats.C.solve_us;
+  Metrics.observe h_repair_ms (max 0 (int_of_float (dt /. 1000.)));
+  note_solve_us stats.C.solve_us;
+  (match rep.Reschedule.snapshot with
+  | Some s ->
+      Cache.add warm family { wgraph = Model.graph rep.Reschedule.model; wsnapshot = s }
+  | None -> ());
+  (stats, schedule)
+
 (* ------------------------ cache persistence ------------------------ *)
 
 let rec mkdir_p d =
@@ -252,12 +374,12 @@ let load_cache ~dir cache =
 
 (* ----------------------------- daemon ------------------------------ *)
 
+(* A queued unit of work: the closure carries whatever the request
+   path decided — warm solve or delta repair — and runs on a pool
+   worker; the dispatcher inserts the result under [jkey]. *)
 type job = {
-  jmodel : Model.t;
-  jpolicy : C.policy;
-  jsource : int;
-  jstart : int;
   jkey : string;
+  jrun : unit -> entry;
   jm : Mutex.t;
   jcv : Condition.t;
   mutable jresult : (entry, string) result option;
@@ -267,6 +389,7 @@ type t = {
   cfg : config;
   pool : Pool.t;
   cache : entry Cache.t;
+  warm : wentry Cache.t;
   topo : resolved Cache.t;
   qm : Mutex.t;
   qcv : Condition.t;
@@ -289,13 +412,7 @@ let fresh_trace_id t digest =
 
 (* -------------------------- dispatcher ----------------------------- *)
 
-let run_job job =
-  try
-    let stats, schedule =
-      do_solve job.jmodel (policy_of job.jpolicy) ~source:job.jsource ~start:job.jstart
-    in
-    Ok { stats; schedule }
-  with e -> Error (Printexc.to_string e)
+let run_job job = try Ok (job.jrun ()) with e -> Error (Printexc.to_string e)
 
 let rec dispatcher_loop t =
   Mutex.lock t.qm;
@@ -334,6 +451,17 @@ let reply_error msg =
   Metrics.incr m_errors;
   C.Reply_error msg
 
+(* Load-scaled backpressure: the hint is the queue's expected drain
+   time — [depth + 1] slots at the EWMA solve cost spread over the
+   worker pool — clamped to [5, 5000] ms. Before the first solve lands
+   (cold EWMA) fall back to a flat 10 ms per queued slot. *)
+let retry_hint t ~depth =
+  match Atomic.get ewma_solve_us with
+  | 0 -> 10 * (depth + 1)
+  | per_us ->
+      let ms = (depth + 1) * per_us / (max 1 t.cfg.jobs * 1000) in
+      max 5 (min 5000 ms)
+
 let admit t job =
   Mutex.lock t.qm;
   if t.draining_done || Atomic.get t.stop_requested then begin
@@ -344,7 +472,7 @@ let admit t job =
     let depth = Queue.length t.jobs_q in
     Mutex.unlock t.qm;
     Metrics.incr m_rejected;
-    Some (C.Reply_rejected { retry_after_ms = 10 * (depth + 1) })
+    Some (C.Reply_rejected { retry_after_ms = retry_hint t ~depth })
   end
   else begin
     Queue.add job t.jobs_q;
@@ -353,6 +481,30 @@ let admit t job =
     Mutex.unlock t.qm;
     None
   end
+
+(* Admit [job] and block the connection thread until a pool worker
+   finishes it (or it is shed at the door). *)
+let await t job ~digest =
+  match admit t job with
+  | Some shed -> shed
+  | None ->
+      Mutex.lock job.jm;
+      while job.jresult = None do
+        Condition.wait job.jcv job.jm
+      done;
+      let result = Option.get job.jresult in
+      Mutex.unlock job.jm;
+      (match result with
+      | Ok e ->
+          Metrics.incr m_ok;
+          C.Reply_ok
+            {
+              trace_id = fresh_trace_id t digest;
+              cache_hit = false;
+              stats = e.stats;
+              schedule = e.schedule;
+            }
+      | Error msg -> reply_error msg)
 
 let handle_request t (req : C.request) =
   Metrics.incr m_requests;
@@ -378,44 +530,97 @@ let handle_request t (req : C.request) =
             | None -> (
                 match Model.create r.rnet (system_of req r.rnet) with
                 | exception e -> reply_error (Printexc.to_string e)
-                | model -> (
+                | model ->
+                    let family = family_key req ~n:(Network.n_nodes r.rnet) in
                     let job =
                       {
-                        jmodel = model;
-                        jpolicy = req.C.policy;
-                        jsource = source;
-                        jstart = req.C.start;
                         jkey = key;
+                        jrun =
+                          (fun () ->
+                            let stats, schedule =
+                              do_solve_warm t.warm req model ~source ~family
+                            in
+                            { stats; schedule });
                         jm = Mutex.create ();
                         jcv = Condition.create ();
                         jresult = None;
                       }
                     in
-                    match admit t job with
-                    | Some shed -> shed
-                    | None ->
-                        Mutex.lock job.jm;
-                        while job.jresult = None do
-                          Condition.wait job.jcv job.jm
-                        done;
-                        let result = Option.get job.jresult in
-                        Mutex.unlock job.jm;
-                        (match result with
-                        | Ok e ->
-                            Metrics.incr m_ok;
-                            C.Reply_ok
-                              {
-                                trace_id = fresh_trace_id t r.rdigest;
-                                cache_hit = false;
-                                stats = e.stats;
-                                schedule = e.schedule;
-                              }
-                        | Error msg -> reply_error msg)))))
+                    await t job ~digest:r.rdigest)))
   in
   let dt = Obs.now_us () -. t0 in
   Metrics.observe h_request_us (int_of_float dt);
   if Obs.tracing_enabled () then
     Trace.complete ~cat:"server" ~name:"request" ~t0_us:t0 ~dur_us:dt ();
+  reply
+
+(* A [Reschedule]: resolve the base, apply the delta, and serve the
+   edited topology — from cache when its content address is warm,
+   otherwise by repairing the cached base schedule (or cold-solving
+   the edited graph when the base was never solved here; family seeds
+   may still apply). The reply is byte-identical to a plain [Request]
+   for the edited adjacency ([derived_request]), and the result is
+   inserted under that request's content address, so either route hits
+   the same cache line afterwards. *)
+let handle_reschedule t (base : C.request) (delta : C.delta) =
+  Metrics.incr m_requests;
+  let t0 = Obs.now_us () in
+  let reply =
+    match resolve ~memo:t.topo base with
+    | exception e -> reply_error (Printexc.to_string e)
+    | r -> (
+        match source_of base r with
+        | exception e -> reply_error (Printexc.to_string e)
+        | source -> (
+            match
+              Graph.edit (Network.graph r.rnet) ~add:delta.C.d_added
+                ~remove:delta.C.d_removed ~rewire:delta.C.d_rewired
+            with
+            | exception e -> reply_error (Printexc.to_string e)
+            | g' -> (
+                let digest' = Graph.digest g' in
+                let key = key_of base ~digest:digest' ~source in
+                match Cache.find t.cache key with
+                | Some e ->
+                    Metrics.incr m_ok;
+                    C.Reply_ok
+                      {
+                        trace_id = fresh_trace_id t digest';
+                        cache_hit = true;
+                        stats = e.stats;
+                        schedule = e.schedule;
+                      }
+                | None ->
+                    let family = family_key base ~n:(Graph.n_nodes g') in
+                    let jrun =
+                      match Cache.find t.cache (key_of base ~digest:r.rdigest ~source) with
+                      | Some base_entry ->
+                          fun () ->
+                            let base_model = Model.create r.rnet (system_of base r.rnet) in
+                            let stats, schedule =
+                              do_repair t.warm base ~base_model ~base_entry ~family ~source
+                                delta
+                            in
+                            { stats; schedule }
+                      | None ->
+                          fun () ->
+                            let net' = Network.synthetic g' in
+                            let model' = Model.create net' (system_of base net') in
+                            let stats, schedule =
+                              do_solve_warm t.warm base model' ~source ~family
+                            in
+                            { stats; schedule }
+                    in
+                    let job =
+                      { jkey = key; jrun; jm = Mutex.create (); jcv = Condition.create ();
+                        jresult = None }
+                    in
+                    await t job ~digest:digest')))
+  in
+  let dt = Obs.now_us () -. t0 in
+  Metrics.observe h_request_us (int_of_float dt);
+  if Obs.tracing_enabled () then
+    Trace.complete ~cat:"server" ~name:"reschedule" ~t0_us:t0 ~dur_us:dt ();
   reply
 
 let server_stats () =
@@ -451,6 +656,9 @@ let handle_conn t fd =
               true
           | C.Request req ->
               C.send fd (handle_request t req);
+              true
+          | C.Reschedule { base; delta } ->
+              C.send fd (handle_reschedule t base delta);
               true
           | C.Stats_request ->
               C.send fd (C.Stats_reply (server_stats ()));
@@ -525,6 +733,7 @@ let start cfg =
       cfg;
       pool = Pool.create ~jobs:cfg.jobs;
       cache;
+      warm = Cache.create ~metrics_prefix:"server/warm" ~capacity:64 ();
       topo = Cache.create ~metrics_prefix:"server/topo" ~capacity:256 ();
       qm = Mutex.create ();
       qcv = Condition.create ();

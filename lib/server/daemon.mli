@@ -19,10 +19,23 @@
       domains, inserts results into the cache, and wakes the waiting
       connection threads.
 
+    A [Reschedule] frame (base request + topology delta) serves the
+    edited topology: the daemon applies the delta to the resolved base
+    graph, probes the cache under the edited graph's content address,
+    and on a miss {e repairs} the cached base schedule through
+    {!Mlbs_core.Reschedule} instead of solving from scratch, warm
+    started from a per-family memo snapshot index (keyed on policy,
+    rate, wake seed and node count — digest-free, so near misses such
+    as a different source or a previous churn step still seed). The
+    repaired entry is filed under the edited topology's own content
+    address — the same key a plain [Request] for that adjacency
+    ({!derived_request}) would hit.
+
     Served schedules are byte-identical to a direct
     {!Mlbs_core.Scheduler.run} on the same request, at any [jobs],
-    cache hit or miss — {!solve} below is that reference path, shared
-    by the dispatcher, [mlbs loadgen --verify] and the tests. *)
+    cache hit or miss, repaired or cold — {!solve} below is that
+    reference path, shared by the dispatcher, [mlbs loadgen --verify]
+    and the tests. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listener *)
@@ -76,6 +89,15 @@ val solve : Codec.request -> Codec.stats * Mlbs_core.Schedule.t
     under: canonical graph digest + policy + rate + wake-seed + source
     + start. Exposed for tests. *)
 val cache_key : Codec.request -> string
+
+(** [derived_request base delta] is the plain request equivalent to
+    [Reschedule { base; delta }]: the edited graph shipped as an
+    explicit adjacency, with the base's resolved source pinned. The
+    daemon's reply to the reschedule is byte-identical to its reply to
+    this request, and both share one cache line — the reference
+    comparator for [mlbs loadgen --churn --verify] and the tests.
+    Raises like {!solve} on unresolvable bases or malformed deltas. *)
+val derived_request : Codec.request -> Codec.delta -> Codec.request
 
 (* --------------------- cache persistence ------------------------- *)
 

@@ -50,6 +50,14 @@ let of_graph ~radius ~points graph =
     by_quadrant = partition_quadrants points graph;
   }
 
+let synthetic graph =
+  let n = Graph.n_nodes graph in
+  let cols = max 1 (int_of_float (ceil (sqrt (float_of_int (max n 1))))) in
+  let points =
+    Array.init n (fun i -> Point.v (float_of_int (i mod cols)) (float_of_int (i / cols)))
+  in
+  of_graph ~radius:1.0 ~points graph
+
 let create ~radius points =
   if radius <= 0. then invalid_arg "Network.create: radius <= 0";
   check_distinct points;

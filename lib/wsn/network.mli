@@ -18,6 +18,15 @@ val create : radius:float -> Mlbs_geom.Point.t array -> t
     [Invalid_argument] when sizes disagree. *)
 val of_graph : radius:float -> points:Mlbs_geom.Point.t array -> Mlbs_graph.Graph.t -> t
 
+(** [synthetic g] wraps a bare connectivity graph in a deterministic
+    unit-grid geometry (node [i] at [(i mod cols, i / cols)],
+    [cols = ceil (sqrt n)], radius 1.0) — for adjacencies that carry no
+    positions. Quadrants and hull derive from the fake geometry, so two
+    calls on equal graphs yield networks the schedulers treat
+    identically; the scheduling service and the reschedule engine both
+    rely on this to keep derived schedules byte-reproducible. *)
+val synthetic : Mlbs_graph.Graph.t -> t
+
 (** [graph t] is the connectivity graph. *)
 val graph : t -> Mlbs_graph.Graph.t
 

@@ -51,7 +51,15 @@ let roundtrip msg = Codec.decode (Codec.encode msg)
 let check_roundtrip name msg =
   Alcotest.(check bool) name true (roundtrip msg = msg)
 
+let sample_delta =
+  {
+    Codec.d_added = [ (0, 3); (2, 5) ];
+    d_removed = [ (1, 4) ];
+    d_rewired = [ (0, [ 1; 3 ]); (5, [ 2; 4 ]) ];
+  }
+
 let test_codec_roundtrip () =
+  Alcotest.(check int) "reschedule needs protocol v2" 2 Codec.protocol_version;
   check_roundtrip "hello" (Codec.Hello { proto = 1; version = "1.1.0" });
   check_roundtrip "hello_ack"
     (Codec.Hello_ack { proto = 1; version = "1.1.0"; version_match = false });
@@ -72,6 +80,11 @@ let test_codec_roundtrip () =
          stats = sample_stats;
          schedule = sample_schedule;
        });
+  check_roundtrip "reschedule"
+    (Codec.Reschedule { base = gen_request; delta = sample_delta });
+  check_roundtrip "reschedule empty delta"
+    (Codec.Reschedule
+       { base = gen_request; delta = { Codec.d_added = []; d_removed = []; d_rewired = [] } });
   check_roundtrip "rejected" (Codec.Reply_rejected { retry_after_ms = 120 });
   check_roundtrip "error" (Codec.Reply_error "boom");
   check_roundtrip "stats_request" Codec.Stats_request;
@@ -384,6 +397,60 @@ let test_daemon_concurrent_clients () =
   List.iter Thread.join threads;
   Alcotest.(check int) "80 concurrent requests all byte-identical" 0 (Atomic.get errors)
 
+let test_daemon_reschedule () =
+  (* Added edges only: never disconnects, so the repair path always
+     engages. The reply must be byte-identical to solving the derived
+     request directly, and must share that request's cache line. *)
+  let delta =
+    { Codec.d_added = [ (0, 7); (3, 11); (20, 41) ]; d_removed = []; d_rewired = [] }
+  in
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* Prime the base entry so the daemon repairs rather than cold-solves. *)
+  (match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "expected Ok for base request");
+  let derived = Daemon.derived_request gen_request delta in
+  (match Client.reschedule c ~base:gen_request ~delta with
+  | Client.Ok ok ->
+      Alcotest.(check bool) "repair is a cache miss" false ok.Codec.cache_hit;
+      let _, direct = Daemon.solve derived in
+      Alcotest.(check string) "repair byte-identical to derived solve"
+        (Codec.schedule_bytes direct)
+        (Codec.schedule_bytes ok.Codec.schedule)
+  | _ -> Alcotest.fail "expected Ok for reschedule");
+  (* The repaired entry was filed under the derived request's content
+     address: both a repeat reschedule and the plain derived request
+     must hit it. *)
+  (match Client.reschedule c ~base:gen_request ~delta with
+  | Client.Ok ok -> Alcotest.(check bool) "repeat reschedule hits" true ok.Codec.cache_hit
+  | _ -> Alcotest.fail "expected Ok for repeat reschedule");
+  (match Client.request c derived with
+  | Client.Ok ok -> Alcotest.(check bool) "derived request hits" true ok.Codec.cache_hit
+  | _ -> Alcotest.fail "expected Ok for derived request");
+  let stats = Client.stats c in
+  Alcotest.(check bool) "warmstart counters exported" true
+    (List.mem_assoc "server/warmstart/hit" stats
+    && List.mem_assoc "server/warmstart/miss" stats);
+  Alcotest.(check bool) "searchful solves counted" true
+    (List.assoc "server/warmstart/hit" stats + List.assoc "server/warmstart/miss" stats >= 2);
+  Alcotest.(check bool) "repair histogram observed" true
+    (match List.assoc_opt "server/repair_ms" stats with Some n -> n >= 1 | None -> false)
+
+let test_daemon_reschedule_bad_delta () =
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* Out-of-range endpoint: an error reply, not a wedged connection. *)
+  let bad = { Codec.d_added = [ (0, 5000) ]; d_removed = []; d_rewired = [] } in
+  (match Client.reschedule c ~base:gen_request ~delta:bad with
+  | Client.Error _ -> ()
+  | _ -> Alcotest.fail "out-of-range delta must be an error reply");
+  match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "connection must survive a bad delta"
+
 let test_daemon_shutdown_frame () =
   let dir = temp_dir () in
   let socket_path = Filename.concat dir "d.sock" in
@@ -425,6 +492,8 @@ let () =
           Alcotest.test_case "overload shedding" `Quick test_daemon_sheds_overload;
           Alcotest.test_case "warm restart" `Quick test_daemon_warm_restart;
           Alcotest.test_case "concurrent clients" `Quick test_daemon_concurrent_clients;
+          Alcotest.test_case "reschedule" `Quick test_daemon_reschedule;
+          Alcotest.test_case "reschedule bad delta" `Quick test_daemon_reschedule_bad_delta;
           Alcotest.test_case "shutdown frame" `Quick test_daemon_shutdown_frame;
         ] );
     ]
