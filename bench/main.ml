@@ -648,6 +648,309 @@ let write_bench4 path ~jobs (levels, svc, kernels, _, n, events) =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* ------------------------- fleet bench ----------------------------- *)
+
+module Sv_fleet = Mlbs_server.Fleet
+
+(* A shard for the fleet bench: an external [serve --backend] process
+   when the CLI binary sits next to this bench in _build (separate
+   OCaml runtimes — real multi-process scaling), an in-process daemon
+   otherwise (still exercises the full TCP path). *)
+type shard =
+  | Sh_proc of { pid : int; out : in_channel; port : int }
+  | Sh_inproc of Sv_daemon.t
+
+let cli_exe =
+  lazy
+    (let candidate =
+       Filename.concat
+         (Filename.dirname Sys.executable_name)
+         (Filename.concat ".." (Filename.concat "bin" "mlbs_cli.exe"))
+     in
+     if Sys.file_exists candidate then Some candidate else None)
+
+let spawn_shard () =
+  match Lazy.force cli_exe with
+  | Some exe ->
+      let out_r, out_w = Unix.pipe ~cloexec:true () in
+      let pid =
+        Unix.create_process exe
+          [| exe; "serve"; "--backend"; "--tcp"; "0"; "--jobs"; "1" |]
+          Unix.stdin out_w Unix.stderr
+      in
+      Unix.close out_w;
+      let out = Unix.in_channel_of_descr out_r in
+      let prefix = "backend ready on 127.0.0.1:" in
+      let rec scan attempts =
+        if attempts = 0 then failwith "backend never reported ready";
+        let line = input_line out in
+        if
+          String.length line > String.length prefix
+          && String.sub line 0 (String.length prefix) = prefix
+        then
+          int_of_string
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))
+        else scan (attempts - 1)
+      in
+      Sh_proc { pid; out; port = scan 10 }
+  | None ->
+      Sh_inproc
+        (Sv_daemon.start
+           {
+             (Sv_daemon.default_config ~socket_path:"unused") with
+             Sv_daemon.socket_path = None;
+             tcp_port = Some 0;
+             jobs = 1;
+           })
+
+let shard_endpoint = function
+  | Sh_proc { port; _ } -> Sv_client.Tcp { host = "127.0.0.1"; port }
+  | Sh_inproc d -> (
+      match Sv_daemon.tcp_port d with
+      | Some port -> Sv_client.Tcp { host = "127.0.0.1"; port }
+      | None -> failwith "in-process shard has no TCP port")
+
+(* SIGKILL for a process shard — the chaos scenario CI replays. *)
+let kill_shard = function
+  | Sh_proc { pid; out; _ } ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error (_, _, _) -> ());
+      close_in_noerr out
+  | Sh_inproc d ->
+      Sv_daemon.stop d;
+      Sv_daemon.wait d
+
+(* service_phase, plus the reject/error split the degraded phase needs. *)
+let fleet_phase name ~socket ~concurrency ~requests req_of =
+  let lat = Array.make requests 0.0 in
+  let hits = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  let errors = Atomic.make 0 in
+  let worker w () =
+    let c, _, _ = Sv_client.connect (Sv_client.Unix_socket socket) in
+    Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+    let i = ref w in
+    while !i < requests do
+      let t0 = now_s () in
+      (match Sv_client.request_retry ~attempts:8 c (req_of !i) with
+      | Sv_client.Ok ok -> if ok.Sv_codec.cache_hit then Atomic.incr hits
+      | Sv_client.Rejected _ -> Atomic.incr rejected
+      | Sv_client.Error _ -> Atomic.incr errors);
+      lat.(!i) <- (now_s () -. t0) *. 1e6;
+      i := !i + concurrency
+    done
+  in
+  let t0 = now_s () in
+  let threads = List.init concurrency (fun w -> Thread.create (worker w) ()) in
+  List.iter Thread.join threads;
+  let dt = now_s () -. t0 in
+  Array.sort compare lat;
+  ( {
+      pname = name;
+      requests;
+      p_seconds = dt;
+      rps = float_of_int requests /. dt;
+      p50_us = percentile lat 0.50;
+      p95_us = percentile lat 0.95;
+      p99_us = percentile lat 0.99;
+      hits = Atomic.get hits;
+    },
+    Atomic.get rejected,
+    Atomic.get errors )
+
+type fleet_row = {
+  fr_shards : int;
+  fr_cold : phase;
+  fr_warm : phase;
+  fr_rejected : int;
+  fr_fill_hits : int;
+}
+
+type fleet_degraded = {
+  fd_shards : int;
+  fd_phase : phase;
+  fd_rejected : int;
+  fd_errors : int;
+  fd_rebalances : int;
+}
+
+let front_stats socket =
+  let c, _, _ = Sv_client.connect (Sv_client.Unix_socket socket) in
+  Fun.protect ~finally:(fun () -> Sv_client.close c) (fun () -> Sv_client.stats c)
+
+(* Fleet metric counters are process-global and survive across shard
+   counts within one bench run, so every row works on before/after
+   diffs rather than absolute values. *)
+let stat_diff before after k =
+  let get kvs = Option.value ~default:0 (List.assoc_opt k kvs) in
+  get after - get before
+
+(* Fixed small-n rows (the BENCH_5 gate compares p50 latencies by name,
+   so sizes must not move with --smoke): shard counts 1/2/4 through one
+   front, cold then warm, and a kill-one-shard degraded phase at 4. *)
+let run_fleet cfg ~smoke =
+  section (Printf.sprintf "Fleet (front + sharded backends, jobs=%d)" cfg.Config.jobs);
+  let metrics0 = Obs.metrics_enabled () and tracing0 = Obs.tracing_enabled () in
+  let n = 50 in
+  let instances = 8 in
+  let concurrency = 4 in
+  let warm_requests = if smoke then 160 else 800 in
+  let req_of i =
+    {
+      Sv_codec.policy = Sv_codec.Gopt;
+      rate = None;
+      seed = 1 + (i mod instances);
+      topology = Sv_codec.Gen { n; radius = Config.default.Config.radius };
+      source = None;
+      start = 1;
+    }
+  in
+  let t0 = now_s () in
+  let degraded = ref None in
+  let rows =
+    List.map
+      (fun shards ->
+        let members = List.init shards (fun _ -> spawn_shard ()) in
+        let socket = Filename.temp_file "mlbs-fleet" ".sock" in
+        let fcfg =
+          {
+            (Sv_fleet.default_config
+               ~backends:(List.map shard_endpoint members)
+               ~socket_path:socket)
+            with
+            Sv_fleet.health_period = 0.2;
+          }
+        in
+        let t = Sv_fleet.start fcfg in
+        Fun.protect
+          ~finally:(fun () ->
+            Sv_fleet.stop t;
+            Sv_fleet.wait t;
+            List.iter kill_shard members;
+            try Sys.remove socket with Sys_error _ -> ())
+          (fun () ->
+            let s0 = front_stats socket in
+            let cold, _, _ =
+              fleet_phase "cold" ~socket ~concurrency ~requests:instances req_of
+            in
+            let warm, warm_rej, _ =
+              fleet_phase "warm" ~socket ~concurrency ~requests:warm_requests req_of
+            in
+            let s1 = front_stats socket in
+            if shards = 4 then begin
+              (* Chaos: SIGKILL one shard, drive the same load straight
+                 through the reroute storm. *)
+              kill_shard (List.hd members);
+              let ph, rej, errs =
+                fleet_phase "degraded" ~socket ~concurrency
+                  ~requests:(warm_requests / 2) req_of
+              in
+              let s2 = front_stats socket in
+              degraded :=
+                Some
+                  {
+                    fd_shards = shards;
+                    fd_phase = ph;
+                    fd_rejected = rej;
+                    fd_errors = errs;
+                    fd_rebalances = stat_diff s1 s2 "server/fleet/rebalances";
+                  }
+            end;
+            {
+              fr_shards = shards;
+              fr_cold = cold;
+              fr_warm = warm;
+              fr_rejected = warm_rej;
+              fr_fill_hits = stat_diff s0 s1 "server/fleet/fill_hits";
+            }))
+      [ 1; 2; 4 ]
+  in
+  if not metrics0 then begin
+    Obs.disable ();
+    if tracing0 then Obs.enable ~metrics:false ~tracing:true ()
+  end;
+  Printf.printf "  %d instances (n=%d), %d clients, %s shards\n" instances n concurrency
+    (match Lazy.force cli_exe with Some _ -> "process" | None -> "in-process");
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  %d shard%s: cold %7.0f req/s   warm %7.0f req/s  p50=%.0fus p99=%.0fus  \
+         (%d hits, %d rejected, %d fills)\n"
+        r.fr_shards
+        (if r.fr_shards = 1 then " " else "s")
+        r.fr_cold.rps r.fr_warm.rps r.fr_warm.p50_us r.fr_warm.p99_us r.fr_warm.hits
+        r.fr_rejected r.fr_fill_hits)
+    rows;
+  (match !degraded with
+  | Some d ->
+      Printf.printf
+        "  kill 1/%d: %7.0f req/s  p50=%.0fus p99=%.0fus  (%d rejected, %d errors, %d \
+         rebalances)\n"
+        d.fd_shards d.fd_phase.rps d.fd_phase.p50_us d.fd_phase.p99_us d.fd_rejected
+        d.fd_errors d.fd_rebalances
+  | None -> ());
+  let kernels =
+    List.filter_map
+      (fun r ->
+        if r.fr_shards = 1 || r.fr_shards = 4 then
+          Some
+            ( Printf.sprintf "fleet/warm p50 (%d shard%s)" r.fr_shards
+                (if r.fr_shards = 1 then "" else "s"),
+              r.fr_warm.p50_us *. 1e3 )
+        else None)
+      rows
+    @
+    match !degraded with
+    | Some d -> [ ("fleet/degraded p50 (4 shards)", d.fd_phase.p50_us *. 1e3) ]
+    | None -> []
+  in
+  let dt = now_s () -. t0 in
+  Printf.printf "(%.1fs)\n\n%!" dt;
+  record "fleet" dt;
+  (rows, !degraded, kernels)
+
+let write_bench5 path ~jobs (rows, degraded, kernels) =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-5\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  (* Warm rps scales with shard count only when the host has at least
+     one core per shard; on fewer cores the rows measure overhead. *)
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "    {\"shards\": %d, \"cold_rps\": %.1f, \"warm_rps\": %.1f, \"warm_p50_us\": \
+         %.1f, \"warm_p99_us\": %.1f, \"warm_hits\": %d, \"rejected\": %d, \
+         \"fill_hits\": %d}%s\n"
+        r.fr_shards r.fr_cold.rps r.fr_warm.rps r.fr_warm.p50_us r.fr_warm.p99_us
+        r.fr_warm.hits r.fr_rejected r.fr_fill_hits
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  (match degraded with
+  | Some d ->
+      p
+        "  \"degraded\": {\"shards\": %d, \"killed\": 1, \"rps\": %.1f, \"p50_us\": \
+         %.1f, \"p99_us\": %.1f, \"rejected\": %d, \"errors\": %d, \"rebalances\": \
+         %d},\n"
+        d.fd_shards d.fd_phase.rps d.fd_phase.p50_us d.fd_phase.p99_us d.fd_rejected
+        d.fd_errors d.fd_rebalances
+  | None -> ());
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" name ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 (* ------------------------ bechamel micro --------------------------- *)
 
 let micro_tests cfg =
@@ -1073,7 +1376,7 @@ let () =
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-      "reliability"; "ablation"; "service"; "churn"; "micro" ]
+      "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -1134,10 +1437,18 @@ let () =
       (* BENCH_4.json rides the same switch as BENCH_2/BENCH_3. *)
       if json <> None then write_bench4 "BENCH_4.json" ~jobs:cfg.Config.jobs res
     end;
+    let fleet_kernels = ref [] in
+    if want "fleet" then begin
+      let ((_, _, kernels) as res) = run_fleet cfg ~smoke in
+      fleet_kernels := kernels;
+      (* BENCH_5.json rides the same switch as BENCH_2/3/4. *)
+      if json <> None then write_bench5 "BENCH_5.json" ~jobs:cfg.Config.jobs res
+    end;
     let micro = if want "micro" then run_micro cfg else [] in
-    (* Churn gate kernels join the micro list for --compare, so a CI
-       smoke run gates repair latency against the committed BENCH_4. *)
-    let micro = micro @ !churn_kernels in
+    (* Churn and fleet gate kernels join the micro list for --compare,
+       so a CI smoke run gates repair latency against the committed
+       BENCH_4 and fleet latency against BENCH_5. *)
+    let micro = micro @ !churn_kernels @ !fleet_kernels in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
     let entries = List.rev !log in

@@ -30,6 +30,7 @@ module Obs_metrics = Mlbs_obs.Metrics
 module Sv_codec = Mlbs_server.Codec
 module Sv_client = Mlbs_server.Client
 module Sv_daemon = Mlbs_server.Daemon
+module Sv_fleet = Mlbs_server.Fleet
 module Sv_version = Mlbs_server.Version
 
 (* ------------------------- common args ----------------------------- *)
@@ -487,33 +488,47 @@ let codec_policy = function
   | Scheduler.Gopt _ -> Sv_codec.Gopt
   | Scheduler.Opt _ -> Sv_codec.Opt
 
-let serve socket tcp jobs queue cache cache_dir trace_file metrics_file =
+let serve socket tcp backend jobs queue cache cache_dir trace_file metrics_file =
   let base = { Config.default with Config.trace_file; metrics_file } in
   Telemetry.with_config base @@ fun () ->
-  let jobs = Option.value jobs ~default:Config.default.Config.jobs in
-  let dcfg =
-    {
-      (Sv_daemon.default_config ~socket_path:socket) with
-      Sv_daemon.tcp_port = tcp;
-      jobs;
-      queue_capacity = queue;
-      cache_capacity = cache;
-      cache_dir;
-    }
-  in
-  let t = Sv_daemon.start dcfg in
-  Printf.printf "mlbs scheduling service %s (protocol v%d)\n" Sv_version.version
-    Sv_codec.protocol_version;
-  Printf.printf "listening on %s%s\n" socket
-    (match tcp with Some p -> Printf.sprintf " and 127.0.0.1:%d" p | None -> "");
-  Printf.printf "jobs=%d queue=%d cache=%d%s\n%!" jobs queue cache
-    (match cache_dir with Some d -> " cache-dir=" ^ d | None -> "");
-  let on_signal _ = Sv_daemon.stop t in
-  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  Sv_daemon.wait t;
-  Printf.printf "server stopped\n";
-  0
+  if backend && tcp = None then begin
+    Printf.eprintf "serve --backend needs --tcp PORT (0 picks an ephemeral port)\n";
+    2
+  end
+  else begin
+    let jobs = Option.value jobs ~default:Config.default.Config.jobs in
+    let dcfg =
+      {
+        (Sv_daemon.default_config ~socket_path:socket) with
+        Sv_daemon.socket_path = (if backend then None else Some socket);
+        tcp_port = tcp;
+        jobs;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        cache_dir;
+      }
+    in
+    let t = Sv_daemon.start dcfg in
+    Printf.printf "mlbs scheduling service %s (protocol v%d)\n" Sv_version.version
+      Sv_codec.protocol_version;
+    (* The "backend ready" line is parsed by fleet spawners (bench,
+       scripts) to learn an ephemeral port — keep its shape stable. *)
+    (match (backend, Sv_daemon.tcp_port t) with
+    | true, Some p -> Printf.printf "backend ready on 127.0.0.1:%d\n" p
+    | _ ->
+        Printf.printf "listening on %s%s\n" socket
+          (match Sv_daemon.tcp_port t with
+          | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+          | None -> ""));
+    Printf.printf "jobs=%d queue=%d cache=%d%s\n%!" jobs queue cache
+      (match cache_dir with Some d -> " cache-dir=" ^ d | None -> "");
+    let on_signal _ = Sv_daemon.stop t in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sv_daemon.wait t;
+    Printf.printf "server stopped\n";
+    0
+  end
 
 let serve_cmd =
   let queue_arg =
@@ -540,11 +555,150 @@ let serve_cmd =
       value & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc:"Solver pool size (default: all cores).")
   in
+  let backend_arg =
+    Arg.(
+      value & flag
+      & info [ "backend" ]
+          ~doc:
+            "Run as a fleet shard: TCP only (requires $(b,--tcp); 0 picks an ephemeral \
+             port), no Unix socket, and print 'backend ready on 127.0.0.1:PORT' once \
+             accepting.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the scheduling service daemon")
     Term.(
-      const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue_arg $ cache_arg
+      const serve $ socket_arg $ tcp_arg $ backend_arg $ jobs_arg $ queue_arg $ cache_arg
       $ cache_dir_arg $ trace_file_arg $ metrics_file_arg)
+
+(* fleet: the front tier — consistent-hash routing over backend shards
+   started with [serve --backend] (or spawned in-process via --spawn). *)
+
+let parse_backend s =
+  match String.rindex_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Sv_client.Tcp { host; port = p }
+      | _ -> failwith (s ^ ": expected HOST:PORT"))
+  | _ -> failwith (s ^ ": expected HOST:PORT")
+
+let fleet socket tcp backends spawn jobs replicas max_inflight no_fill health_period
+    trace_file metrics_file =
+  let base = { Config.default with Config.trace_file; metrics_file } in
+  Telemetry.with_config base @@ fun () ->
+  match List.map parse_backend backends with
+  | exception Failure msg ->
+      Printf.eprintf "fleet: %s\n" msg;
+      2
+  | named when named = [] && spawn <= 0 ->
+      Printf.eprintf "fleet: need --backends HOST:PORT[,...] and/or --spawn K\n";
+      2
+  | named ->
+      (* In-process shards share this process's cores: split the pool. *)
+      let jobs =
+        Option.value jobs
+          ~default:(max 1 (Config.default.Config.jobs / max 1 spawn))
+      in
+      let spawned =
+        List.init spawn (fun _ ->
+            Sv_daemon.start
+              {
+                (Sv_daemon.default_config ~socket_path:"unused") with
+                Sv_daemon.socket_path = None;
+                tcp_port = Some 0;
+                jobs;
+              })
+      in
+      let spawned_eps =
+        List.map
+          (fun d ->
+            match Sv_daemon.tcp_port d with
+            | Some port -> Sv_client.Tcp { host = "127.0.0.1"; port }
+            | None -> failwith "spawned backend has no TCP port")
+          spawned
+      in
+      let fcfg =
+        {
+          (Sv_fleet.default_config ~backends:(named @ spawned_eps) ~socket_path:socket) with
+          Sv_fleet.tcp_port = tcp;
+          replicas;
+          max_inflight;
+          fill = not no_fill;
+          health_period;
+        }
+      in
+      let t = Sv_fleet.start fcfg in
+      Printf.printf "mlbs fleet front %s (protocol v%d)\n" Sv_version.version
+        Sv_codec.protocol_version;
+      Printf.printf "listening on %s%s\n" socket
+        (match Sv_fleet.tcp_port t with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "");
+      Printf.printf "shards: %s (%d spawned in-process)\n%!"
+        (String.concat ", " (List.map Sv_fleet.endpoint_name fcfg.Sv_fleet.backends))
+        spawn;
+      let on_signal _ = Sv_fleet.stop t in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sv_fleet.wait t;
+      List.iter
+        (fun d ->
+          Sv_daemon.stop d;
+          Sv_daemon.wait d)
+        spawned;
+      Printf.printf "fleet stopped\n";
+      0
+
+let fleet_cmd =
+  let backends_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "backends" ] ~docv:"HOST:PORT,..."
+          ~doc:"Comma-separated backend shards (started with $(b,serve --backend)).")
+  in
+  let spawn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "spawn" ] ~docv:"K"
+          ~doc:"Additionally spawn $(docv) in-process backends on ephemeral ports.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"JOBS"
+          ~doc:"Solver pool size per spawned backend (default: cores / K).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "replicas" ] ~docv:"N" ~doc:"Virtual points per shard on the hash ring.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Global in-flight cap; beyond it the front sheds with a retry hint.")
+  in
+  let no_fill_arg =
+    Arg.(
+      value & flag
+      & info [ "no-fill" ]
+          ~doc:"Disable peer cache-fill (peeking the ring successor on a miss).")
+  in
+  let health_period_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "health-period" ] ~docv:"SECONDS"
+          ~doc:"Interval between backend health probes.")
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc:"Run the fleet front tier over backend shards")
+    Term.(
+      const fleet $ socket_arg $ tcp_arg $ backends_arg $ spawn_arg $ jobs_arg
+      $ replicas_arg $ max_inflight_arg $ no_fill_arg $ health_period_arg
+      $ trace_file_arg $ metrics_file_arg)
 
 let build_request ~policy ~rate ~seed ~n ~source ~start ~load =
   let topology =
@@ -740,7 +894,8 @@ let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~churn ~verify_sample ~sm
    striping [requests] requests over [seeds] distinct instances (the
    seed space sets the attainable hit ratio: after each instance's
    first solve, repeats are cache hits). *)
-let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke =
+let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
+    fleet =
   let ep = endpoint socket tcp in
   let lat_us = Array.make (max 1 requests) 0.0 in
   let results = Array.make (max 1 requests) `Err in
@@ -807,7 +962,38 @@ let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sam
     Printf.printf "verify: %d/%d sampled replies byte-identical to direct scheduler\n"
       (sample - !mismatches) sample
   end;
-  let failed = errors + !mismatches + if smoke then rejected else 0 in
+  if fleet then begin
+    let c, _, _ = Sv_client.connect ep in
+    Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
+    let kvs = Sv_client.stats c in
+    let get k = Option.value ~default:0 (List.assoc_opt k kvs) in
+    Printf.printf
+      "fleet: requests=%d ok=%d rejected=%d fill_hits=%d rebalances=%d deaths=%d \
+       reroutes=%d\n"
+      (get "server/fleet/requests")
+      (get "server/fleet/replies_ok")
+      (get "server/fleet/rejected")
+      (get "server/fleet/fill_hits")
+      (get "server/fleet/rebalances")
+      (get "server/fleet/deaths")
+      (get "server/fleet/reroutes");
+    let rec shards i =
+      match List.assoc_opt (Printf.sprintf "server/fleet/shard%d/requests" i) kvs with
+      | None -> ()
+      | Some r ->
+          let h = get (Printf.sprintf "server/fleet/shard%d/hits" i) in
+          Printf.printf "fleet shard%d: requests=%d hits=%d (%.0f%% hit rate)\n" i r h
+            (if r > 0 then 100.0 *. float_of_int h /. float_of_int r else 0.0);
+          shards (i + 1)
+    in
+    shards 0
+  end;
+  (* Against a fleet, a bounded reject rate is expected while the ring
+     rebalances around a dead shard — errors and mismatches still fail. *)
+  let reject_budget = if fleet then requests / 5 else 0 in
+  let failed =
+    errors + !mismatches + if smoke && rejected > reject_budget then rejected else 0
+  in
   if smoke && failed > 0 then begin
     Printf.eprintf "smoke: %d failed requests\n" failed;
     1
@@ -815,11 +1001,14 @@ let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sam
   else if !mismatches > 0 then 1
   else 0
 
-let loadgen socket tcp requests concurrency n seeds policy rate churn verify_sample smoke =
+let loadgen socket tcp requests concurrency n seeds policy rate churn verify_sample smoke
+    fleet =
   if churn > 0 then
     churn_loadgen (endpoint socket tcp) ~requests ~n ~seeds ~policy ~rate ~churn
       ~verify_sample ~smoke
-  else loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
+  else
+    loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
+      fleet
 
 let loadgen_cmd =
   let requests_arg =
@@ -858,11 +1047,21 @@ let loadgen_cmd =
             "Churn-stream mode: per instance, solve once then send the remaining \
              budget as reschedule frames, each drifting $(docv) nodes of the topology.")
   in
+  let fleet_arg =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Fleet mode: print server/fleet/* shard stats after the run, and in \
+             $(b,--smoke) tolerate a bounded reject rate (20%) while the ring \
+             rebalances — errors and mismatches still fail.")
+  in
   Cmd.v
     (Cmd.info "loadgen" ~doc:"Drive the scheduling service with concurrent clients")
     Term.(
       const loadgen $ socket_arg $ tcp_arg $ requests_arg $ concurrency_arg $ nodes_arg
-      $ seeds_arg $ policy_arg $ rate_arg $ churn_arg $ verify_arg $ smoke_arg)
+      $ seeds_arg $ policy_arg $ rate_arg $ churn_arg $ verify_arg $ smoke_arg
+      $ fleet_arg)
 
 (* -------------------------- experiment ----------------------------- *)
 
@@ -953,5 +1152,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; schedule_cmd; trace_cmd; experiment_cmd; tree_cmd; energy_cmd;
-            localized_cmd; faults_cmd; serve_cmd; request_cmd; loadgen_cmd;
+            localized_cmd; faults_cmd; serve_cmd; fleet_cmd; request_cmd; loadgen_cmd;
           ]))

@@ -1,0 +1,85 @@
+(* Listener plumbing shared by the daemon and the fleet front tier:
+   bind Unix-domain / loopback-TCP sockets, run a select-based accept
+   loop handing each connection to its own thread, and tear down. *)
+
+type listener = {
+  afd : Unix.file_descr;
+  apath : string option;  (* Unix-domain path to unlink on close *)
+  aport : int option;  (* actual bound TCP port (resolves port 0) *)
+}
+
+(* Is something actually accepting on [path]? A crashed daemon leaves
+   its socket file behind; bind would then fail with EADDRINUSE even
+   though nobody is home. Probe with a connect: only an accepting
+   listener completes it, so a successful probe means a live server we
+   must not clobber, and any connect failure (ECONNREFUSED for the
+   classic stale-file case) means the file is dead weight. *)
+let unix_socket_live path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let live =
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  live
+
+let bind_unix path =
+  if Sys.file_exists path then begin
+    if unix_socket_live path then
+      failwith (Printf.sprintf "%s: a server is already listening on this socket" path);
+    try Unix.unlink path with Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  end;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  { afd = fd; apath = Some path; aport = None }
+
+let bind_tcp ~port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  let bound =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  { afd = fd; apath = None; aport = Some bound }
+
+let port l = l.aport
+let unix_path l = l.apath
+
+let serve listeners ~stopped ~handle =
+  let fds = List.map (fun l -> l.afd) listeners in
+  let rec loop () =
+    if not (stopped ()) then begin
+      (* The timeout bounds how long a stop request can go unnoticed. *)
+      (match Unix.select fds [] [] 0.25 with
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept ~cloexec:true lfd with
+              | fd, _ -> ignore (Thread.create handle fd)
+              | exception Unix.Unix_error (_, _, _) -> ())
+            ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let close_all listeners =
+  List.iter
+    (fun l ->
+      (try Unix.close l.afd with Unix.Unix_error (_, _, _) -> ());
+      match l.apath with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) -> ())
+      | None -> ())
+    listeners

@@ -1,0 +1,32 @@
+(** Socket listeners and the accept loop, shared by {!Daemon} and
+    {!Fleet}: bind, accept-into-a-thread, close/unlink. *)
+
+type listener
+
+(** [bind_unix path] binds and listens on a Unix-domain socket.
+
+    A pre-existing file at [path] is probe-connected first: if the
+    connect succeeds a live server owns the path and this call fails
+    (never clobbering it); if the connect is refused the file is a stale
+    leftover from a crashed process and is unlinked before binding. *)
+val bind_unix : string -> listener
+
+(** [bind_tcp ~port] listens on loopback TCP. [port = 0] binds an
+    ephemeral port; {!port} reports the actual one. *)
+val bind_tcp : port:int -> listener
+
+(** Actual bound TCP port, [None] for Unix-domain listeners. *)
+val port : listener -> int option
+
+(** The Unix-domain path, [None] for TCP listeners. *)
+val unix_path : listener -> string option
+
+(** [serve ls ~stopped ~handle] accepts until [stopped ()] holds,
+    spawning a thread running [handle fd] per connection ([handle] owns
+    and must close [fd]). Blocking; run it in a dedicated thread. Stop
+    requests are noticed within the 250 ms select timeout. *)
+val serve :
+  listener list -> stopped:(unit -> bool) -> handle:(Unix.file_descr -> unit) -> unit
+
+(** Close the listening sockets and unlink Unix-domain paths. *)
+val close_all : listener list -> unit

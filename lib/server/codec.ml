@@ -1,6 +1,6 @@
 module Schedule = Mlbs_core.Schedule
 
-let protocol_version = 2
+let protocol_version = 3
 let max_frame = 1 lsl 26 (* 64 MiB *)
 
 type policy = Baseline | Emodel | Gopt | Opt
@@ -51,6 +51,10 @@ type msg =
   | Stats_reply of (string * int) list
   | Shutdown
   | Shutdown_ack
+  | Peek of request
+  | Peek_miss
+  | Put of { req : request; stats : stats; schedule : Schedule.t }
+  | Put_ack
 
 exception Malformed of string
 
@@ -319,7 +323,17 @@ let encode msg =
   | Reschedule { base; delta } ->
       put_u8 b 11;
       put_request b base;
-      put_delta b delta);
+      put_delta b delta
+  | Peek q ->
+      put_u8 b 12;
+      put_request b q
+  | Peek_miss -> put_u8 b 13
+  | Put { req; stats; schedule } ->
+      put_u8 b 14;
+      put_request b req;
+      put_stats b stats;
+      put_schedule b schedule
+  | Put_ack -> put_u8 b 15);
   Buffer.contents b
 
 let decode payload =
@@ -359,6 +373,14 @@ let decode payload =
         let base = get_request r in
         let delta = get_delta r in
         Reschedule { base; delta }
+    | 12 -> Peek (get_request r)
+    | 13 -> Peek_miss
+    | 14 ->
+        let req = get_request r in
+        let stats = get_stats r in
+        let schedule = get_schedule r in
+        Put { req; stats; schedule }
+    | 15 -> Put_ack
     | t -> fail "unknown message tag %d" t
   in
   if r.pos <> String.length payload then fail "trailing bytes after message";
@@ -386,8 +408,7 @@ let read_exact fd len ~boundary =
   in
   go 0
 
-let send fd msg =
-  let payload = encode msg in
+let send_payload fd payload =
   let len = String.length payload in
   if len > max_frame then fail "frame too large (%d bytes)" len;
   let buf = Bytes.create (4 + len) in
@@ -398,7 +419,9 @@ let send fd msg =
   Bytes.blit_string payload 0 buf 4 len;
   write_all fd buf 0 (4 + len)
 
-let recv fd =
+let send fd msg = send_payload fd (encode msg)
+
+let recv_payload fd =
   match read_exact fd 4 ~boundary:true with
   | None -> None
   | Some hdr ->
@@ -412,4 +435,35 @@ let recv fd =
       if len = 0 then fail "empty frame";
       (match read_exact fd len ~boundary:false with
       | None -> assert false
-      | Some payload -> Some (decode payload))
+      | Some payload -> Some payload)
+
+let recv fd = Option.map decode (recv_payload fd)
+
+(* ------------------------- payload peeking -------------------------- *)
+
+(* The fleet front tier relays payloads without decoding schedules; the
+   helpers below read just enough of a payload to route and account it. *)
+
+let payload_tag payload = if payload = "" then fail "empty payload" else Char.code payload.[0]
+
+let peek_of_request_payload payload =
+  if payload_tag payload <> 3 then fail "not a Request payload";
+  "\x0c" ^ String.sub payload 1 (String.length payload - 1)
+
+type reply_view =
+  | View_ok of { cache_hit : bool }
+  | View_rejected of { retry_after_ms : int }
+  | View_error of string
+  | View_peek_miss
+  | View_other of int
+
+let reply_view payload =
+  let r = { s = payload; pos = 0 } in
+  match get_u8 r with
+  | 4 ->
+      let _trace_id = get_string r in
+      View_ok { cache_hit = get_bool r }
+  | 5 -> View_rejected { retry_after_ms = get_u32 r }
+  | 6 -> View_error (get_string r)
+  | 13 -> View_peek_miss
+  | t -> View_other t

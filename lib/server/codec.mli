@@ -92,6 +92,19 @@ type msg =
   | Stats_reply of (string * int) list
   | Shutdown
   | Shutdown_ack
+  | Peek of request
+      (** cache-only probe (protocol v3): the daemon resolves the
+          request and answers from its schedule cache — [Reply_ok] with
+          [cache_hit = true] on a hit, {!Peek_miss} otherwise — but
+          never solves. The fleet front tier uses this to ask a shard
+          "do you already have it?" before committing a solve. *)
+  | Peek_miss
+  | Put of { req : request; stats : stats; schedule : Mlbs_core.Schedule.t }
+      (** peer cache-fill (protocol v3): insert a finished reply under
+          [req]'s content address. The daemon recomputes the address
+          from [req] itself — raw cache keys never ride the wire — and
+          answers {!Put_ack}. *)
+  | Put_ack
 
 exception Malformed of string
 
@@ -114,3 +127,39 @@ val send : Unix.file_descr -> msg -> unit
     boundary. Raises {!Malformed} on truncation mid-frame, an oversized
     length, or a payload that does not parse. *)
 val recv : Unix.file_descr -> msg option
+
+(** {2 Raw-payload relaying}
+
+    The fleet front tier forwards reply payloads byte-for-byte instead
+    of decoding and re-encoding schedules; byte-identity of relayed
+    replies is then true by construction, and the front's per-request
+    CPU stays O(header), not O(schedule). *)
+
+(** [send_payload fd payload] frames and writes an already-encoded
+    payload. [send fd msg = send_payload fd (encode msg)]. *)
+val send_payload : Unix.file_descr -> string -> unit
+
+(** [recv_payload fd] reads one frame without decoding it; [None] on a
+    clean EOF. Length-limit and truncation behaviour as {!recv}. *)
+val recv_payload : Unix.file_descr -> string option
+
+(** First payload byte (the message tag). Raises {!Malformed} on an
+    empty payload. *)
+val payload_tag : string -> int
+
+(** Rewrite an encoded [Request] payload into the corresponding [Peek]
+    payload (the two frames share their field layout; only the tag
+    differs). Raises {!Malformed} on any other tag. *)
+val peek_of_request_payload : string -> string
+
+(** A reply payload classified without decoding the schedule body. *)
+type reply_view =
+  | View_ok of { cache_hit : bool }
+  | View_rejected of { retry_after_ms : int }
+  | View_error of string
+  | View_peek_miss
+  | View_other of int  (** any other tag, returned verbatim *)
+
+(** [reply_view payload] inspects just the tag and leading fixed fields.
+    Raises {!Malformed} only when those leading bytes are truncated. *)
+val reply_view : string -> reply_view

@@ -48,14 +48,14 @@ let m_ok = Metrics.counter "server/replies_ok"
 let m_rejected = Metrics.counter "server/rejected"
 let m_errors = Metrics.counter "server/errors"
 let m_connections = Metrics.counter "server/connections"
-let m_batches = Metrics.counter "server/batches"
 let m_bad_frames = Metrics.counter "server/bad_frames"
+let m_peeks = Metrics.counter "server/peeks"
+let m_fills = Metrics.counter "server/fills"
 let h_request_us = Metrics.histogram "server/request_us"
 let h_solve_us = Metrics.histogram "server/solve_us"
 let h_repair_ms = Metrics.histogram "server/repair_ms"
 let m_warm_hit = Metrics.counter "server/warmstart/hit"
 let m_warm_miss = Metrics.counter "server/warmstart/miss"
-let g_queue_depth = Metrics.gauge "server/queue_depth"
 
 (* EWMA of recent solve/repair wall time, process-wide — the basis of
    the load-scaled retry hint handed to shed clients. *)
@@ -374,76 +374,26 @@ let load_cache ~dir cache =
 
 (* ----------------------------- daemon ------------------------------ *)
 
-(* A queued unit of work: the closure carries whatever the request
-   path decided — warm solve or delta repair — and runs on a pool
-   worker; the dispatcher inserts the result under [jkey]. *)
-type job = {
-  jkey : string;
-  jrun : unit -> entry;
-  jm : Mutex.t;
-  jcv : Condition.t;
-  mutable jresult : (entry, string) result option;
-}
-
 type t = {
   cfg : config;
   pool : Pool.t;
   cache : entry Cache.t;
   warm : wentry Cache.t;
   topo : resolved Cache.t;
-  qm : Mutex.t;
-  qcv : Condition.t;
-  jobs_q : job Queue.t;
+  disp : entry Dispatch.t;
   stop_requested : bool Atomic.t;
-  mutable draining_done : bool;
-  mutable listeners : (Unix.file_descr * string option) list;
-      (* fd plus the path to unlink for Unix-domain listeners *)
+  mutable listeners : Acceptor.listener list;
   trace_ctr : int Atomic.t;
   mutable acceptor : Thread.t option;
-  mutable dispatcher : Thread.t option;
   mutable cleaned : bool;
 }
 
 let stop t = Atomic.set t.stop_requested true
+let tcp_port t = List.find_map Acceptor.port t.listeners
 
 let fresh_trace_id t digest =
   Printf.sprintf "rq-%06d-%08Lx" (Atomic.fetch_and_add t.trace_ctr 1)
     (Int64.logand digest 0xffff_ffffL)
-
-(* -------------------------- dispatcher ----------------------------- *)
-
-let run_job job = try Ok (job.jrun ()) with e -> Error (Printexc.to_string e)
-
-let rec dispatcher_loop t =
-  Mutex.lock t.qm;
-  while Queue.is_empty t.jobs_q && not (Atomic.get t.stop_requested) do
-    Condition.wait t.qcv t.qm
-  done;
-  if Queue.is_empty t.jobs_q then begin
-    (* Drained and stopping: admission observes [draining_done] under
-       the same mutex, so no job can slip in after this point. *)
-    t.draining_done <- true;
-    Mutex.unlock t.qm
-  end
-  else begin
-    let batch_n = min (Pool.size t.pool) (Queue.length t.jobs_q) in
-    let batch = Array.init batch_n (fun _ -> Queue.pop t.jobs_q) in
-    Metrics.set g_queue_depth (Queue.length t.jobs_q);
-    Mutex.unlock t.qm;
-    Metrics.incr m_batches;
-    let results = Pool.map_on t.pool run_job batch in
-    Array.iteri
-      (fun i job ->
-        (match results.(i) with
-        | Ok e -> Cache.add t.cache job.jkey e
-        | Error _ -> ());
-        Mutex.lock job.jm;
-        job.jresult <- Some results.(i);
-        Condition.signal job.jcv;
-        Mutex.unlock job.jm)
-      batch;
-    dispatcher_loop t
-  end
 
 (* ------------------------ request handling ------------------------- *)
 
@@ -462,39 +412,19 @@ let retry_hint t ~depth =
       let ms = (depth + 1) * per_us / (max 1 t.cfg.jobs * 1000) in
       max 5 (min 5000 ms)
 
-let admit t job =
-  Mutex.lock t.qm;
-  if t.draining_done || Atomic.get t.stop_requested then begin
-    Mutex.unlock t.qm;
-    Some (reply_error "server is shutting down")
-  end
-  else if Queue.length t.jobs_q >= t.cfg.queue_capacity then begin
-    let depth = Queue.length t.jobs_q in
-    Mutex.unlock t.qm;
-    Metrics.incr m_rejected;
-    Some (C.Reply_rejected { retry_after_ms = retry_hint t ~depth })
-  end
-  else begin
-    Queue.add job t.jobs_q;
-    Metrics.set g_queue_depth (Queue.length t.jobs_q);
-    Condition.signal t.qcv;
-    Mutex.unlock t.qm;
-    None
-  end
-
-(* Admit [job] and block the connection thread until a pool worker
-   finishes it (or it is shed at the door). *)
-let await t job ~digest =
-  match admit t job with
-  | Some shed -> shed
-  | None ->
-      Mutex.lock job.jm;
-      while job.jresult = None do
-        Condition.wait job.jcv job.jm
-      done;
-      let result = Option.get job.jresult in
-      Mutex.unlock job.jm;
-      (match result with
+(* Admit the solve closure and block the connection thread until a pool
+   worker finishes it (or it is shed at the door). The dispatcher's
+   [on_done] publishes the entry under [key] even if this connection
+   dies before waking. *)
+let await t ~key ~digest run =
+  let on_done = function Ok e -> Cache.add t.cache key e | Error _ -> () in
+  match Dispatch.submit t.disp ~on_done run with
+  | Error `Closing -> reply_error "server is shutting down"
+  | Error (`Shed depth) ->
+      Metrics.incr m_rejected;
+      C.Reply_rejected { retry_after_ms = retry_hint t ~depth }
+  | Ok ticket -> (
+      match Dispatch.await ticket with
       | Ok e ->
           Metrics.incr m_ok;
           C.Reply_ok
@@ -532,21 +462,11 @@ let handle_request t (req : C.request) =
                 | exception e -> reply_error (Printexc.to_string e)
                 | model ->
                     let family = family_key req ~n:(Network.n_nodes r.rnet) in
-                    let job =
-                      {
-                        jkey = key;
-                        jrun =
-                          (fun () ->
-                            let stats, schedule =
-                              do_solve_warm t.warm req model ~source ~family
-                            in
-                            { stats; schedule });
-                        jm = Mutex.create ();
-                        jcv = Condition.create ();
-                        jresult = None;
-                      }
-                    in
-                    await t job ~digest:r.rdigest)))
+                    await t ~key ~digest:r.rdigest (fun () ->
+                        let stats, schedule =
+                          do_solve_warm t.warm req model ~source ~family
+                        in
+                        { stats; schedule }))))
   in
   let dt = Obs.now_us () -. t0 in
   Metrics.observe h_request_us (int_of_float dt);
@@ -592,7 +512,7 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                       }
                 | None ->
                     let family = family_key base ~n:(Graph.n_nodes g') in
-                    let jrun =
+                    let run =
                       match Cache.find t.cache (key_of base ~digest:r.rdigest ~source) with
                       | Some base_entry ->
                           fun () ->
@@ -611,17 +531,58 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                             in
                             { stats; schedule }
                     in
-                    let job =
-                      { jkey = key; jrun; jm = Mutex.create (); jcv = Condition.create ();
-                        jresult = None }
-                    in
-                    await t job ~digest:digest')))
+                    await t ~key ~digest:digest' run)))
   in
   let dt = Obs.now_us () -. t0 in
   Metrics.observe h_request_us (int_of_float dt);
   if Obs.tracing_enabled () then
     Trace.complete ~cat:"server" ~name:"reschedule" ~t0_us:t0 ~dur_us:dt ();
   reply
+
+(* A [Peek] (protocol v3): cache-only probe — a hit is a normal
+   [Reply_ok] with [cache_hit = true]; a miss answers [Peek_miss] and
+   never solves. The fleet front tier peeks shards before committing a
+   solve, so this path must stay allocation-light and queue-free. *)
+let handle_peek t (req : C.request) =
+  Metrics.incr m_peeks;
+  match resolve ~memo:t.topo req with
+  | exception e -> reply_error (Printexc.to_string e)
+  | r -> (
+      match source_of req r with
+      | exception e -> reply_error (Printexc.to_string e)
+      | source -> (
+          match Cache.find t.cache (key_of req ~digest:r.rdigest ~source) with
+          | Some e ->
+              Metrics.incr m_ok;
+              C.Reply_ok
+                {
+                  trace_id = fresh_trace_id t r.rdigest;
+                  cache_hit = true;
+                  stats = e.stats;
+                  schedule = e.schedule;
+                }
+          | None -> C.Peek_miss))
+
+(* A [Put] (protocol v3): peer cache-fill. The content address is
+   recomputed from the request itself — a peer cannot file a schedule
+   under an address that does not match it short of sending a wrong
+   schedule for the right request, which determinism upstream rules
+   out. Only shape is re-validated here; byte-level trust is between
+   fleet members. *)
+let handle_put t (req : C.request) (stats : C.stats) schedule =
+  match resolve ~memo:t.topo req with
+  | exception e -> reply_error (Printexc.to_string e)
+  | r -> (
+      match source_of req r with
+      | exception e -> reply_error (Printexc.to_string e)
+      | source ->
+          if Schedule.n_nodes schedule <> Network.n_nodes r.rnet then
+            reply_error "put: schedule does not match the request topology"
+          else begin
+            Cache.add t.cache (key_of req ~digest:r.rdigest ~source) { stats; schedule };
+            Metrics.incr m_fills;
+            C.Put_ack
+          end)
 
 let server_stats () =
   List.filter_map
@@ -660,6 +621,12 @@ let handle_conn t fd =
           | C.Reschedule { base; delta } ->
               C.send fd (handle_reschedule t base delta);
               true
+          | C.Peek req ->
+              C.send fd (handle_peek t req);
+              true
+          | C.Put { req; stats; schedule } ->
+              C.send fd (handle_put t req stats schedule);
+              true
           | C.Stats_request ->
               C.send fd (C.Stats_reply (server_stats ()));
               true
@@ -668,7 +635,7 @@ let handle_conn t fd =
               stop t;
               false
           | C.Hello_ack _ | C.Reply_ok _ | C.Reply_rejected _ | C.Reply_error _
-          | C.Stats_reply _ | C.Shutdown_ack ->
+          | C.Stats_reply _ | C.Shutdown_ack | C.Peek_miss | C.Put_ack ->
               C.send fd (C.Reply_error "unexpected message from client");
               true
         in
@@ -680,40 +647,6 @@ let handle_conn t fd =
       (try C.send fd (C.Reply_error "malformed frame") with _ -> ())
   | Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
-
-(* --------------------------- listeners ----------------------------- *)
-
-let bind_unix path =
-  if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 64;
-  (fd, Some path)
-
-let bind_tcp port =
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 64;
-  (fd, None)
-
-let acceptor_loop t =
-  let fds = List.map fst t.listeners in
-  let rec loop () =
-    if not (Atomic.get t.stop_requested) then begin
-      (match Unix.select fds [] [] 0.25 with
-      | ready, _, _ ->
-          List.iter
-            (fun lfd ->
-              match Unix.accept ~cloexec:true lfd with
-              | fd, _ -> ignore (Thread.create (handle_conn t) fd)
-              | exception Unix.Unix_error (_, _, _) -> ())
-            ready
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ()
 
 (* --------------------------- lifecycle ----------------------------- *)
 
@@ -728,44 +661,42 @@ let start cfg =
   | _ -> ());
   let cache = Cache.create ~metrics_prefix:"server/cache" ~capacity:cfg.cache_capacity () in
   (match cfg.cache_dir with Some dir -> ignore (load_cache ~dir cache) | None -> ());
+  let pool = Pool.create ~jobs:cfg.jobs in
   let t =
     {
       cfg;
-      pool = Pool.create ~jobs:cfg.jobs;
+      pool;
       cache;
       warm = Cache.create ~metrics_prefix:"server/warm" ~capacity:64 ();
       topo = Cache.create ~metrics_prefix:"server/topo" ~capacity:256 ();
-      qm = Mutex.create ();
-      qcv = Condition.create ();
-      jobs_q = Queue.create ();
+      disp = Dispatch.create ~pool ~capacity:cfg.queue_capacity;
       stop_requested = Atomic.make false;
-      draining_done = false;
       listeners = [];
       trace_ctr = Atomic.make 0;
       acceptor = None;
-      dispatcher = None;
       cleaned = false;
     }
   in
   let listeners =
-    (match cfg.socket_path with Some p -> [ bind_unix p ] | None -> [])
-    @ (match cfg.tcp_port with Some p -> [ bind_tcp p ] | None -> [])
+    (match cfg.socket_path with Some p -> [ Acceptor.bind_unix p ] | None -> [])
+    @ (match cfg.tcp_port with Some p -> [ Acceptor.bind_tcp ~port:p ] | None -> [])
   in
   t.listeners <- listeners;
-  t.dispatcher <- Some (Thread.create dispatcher_loop t);
-  t.acceptor <- Some (Thread.create acceptor_loop t);
+  Dispatch.start t.disp;
+  t.acceptor <-
+    Some
+      (Thread.create
+         (fun () ->
+           Acceptor.serve t.listeners
+             ~stopped:(fun () -> Atomic.get t.stop_requested)
+             ~handle:(handle_conn t))
+         ());
   t
 
 let cleanup t =
   if not t.cleaned then begin
     t.cleaned <- true;
-    List.iter
-      (fun (fd, path) ->
-        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-        match path with
-        | Some p -> ( try Unix.unlink p with Unix.Unix_error (_, _, _) -> ())
-        | None -> ())
-      t.listeners;
+    Acceptor.close_all t.listeners;
     (match t.cfg.cache_dir with
     | Some dir -> ignore (save_cache ~dir ~limit:t.cfg.persist_limit t.cache)
     | None -> ());
@@ -779,12 +710,9 @@ let wait t =
   while not (Atomic.get t.stop_requested) do
     Thread.delay 0.05
   done;
-  (* Wake the dispatcher from a normal (non-signal) context. *)
-  Mutex.lock t.qm;
-  Condition.broadcast t.qcv;
-  Mutex.unlock t.qm;
+  Dispatch.stop t.disp;
   Option.iter Thread.join t.acceptor;
-  Option.iter Thread.join t.dispatcher;
+  Dispatch.join t.disp;
   cleanup t
 
 let run cfg = wait (start cfg)

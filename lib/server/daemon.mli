@@ -77,6 +77,11 @@ val wait : t -> unit
     a signal handler or a client sends [Shutdown]. *)
 val run : config -> unit
 
+(** The actual bound TCP port, [None] without a TCP listener. With
+    [tcp_port = Some 0] the kernel picks an ephemeral port; this is how
+    callers (fleet spawning, bench, tests) learn it. *)
+val tcp_port : t -> int option
+
 (* ------------------------------------------------------------------ *)
 
 (** [solve req] is the reference solve path: build the topology, derive

@@ -59,7 +59,7 @@ let sample_delta =
   }
 
 let test_codec_roundtrip () =
-  Alcotest.(check int) "reschedule needs protocol v2" 2 Codec.protocol_version;
+  Alcotest.(check int) "peek/put need protocol v3" 3 Codec.protocol_version;
   check_roundtrip "hello" (Codec.Hello { proto = 1; version = "1.1.0" });
   check_roundtrip "hello_ack"
     (Codec.Hello_ack { proto = 1; version = "1.1.0"; version_match = false });
@@ -91,7 +91,12 @@ let test_codec_roundtrip () =
   check_roundtrip "stats_reply"
     (Codec.Stats_reply [ ("server/requests", 42); ("server/cache/hits", 7) ]);
   check_roundtrip "shutdown" Codec.Shutdown;
-  check_roundtrip "shutdown_ack" Codec.Shutdown_ack
+  check_roundtrip "shutdown_ack" Codec.Shutdown_ack;
+  check_roundtrip "peek" (Codec.Peek gen_request);
+  check_roundtrip "peek_miss" Codec.Peek_miss;
+  check_roundtrip "put"
+    (Codec.Put { req = gen_request; stats = sample_stats; schedule = sample_schedule });
+  check_roundtrip "put_ack" Codec.Put_ack
 
 let expect_malformed name payload =
   match Codec.decode payload with
@@ -462,6 +467,48 @@ let test_daemon_shutdown_frame () =
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket_path);
   rm_rf dir
 
+(* A socket file left behind by a crashed daemon (no listener) must not
+   block the next start; a socket with a live listener must. *)
+let test_daemon_stale_socket () =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  (* Simulate a crash: bind + listen, then close WITHOUT unlinking. *)
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket file exists" true (Sys.file_exists socket_path);
+  let d = Daemon.start (Daemon.default_config ~socket_path) in
+  let c = connect socket_path in
+  (match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "daemon behind a reclaimed socket must serve");
+  Client.close c;
+  Daemon.stop d;
+  Daemon.wait d;
+  rm_rf dir
+
+let test_daemon_live_socket_not_clobbered () =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let d = Daemon.start (Daemon.default_config ~socket_path) in
+  (match Daemon.start (Daemon.default_config ~socket_path) with
+  | _ -> Alcotest.fail "second daemon on a live socket must fail to start"
+  | exception Failure msg ->
+      Alcotest.(check bool) "error names the socket" true
+        (let re = socket_path in
+         String.length msg >= String.length re
+         && String.sub msg 0 (String.length re) = re));
+  (* The refusal must not have unlinked the live daemon's socket. *)
+  let c = connect socket_path in
+  (match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "first daemon must survive the failed second start");
+  Client.close c;
+  Daemon.stop d;
+  Daemon.wait d;
+  rm_rf dir
+
 let () =
   Alcotest.run "server"
     [
@@ -495,5 +542,8 @@ let () =
           Alcotest.test_case "reschedule" `Quick test_daemon_reschedule;
           Alcotest.test_case "reschedule bad delta" `Quick test_daemon_reschedule_bad_delta;
           Alcotest.test_case "shutdown frame" `Quick test_daemon_shutdown_frame;
+          Alcotest.test_case "stale socket reclaimed" `Quick test_daemon_stale_socket;
+          Alcotest.test_case "live socket not clobbered" `Quick
+            test_daemon_live_socket_not_clobbered;
         ] );
     ]
