@@ -10,15 +10,19 @@
      dune exec bench/main.exe -- --smoke --compare BENCH_SMOKE.json
 
    Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 reliability
-   ablation service micro (default: all). The service target drives an
-   in-process scheduling daemon over its Unix socket — cold (distinct
-   instances) then warm (cache hits) — and dumps throughput and
-   p50/p95/p99 to BENCH_3.json (suppressed with the other JSON under
-   --smoke).
+   ablation service churn fleet micro search (default: all). The
+   service target drives an in-process scheduling daemon over its Unix
+   socket — cold (distinct instances) then warm (cache hits) — and
+   dumps throughput and p50/p95/p99 to BENCH_3.json (suppressed with
+   the other JSON under --smoke). The search target times the Strong
+   default-budget cold-solve kernels on fixed instances and dumps them
+   to BENCH_6.json.
 
    Flags: --quick (reduced sweep), --smoke (Config.smoke — the CI
    gate: smallest sweep, JSON suppressed unless --json is given
-   explicitly), --jobs N (worker domains, default all cores),
+   explicitly), --micro-quick (run only a representative subset of the
+   Bechamel micro kernels — the bulk of a smoke run's wall clock),
+   --jobs N (worker domains, default all cores),
    --json FILE (machine-readable timings, default BENCH_2.json),
    --no-json, --compare FILE (diff this run against a previous JSON
    dump: per-kernel old/new/Δ, exit non-zero when any tracked micro
@@ -319,6 +323,7 @@ let write_bench3 path ~jobs (cold, warm, speedup, n, instances, concurrency) =
   p "{\n";
   p "  \"schema\": \"mlbs-bench-3\",\n";
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
   p "  \"n_nodes\": %d,\n" n;
   p "  \"instances\": %d,\n" instances;
   p "  \"concurrency\": %d,\n" concurrency;
@@ -615,6 +620,7 @@ let write_bench4 path ~jobs (levels, svc, kernels, _, n, events) =
   p "{\n";
   p "  \"schema\": \"mlbs-bench-4\",\n";
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
   p "  \"n_nodes\": %d,\n" n;
   p "  \"events_per_level\": %d,\n" events;
   p "  \"policy\": \"gopt\",\n";
@@ -1009,13 +1015,30 @@ let micro_tests cfg =
                 (Mlbs_wsn.Deployment.paper_spec ~n_nodes:150))));
   ]
 
-let run_micro cfg =
-  section "Bechamel micro-benchmarks (one scheduling run, n=150)";
+(* The --micro-quick subset: one representative kernel per gated
+   family, so a CI smoke run still gates the conflict predicate, the
+   BFS bound, both G-OPT systems and the E-model without paying the
+   full 18-kernel session (which dominates the smoke run's wall
+   clock). *)
+let micro_quick_names =
+  [
+    "kernel/conflict-test old (inter alloc)";
+    "kernel/conflict-test new (intersects3)";
+    "kernel/hop lower bound (scratch BFS)";
+    "fig3/G-OPT";
+    "fig3/E-model";
+    "fig4/G-OPT";
+  ]
+
+(* One bechamel session over [tests], grouped under [group]; returns
+   the sorted (name, ns/run) estimates and records the section under
+   [label]. *)
+let bechamel_session ~group ~label tests =
   let estimates = ref [] in
   let dt =
     timed (fun () ->
         let open Bechamel in
-        let test = Test.make_grouped ~name:"mlbs" (micro_tests cfg) in
+        let test = Test.make_grouped ~name:group tests in
         let instances = Toolkit.Instance.[ monotonic_clock ] in
         let cfg_b = Benchmark.cfg ~quota:(Time.second 0.5) ~limit:200 () in
         let raw = Benchmark.all cfg_b instances test in
@@ -1034,8 +1057,60 @@ let run_micro cfg =
             | _ -> Printf.printf "  %-44s (no estimate)\n" name)
           (List.sort compare rows))
   in
-  record "micro" dt;
+  record label dt;
   List.sort compare !estimates
+
+let run_micro cfg ~micro_quick =
+  let tests = micro_tests cfg in
+  let tests =
+    if not micro_quick then tests
+    else
+      List.filter (fun t -> List.mem (Bechamel.Test.name t) micro_quick_names) tests
+  in
+  section
+    (if micro_quick then
+       "Bechamel micro-benchmarks (one scheduling run, n=150; --micro-quick subset)"
+     else "Bechamel micro-benchmarks (one scheduling run, n=150)");
+  bechamel_session ~group:"mlbs" ~label:"micro" tests
+
+(* ------------------------- search bench ---------------------------- *)
+
+(* The BENCH_6 kernels: the service's cold-solve path — Scheduler.run
+   at the Strong default budget — on fixed instances, independent of
+   --quick/--smoke so every invocation gates against the committed
+   baseline on identical work. This is the path every cache miss,
+   fleet fill and churn re-solve pays; BENCH_2's fig3/G-OPT (the same
+   n=150 instance under the Classic reference search) is the
+   comparison point for the Strong-mode speedup. *)
+let search_tests () =
+  let open Bechamel in
+  let inst = Experiment.make_instance Config.default ~n:150 ~seed:1 in
+  let net = inst.Experiment.net in
+  let n = Mlbs_wsn.Network.n_nodes net in
+  let sync_model = Model.create net Model.Sync in
+  let wake = Wake_schedule.create ~rate:10 ~n_nodes:n ~seed:1 () in
+  let async_model = Model.create net (Model.Async wake) in
+  let source = inst.Experiment.source in
+  let inst3 = Experiment.make_instance Config.default ~n:300 ~seed:1 in
+  let sync_model3 = Model.create inst3.Experiment.net Model.Sync in
+  let source3 = inst3.Experiment.source in
+  let run model policy source () = ignore (Scheduler.run model policy ~source ~start:1) in
+  [
+    Test.make ~name:"G-OPT cold sync (n=150)"
+      (Staged.stage (run sync_model Scheduler.gopt source));
+    Test.make ~name:"G-OPT cold async (n=150)"
+      (Staged.stage (run async_model Scheduler.gopt source));
+    Test.make ~name:"G-OPT cold sync (n=300)"
+      (Staged.stage (run sync_model3 Scheduler.gopt source3));
+    Test.make ~name:"E-model sync (n=150)"
+      (Staged.stage (run sync_model Scheduler.Emodel source));
+    Test.make ~name:"E-model async (n=150)"
+      (Staged.stage (run async_model Scheduler.Emodel source));
+  ]
+
+let run_search () =
+  section "Search-core kernels (Strong default budget, cold solves)";
+  bechamel_session ~group:"search" ~label:"search" (search_tests ())
 
 (* ------------------------- metrics probe --------------------------- *)
 
@@ -1092,6 +1167,7 @@ let write_json path ~quick ~jobs ~recommended_domains ~total ~metrics entries mi
   p "  \"schema\": \"mlbs-bench-2\",\n";
   p "  \"quick\": %b,\n" quick;
   p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
   p "  \"recommended_domains\": %d,\n" recommended_domains;
   p "  \"total_seconds\": %.3f,\n" total;
   p "  \"sections\": [\n";
@@ -1110,6 +1186,25 @@ let write_json path ~quick ~jobs ~recommended_domains ~total ~metrics entries mi
     micro;
   p "  ],\n";
   p "  \"metrics\": %s\n" (Obs_export.metrics_object ~indent:"  " metrics);
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let write_bench6 path ~jobs kernels =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-6\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
+  p "  \"budget\": \"default (Strong, 200k states)\",\n";
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
   p "}\n";
   close_out oc;
   Printf.printf "wrote %s\n" path
@@ -1298,6 +1393,21 @@ let compare_against path ~threshold entries micro =
   let old_micro = named_nums old_json "micro_ns_per_run" "ns" in
   let old_sections = named_nums old_json "sections" "seconds" in
   section (Printf.sprintf "Regression check vs %s (threshold %d%%)" path threshold);
+  (* A baseline recorded on a different core count is not comparable at
+     gating fidelity (kernel ns/run shifts with the memory subsystem,
+     sections with parallel speedup): warn and demote every row to
+     informational rather than fail spuriously. Baselines predating the
+     host_cores field gate as before. *)
+  let cores_ok =
+    match Json.to_num (Json.member "host_cores" old_json) with
+    | Some c when int_of_float c <> Pool.default_jobs () ->
+        Printf.printf
+          "WARNING: baseline recorded on %d cores, this host has %d — \
+           comparison is informational only, nothing gates\n"
+          (int_of_float c) (Pool.default_jobs ());
+        false
+    | _ -> true
+  in
   let failed = ref false in
   let row name old_v new_v gate unit =
     let delta = (new_v -. old_v) /. old_v *. 100. in
@@ -1315,7 +1425,7 @@ let compare_against path ~threshold entries micro =
     List.iter
       (fun (name, new_v) ->
         match List.assoc_opt name old_micro with
-        | Some old_v when old_v > 0. -> row name old_v new_v true ""
+        | Some old_v when old_v > 0. -> row name old_v new_v cores_ok ""
         | _ -> Printf.printf "  %-44s %12s %12.1f (new kernel)\n" name "-" new_v)
       micro
   end;
@@ -1366,7 +1476,12 @@ let () =
   in
   let quick = List.mem "--quick" args in
   let smoke = List.mem "--smoke" args in
-  let targets = List.filter (fun a -> a <> "--quick" && a <> "--smoke") args in
+  let micro_quick = List.mem "--micro-quick" args in
+  let targets =
+    List.filter
+      (fun a -> a <> "--quick" && a <> "--smoke" && a <> "--micro-quick")
+      args
+  in
   let json =
     match json_arg with
     | Some j -> j
@@ -1376,7 +1491,7 @@ let () =
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-      "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro" ]
+      "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro"; "search" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -1444,11 +1559,19 @@ let () =
       (* BENCH_5.json rides the same switch as BENCH_2/3/4. *)
       if json <> None then write_bench5 "BENCH_5.json" ~jobs:cfg.Config.jobs res
     end;
-    let micro = if want "micro" then run_micro cfg else [] in
-    (* Churn and fleet gate kernels join the micro list for --compare,
-       so a CI smoke run gates repair latency against the committed
-       BENCH_4 and fleet latency against BENCH_5. *)
-    let micro = micro @ !churn_kernels @ !fleet_kernels in
+    let search_kernels = ref [] in
+    if want "search" then begin
+      let kernels = run_search () in
+      search_kernels := kernels;
+      (* BENCH_6.json rides the same switch as the other dumps. *)
+      if json <> None then write_bench6 "BENCH_6.json" ~jobs:cfg.Config.jobs kernels
+    end;
+    let micro = if want "micro" then run_micro cfg ~micro_quick else [] in
+    (* Churn, fleet and search gate kernels join the micro list for
+       --compare, so a CI smoke run gates repair latency against the
+       committed BENCH_4, fleet latency against BENCH_5, and the
+       Strong-mode cold-solve path against BENCH_6. *)
+    let micro = micro @ !churn_kernels @ !fleet_kernels @ !search_kernels in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
     let entries = List.rev !log in

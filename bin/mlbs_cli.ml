@@ -206,6 +206,12 @@ let trace_run n seed rate trace_file metrics_file =
   Printf.printf "search:   states=%d memo=%d/%d prunes=%d color-selections=%d\n"
     (c "search/states") (c "search/memo_hit") (c "search/memo_miss")
     (c "search/bnb_prunes") (c "search/color_selections");
+  Printf.printf "bounds:   ecc-prunes=%d packing-prunes=%d dominance-prunes=%d\n"
+    (c "search/bound_prune_ecc") (c "search/bound_prune_packing")
+    (c "search/dominance_prunes");
+  Printf.printf "ttable:   hit=%d miss=%d collisions=%d evictions=%d grows=%d\n"
+    (c "search/tt_hit") (c "search/tt_miss") (c "search/tt_collision")
+    (c "search/tt_evict") (c "search/tt_grow");
   Printf.printf "protocol: slots=%d sends=%d collisions=%d retransmissions=%d\n"
     (c "proto/slots") (c "proto/sends") (c "proto/collisions")
     (c "proto/retransmissions");
@@ -1065,9 +1071,14 @@ let loadgen_cmd =
 
 (* -------------------------- experiment ----------------------------- *)
 
-let experiment figure quick smoke jobs csv_dir trace_file metrics_file =
+let experiment figure quick smoke strong jobs csv_dir trace_file metrics_file =
   let cfg = if smoke then Config.smoke else if quick then Config.quick else Config.default in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
+  let cfg =
+    if strong then
+      { cfg with Config.budget = { cfg.Config.budget with Mcounter.mode = Mcounter.Strong } }
+    else cfg
+  in
   let cfg = { cfg with Config.trace_file; metrics_file } in
   Telemetry.with_config cfg @@ fun () ->
   let figures =
@@ -1111,6 +1122,16 @@ let experiment_cmd =
             "Minimal sweep (one node count, one seed) sized for CI; takes precedence \
              over $(b,--quick).")
   in
+  let strong_arg =
+    Arg.(
+      value & flag
+      & info [ "strong" ]
+          ~doc:
+            "Run the sweep's searches in Strong mode (admissible bound, dominance \
+             and transposition-table pruning — the service cold-solve discipline) \
+             instead of the Classic reference traversal. Schedules are identical in \
+             exact mode; figures rendered from exhausted budgets may differ.")
+  in
   let jobs_conv =
     let parse s =
       match int_of_string_opt s with
@@ -1135,8 +1156,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
     Term.(
-      const experiment $ figure_arg $ quick_arg $ smoke_arg $ jobs_arg $ csv_arg
-      $ trace_file_arg $ metrics_file_arg)
+      const experiment $ figure_arg $ quick_arg $ smoke_arg $ strong_arg $ jobs_arg
+      $ csv_arg $ trace_file_arg $ metrics_file_arg)
 
 let () =
   let info =

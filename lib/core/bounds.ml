@@ -1,3 +1,6 @@
+module Bitset = Mlbs_util.Bitset
+module Graph = Mlbs_graph.Graph
+
 let opt_sync ~d = d + 2
 
 let opt_async ~d ~rate = 2 * rate * (d + 2)
@@ -8,3 +11,82 @@ let chen26 ~d = 26 * d
 
 let source_depth model ~source =
   Mlbs_graph.Bfs.eccentricity (Model.graph model) ~source
+
+(* ------------------------------------------------------------------ *)
+(* Search-side admissible lower bounds on the remaining advance count, *)
+(* read straight off the Istate's maintained distance structure.       *)
+(*                                                                     *)
+(* Eccentricity: every advance informs only distance-1 nodes, so no    *)
+(* distance drops by more than one per advance and a node at distance  *)
+(* d needs >= d further advances — [Istate.lb] carries this for free.  *)
+(*                                                                     *)
+(* Packing refutation: suppose exactly d = dmax advances sufficed.     *)
+(* A node at distance d can be informed at advance k only if its       *)
+(* distance reached 1 by advance k-1, i.e. k >= d — so the whole top   *)
+(* layer L_d is informed in the single final advance (sync round or    *)
+(* async slot). Its senders are informed before that advance and       *)
+(* adjacent to L_d, hence lie in L_{d-1} (or in W itself when d = 1):  *)
+(* L_d nodes are informed too late to send, deeper nodes do not exist. *)
+(* When some x in L_d has a unique candidate parent u, that u is       *)
+(* forced to transmit in the final advance. Two forced parents         *)
+(* adjacent to one still-uninformed y in L_d conflict under the        *)
+(* paper's predicate (N(u) ∩ N(v) ∩ W̄ ∋ y), refuting the d-advance    *)
+(* completion: the bound tightens to d + 1. The same argument holds    *)
+(* under duty cycling — wake constraints only delay advances further.  *)
+(* ------------------------------------------------------------------ *)
+
+type kind = Ecc | Packing
+
+(* Domain-local forced-parent scratch, keyed per domain like Mcounter's
+   BFS scratch so parallel sweeps never race; resized lazily when the
+   node count changes between instances. *)
+let forced_key : Bitset.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local_forced n =
+  let slot = Domain.DLS.get forced_key in
+  match !slot with
+  | Some f when Bitset.cap f = n -> f
+  | _ ->
+      let f = Bitset.create n in
+      slot := Some f;
+      f
+
+let remaining st =
+  if Istate.complete st then (0, Ecc)
+  else
+    let d = Istate.lb st in
+    if d = max_int then (max_int, Ecc)
+    else begin
+      let g = Model.graph (Istate.model st) in
+      let top = Istate.layer st ~d in
+      let parents = if d = 1 then Istate.w st else Istate.layer st ~d:(d - 1) in
+      let forced = local_forced (Istate.capacity st) in
+      Bitset.clear forced;
+      let any_forced = ref false in
+      Bitset.iter
+        (fun x ->
+          let cnt = ref 0 and last = ref (-1) in
+          Graph.iter_neighbors g x ~f:(fun v ->
+              if Bitset.mem parents v then begin
+                incr cnt;
+                last := v
+              end);
+          if !cnt = 1 then begin
+            Bitset.add forced !last;
+            any_forced := true
+          end)
+        top;
+      let refuted = ref false in
+      if !any_forced then
+        Bitset.iter
+          (fun x ->
+            if not !refuted then begin
+              let cnt = ref 0 in
+              Graph.iter_neighbors g x ~f:(fun v ->
+                  if Bitset.mem forced v then incr cnt);
+              if !cnt >= 2 then refuted := true
+            end)
+          top;
+      if !refuted then (d + 1, Packing) else (d, Ecc)
+    end

@@ -23,3 +23,27 @@ val chen26 : d:int -> int
 
 (** [source_depth model ~source] computes [d] for a concrete instance. *)
 val source_depth : Model.t -> source:int -> int
+
+(** {1 Search-side lower bounds}
+
+    Admissible, incrementally-maintained bounds on the number of
+    advances still needed from an {!Istate} position, used by the
+    Strong-mode branch-and-bound in {!Mcounter}. *)
+
+(** Which bound was decisive. *)
+type kind =
+  | Ecc  (** remaining eccentricity: the farthest uninformed node's BFS
+             distance, carried by the istate's distance histogram *)
+  | Packing
+      (** uninformed-neighbour packing at the top distance layer: two
+          forced parents sharing an uninformed neighbour must conflict
+          in the final advance, so completion needs one extra advance *)
+
+(** [remaining st] is [(r, k)] where [r] lower-bounds the advances
+    (sync rounds / async active slots) still needed to complete the
+    broadcast from [st]'s position — [0] when complete, [max_int] when
+    some node is unreachable — and [k] names the decisive bound. Both
+    bounds are admissible for synchronous and duty-cycled systems: the
+    true remaining advance count is always ≥ [r], hence any completion
+    from an advance at slot [t] finishes at slot ≥ [t + r - 1]. *)
+val remaining : Istate.t -> int * kind

@@ -369,6 +369,12 @@ let ensure_layers st =
     st.lay_valid <- true
   end
 
+let layer st ~d =
+  if d < 1 || d > st.dmax then
+    invalid_arg (Printf.sprintf "Istate.layer: distance %d out of [1,%d]" d st.dmax);
+  ensure_layers st;
+  st.lay.(d)
+
 (* The wave of shrinking distances, bit-parallel: every newly informed
    node sits at distance 1, so distances drop by at most one per
    advance, the drop is always to [old - 1], and [unreach] is

@@ -96,6 +96,14 @@ val uncov : t -> int -> int
     complete — equal to [Mcounter.hop_lower_bound]. *)
 val lb : t -> int
 
+(** [layer t ~d] is the set of (uninformed) nodes at BFS distance [d]
+    from [W], for [1 ≤ d ≤ lb t] — the per-distance layers the lower
+    bounds in {!Bounds} hang on. Built lazily from the maintained
+    distance array; the returned set is live scratch, invalidated by
+    the next [apply]/[undo]/[reset]. Raises [Invalid_argument] when [d]
+    is out of range. *)
+val layer : t -> d:int -> Bitset.t
+
 (** [probe_child t ~senders] is [(lb', k)] where [k] is the number of
     nodes [apply t ~senders] would inform and [lb'] the value [lb]
     would take in the resulting position — computed by a bit-parallel

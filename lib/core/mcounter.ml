@@ -17,9 +17,27 @@ let m_rollouts = Metrics.counter "search/rollouts"
 let m_exhausted = Metrics.counter "search/exhausted"
 let m_seeded = Metrics.counter "search/seeded_entries"
 
-type budget = { max_states : int; lookahead : int; beam : int }
+(* Strong-mode pruning, by decisive bound: candidates cut off once the
+   incumbent meets the parent's eccentricity / packing floor, and
+   siblings skipped by coverage-subset domination. All zero in Classic
+   mode, whose traversal is the bit-for-bit seed reference. *)
+let m_prune_ecc = Metrics.counter "search/bound_prune_ecc"
+let m_prune_pack = Metrics.counter "search/bound_prune_packing"
+let m_prune_dom = Metrics.counter "search/dominance_prunes"
 
-let default_budget = { max_states = 200_000; lookahead = 2; beam = 4 }
+(* [Classic] reproduces the seed search traversal bit for bit — same
+   expansions, same state counts, same exhaustion points — so the
+   figure sweeps stay byte-identical across releases. [Strong] layers
+   the admissible-bound candidate skip, parent-floor early exit and
+   sibling dominance on top; in exact mode it provably returns the
+   same schedule (every skipped candidate is proved unable to displace
+   the incumbent, and ties keep the earlier candidate), it just gets
+   there with far fewer expansions — the service cold-solve path. *)
+type mode = Classic | Strong
+
+type budget = { max_states : int; lookahead : int; beam : int; mode : mode }
+
+let default_budget = { max_states = 200_000; lookahead = 2; beam = 4; mode = Strong }
 
 type evaluation = { finish : int; exact : bool; states : int }
 
@@ -84,62 +102,26 @@ let local_istate model ~w =
   st
 
 (* ------------------------------------------------------------------ *)
-(* Memo tables, keyed by the informed set with its carried hash: the   *)
-(* probe key shares the istate's live bitset (and its incrementally    *)
-(* maintained hash), so lookups never copy or re-hash; only insertions *)
-(* copy the set.                                                       *)
+(* Transposition table, keyed by the informed set with its carried     *)
+(* hash: lookups probe with the istate's live bitset (and its          *)
+(* incrementally maintained hash) so they never copy or re-hash; only  *)
+(* insertions intern a copy. One open-addressing [Ttable] per context  *)
+(* replaces the former sync/async [Hashtbl] pair — sync values depend  *)
+(* on [W] alone and use the sentinel slot 0, async entries key on the  *)
+(* true (W, slot). The table grows and never evicts here, so it hits   *)
+(* exactly when the hashtables did and the Classic traversal (state    *)
+(* counts, exhaustion points) is unchanged.                            *)
 (* ------------------------------------------------------------------ *)
-
-type wkey = { mutable h : int; set : Bitset.t }
-
-module Wtbl = Hashtbl.Make (struct
-  type t = wkey
-
-  let equal a b = Bitset.equal a.set b.set
-  let hash k = k.h
-end)
-
-type wskey = { mutable sh : int; sset : Bitset.t; mutable sslot : int }
-
-module Wstbl = Hashtbl.Make (struct
-  type t = wskey
-
-  let equal a b = a.sslot = b.sslot && Bitset.equal a.sset b.sset
-  let hash k = k.sh lxor (k.sslot * 0x9e3779b1)
-end)
 
 type ctx = {
   st : Istate.t;
   space : Choices.t;
   budget : budget;
-  memo : int Wtbl.t;  (* sync: remaining advances, keyed by W *)
-  amemo : int Wstbl.t;  (* async: finish slot, keyed by (W, slot) *)
-  probe : wkey;
-  aprobe : wskey;
-  cw : Bitset.t;  (* child informed-set scratch for pre-apply memo probes *)
-  cprobe : wkey;  (* probe key aliasing [cw] *)
+  tt : Ttable.t;
   mutable states : int;
 }
 
-let make_ctx st space budget =
-  let cw = Bitset.create (Istate.capacity st) in
-  {
-    st;
-    space;
-    budget;
-    memo = Wtbl.create 4096;
-    amemo = Wstbl.create 4096;
-    probe = { h = 0; set = Istate.w st };
-    aprobe = { sh = 0; sset = Istate.w st; sslot = 0 };
-    cw;
-    cprobe = { h = 0; set = cw };
-    states = 0;
-  }
-
-let memo_key ctx = { h = Istate.whash ctx.st; set = Bitset.copy (Istate.w ctx.st) }
-
-let amemo_key ctx ~slot =
-  { sh = Istate.whash ctx.st; sset = Bitset.copy (Istate.w ctx.st); sslot = slot }
+let make_ctx st space budget = { st; space; budget; tt = Ttable.create (); states = 0 }
 
 (* Rank successors: fewest remaining hops first, then most coverage, then
    enumeration order (stable sort keeps it deterministic). The ranking
@@ -170,24 +152,20 @@ let ranked_successors ctx ~slot =
       else 0)
     scored
 
-(* Child memo probe without applying: replay the coverage set's bit
-   flips into scratch to obtain the child's informed set and carried
-   hash, then look it up. [Some 0] for a completing advance mirrors the
-   complete-check a recursive call would have short-circuited on. *)
+(* Child memo probe without applying: derive the child key (W ∪ cov)
+   hash-and-all from the coverage set — [hash_union] re-mixes only the
+   touched words, [equal_union] verifies a hit word-wise — so the probe
+   allocates nothing and never materialises the union. [Some 0] for a
+   completing advance mirrors the complete-check a recursive call would
+   have short-circuited on. *)
 let child_cached ctx ~cov =
-  Bitset.assign ~into:ctx.cw (Istate.w ctx.st);
-  let h = ref (Istate.whash ctx.st) in
-  Bitset.iter
-    (fun v ->
-      h := Bitset.hash_flip ctx.cw v !h;
-      Bitset.add ctx.cw v)
-    cov;
+  let st = ctx.st in
   let r =
-    if Bitset.is_full ctx.cw then Some 0
-    else begin
-      ctx.cprobe.h <- !h;
-      Wtbl.find_opt ctx.memo ctx.cprobe
-    end
+    if Istate.n_informed st + Bitset.cardinal cov = Istate.capacity st then Some 0
+    else
+      let w = Istate.w st in
+      let h = Bitset.hash_union w cov (Istate.whash st) in
+      Ttable.find_union ctx.tt ~h ~slot:0 ~base:w ~cov
   in
   if r <> None then Metrics.incr m_child_hit;
   r
@@ -235,12 +213,34 @@ let rollout_finish model space ~w ~slot =
 (* finishes, [states] counts and schedules are unchanged.              *)
 (* ------------------------------------------------------------------ *)
 
+(* Strong-mode sibling helpers. The parent floor is [Bounds.remaining]:
+   once the incumbent meets it no candidate can improve, so the rest of
+   the sibling list is cut off (each skip counted under the decisive
+   bound's kind). Dominance skips a candidate whose coverage is a
+   subset of an earlier sibling's: by memo monotonicity (W ⊆ W' ⇒ the
+   value from W' is no worse) its value is ≥ the dominator's, and the
+   incumbent is already ≤ every earlier sibling's value — whether that
+   sibling was scored, bound-pruned (its value ≥ the then-incumbent) or
+   itself dominated (inductively) — so the skip can change neither the
+   minimum nor, with ties keeping the earlier candidate, the selection.
+   The kept list is capped: domination is an optimisation, not a
+   correctness device, so forgetting old covers is free. *)
+let max_kept_covs = 16
+
+let bound_counter = function
+  | Bounds.Ecc -> m_prune_ecc
+  | Bounds.Packing -> m_prune_pack
+
+let dominated kept cov =
+  List.exists (fun cov' -> Bitset.subset cov cov') kept
+
 (* Sync: remaining advance count depends on W only. *)
 let rec sync_remaining ctx =
   if Istate.complete ctx.st then 0
   else begin
-    ctx.probe.h <- Istate.whash ctx.st;
-    match Wtbl.find_opt ctx.memo ctx.probe with
+    match
+      Ttable.find ctx.tt ~h:(Istate.whash ctx.st) ~slot:0 ~set:(Istate.w ctx.st)
+    with
     | Some v ->
         Metrics.incr m_memo_hit;
         v
@@ -248,22 +248,36 @@ let rec sync_remaining ctx =
         Metrics.incr m_memo_miss;
         let succs = ranked_successors ctx ~slot:1 in
         if succs = [] then failwith "Mcounter: no candidates before completion";
+        let strong = ctx.budget.mode = Strong in
+        let floor_r, floor_k =
+          if strong then Bounds.remaining ctx.st else (0, Bounds.Ecc)
+        in
         let best = ref max_int in
+        let kept = ref [] and n_kept = ref 0 in
         List.iter
           (fun (lb, _, c, cov) ->
-            (* Admissible pruning: this branch needs ≥ 1 + lb advances. *)
-            if lb <> max_int && 1 + lb < !best then begin
-              let v =
-                (* A memoised (or completing) child costs no apply. *)
-                match child_cached ctx ~cov with
-                | Some v0 -> 1 + v0
-                | None ->
-                    Istate.apply ctx.st ~senders:c;
-                    let v = 1 + sync_remaining ctx in
-                    Istate.undo ctx.st;
-                    v
-              in
-              if v < !best then best := v
+            if strong && !best <= floor_r then Metrics.incr (bound_counter floor_k)
+            else if lb <> max_int && 1 + lb < !best then begin
+              (* Admissible pruning: this branch needs ≥ 1 + lb advances. *)
+              if strong && !best < max_int && dominated !kept cov then
+                Metrics.incr m_prune_dom
+              else begin
+                let v =
+                  (* A memoised (or completing) child costs no apply. *)
+                  match child_cached ctx ~cov with
+                  | Some v0 -> 1 + v0
+                  | None ->
+                      Istate.apply ctx.st ~senders:c;
+                      let v = 1 + sync_remaining ctx in
+                      Istate.undo ctx.st;
+                      v
+                in
+                if v < !best then best := v
+              end;
+              if strong && !n_kept < max_kept_covs then begin
+                kept := cov :: !kept;
+                incr n_kept
+              end
             end
             else Metrics.incr m_prunes)
           succs;
@@ -271,7 +285,7 @@ let rec sync_remaining ctx =
         Metrics.incr m_states;
         ctx.states <- ctx.states + 1;
         if ctx.states > ctx.budget.max_states then raise Exhausted;
-        Wtbl.add ctx.memo (memo_key ctx) !best;
+        Ttable.add ctx.tt ~h:(Istate.whash ctx.st) ~slot:0 ~set:(Istate.w ctx.st) !best;
         !best
   end
 
@@ -283,9 +297,9 @@ let rec async_finish ctx ~slot =
     match Istate.next_active_slot ctx.st ~after:(slot - 1) with
     | None -> failwith "Mcounter: empty frontier before completion"
     | Some t -> (
-        ctx.aprobe.sh <- Istate.whash ctx.st;
-        ctx.aprobe.sslot <- t;
-        match Wstbl.find_opt ctx.amemo ctx.aprobe with
+        match
+          Ttable.find ctx.tt ~h:(Istate.whash ctx.st) ~slot:t ~set:(Istate.w ctx.st)
+        with
         | Some v ->
             Metrics.incr m_memo_hit;
             v
@@ -293,15 +307,32 @@ let rec async_finish ctx ~slot =
             Metrics.incr m_memo_miss;
             let succs = ranked_successors ctx ~slot:t in
             if succs = [] then failwith "Mcounter: active slot without candidates";
+            let strong = ctx.budget.mode = Strong in
+            let floor_r, floor_k =
+              if strong then Bounds.remaining ctx.st else (0, Bounds.Ecc)
+            in
             let best = ref max_int in
+            let kept = ref [] and n_kept = ref 0 in
             List.iter
-              (fun (lb, _, c, _) ->
-                (* finish ≥ t + lb: each remaining hop costs ≥ 1 slot. *)
-                if lb <> max_int && (!best = max_int || t + lb < !best) then begin
-                  Istate.apply ctx.st ~senders:c;
-                  let v = async_finish ctx ~slot:(t + 1) in
-                  Istate.undo ctx.st;
-                  if v < !best then best := v
+              (fun (lb, _, c, cov) ->
+                (* [r] remaining advances, the first at slot [t], finish
+                   at ≥ t + r - 1. *)
+                if strong && !best <> max_int && !best <= t + floor_r - 1 then
+                  Metrics.incr (bound_counter floor_k)
+                else if lb <> max_int && (!best = max_int || t + lb < !best) then begin
+                  (* finish ≥ t + lb: each remaining hop costs ≥ 1 slot. *)
+                  if strong && !best < max_int && dominated !kept cov then
+                    Metrics.incr m_prune_dom
+                  else begin
+                    Istate.apply ctx.st ~senders:c;
+                    let v = async_finish ctx ~slot:(t + 1) in
+                    Istate.undo ctx.st;
+                    if v < !best then best := v
+                  end;
+                  if strong && !n_kept < max_kept_covs then begin
+                    kept := cov :: !kept;
+                    incr n_kept
+                  end
                 end
                 else Metrics.incr m_prunes)
               succs;
@@ -309,7 +340,8 @@ let rec async_finish ctx ~slot =
             Metrics.incr m_states;
             ctx.states <- ctx.states + 1;
             if ctx.states > ctx.budget.max_states then raise Exhausted;
-            Wstbl.add ctx.amemo (amemo_key ctx ~slot:t) !best;
+            Ttable.add ctx.tt ~h:(Istate.whash ctx.st) ~slot:t ~set:(Istate.w ctx.st)
+              !best;
             !best)
 
 (* ------------------------------------------------------------------ *)
@@ -383,9 +415,9 @@ let evaluate model space ~budget ~w ~slot =
         { finish; exact = false; states = ctx.states })
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots: a completed plan's memo tables, frozen for reuse. The    *)
-(* stored informed sets are the private copies [memo_key] made at      *)
-(* insertion time and are never mutated afterwards, so a snapshot is   *)
+(* Snapshots: a completed plan's transposition table, frozen for       *)
+(* reuse. The stored informed sets are the private copies the table    *)
+(* interned at insertion time and are never mutated afterwards, so a   *)
 (* safe to publish across domains and to share between chained        *)
 (* snapshots. Reusing an entry is sound exactly when the caller's      *)
 (* validity predicate certifies its value unchanged — see              *)
@@ -444,7 +476,7 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
                 Array.iter
                   (fun (h, set, v) ->
                     if valid set then begin
-                      Wtbl.add ctx.memo { h; set } v;
+                      Ttable.add_shared ctx.tt ~h ~slot:0 ~set v;
                       incr k
                     end)
                   snap.snap_sync
@@ -452,7 +484,7 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
                 Array.iter
                   (fun (h, set, slot, v) ->
                     if valid set then begin
-                      Wstbl.add ctx.amemo { sh = h; sset = set; sslot = slot } v;
+                      Ttable.add_shared ctx.tt ~h ~slot ~set v;
                       incr k
                     end)
                   snap.snap_async);
@@ -463,9 +495,12 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
     let is_sync = match Model.system model with Model.Sync -> true | Model.Async _ -> false in
     (* The warm path (snapshot capture / seeded repair) prunes the
        round scoring below with the same admissible floor the search
-       uses; [plan] keeps the exhaustive re-scoring as the reference
-       the property tests compare against. *)
-    let warm = capture || seeds <> None in
+       uses — and so does every Strong-mode solve, warm or cold: the
+       skip rule only elides candidates proved unable to displace the
+       incumbent, so the schedule is unchanged and only the exhaustive
+       re-scoring cost disappears. Classic [plan] keeps that exhaustive
+       re-scoring as the reference the property tests compare against. *)
+    let warm = capture || seeds <> None || budget.mode = Strong in
     let degraded = ref false in
     (* Root search first: if the budget holds, candidate scores reuse its
        memo; otherwise every score degrades to the lookahead policy. *)
@@ -531,10 +566,22 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
             match succs with
             | [] -> failwith "Mcounter.plan: active slot without candidates"
             | _ ->
+                let strong = budget.mode = Strong in
+                let floor_r, floor_k =
+                  if strong then Bounds.remaining st else (0, Bounds.Ecc)
+                in
+                let kept = ref [] and n_kept = ref 0 in
                 let best =
                 List.fold_left
                   (fun acc (lb, _, c, cov) ->
                     match acc with
+                    | Some (bv, _, _)
+                      when strong && bv <> max_int && bv <= t + floor_r - 1 ->
+                        (* Any completion advancing at slot [t] needs
+                           ≥ floor_r further advances, so no sibling can
+                           score below the incumbent. *)
+                        Metrics.incr (bound_counter floor_k);
+                        acc
                     | Some (bv, _, _)
                       when ((not exact_ok) || warm) && lb <> max_int && bv <= t + lb ->
                         (* Scores (exact or lookahead) are bounded below
@@ -544,7 +591,19 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
                            bound on the reference path, where every
                            sibling's score is re-derived in full. *)
                         acc
+                    | Some (bv, _, _)
+                      when strong && bv <> max_int && dominated !kept cov ->
+                        (* Coverage-subset domination: this candidate's
+                           score is ≥ an earlier sibling's, and the
+                           incumbent is already ≤ every earlier
+                           sibling's score. *)
+                        Metrics.incr m_prune_dom;
+                        acc
                     | _ -> (
+                        if strong && !n_kept < max_kept_covs then begin
+                          kept := cov :: !kept;
+                          incr n_kept
+                        end;
                         (* In exact sync mode an already-memoised (or
                            completing) child scores without an apply;
                            its informed list is the coverage set. *)
@@ -592,11 +651,23 @@ let rec plan_gen model space ~budget ~source ~start ~seeds ~capture =
             snap_n = Model.n_nodes model;
             snap_space = space;
             snap_sync =
-              Array.of_list
-                (Wtbl.fold (fun k v acc -> (k.h, k.set, v) :: acc) ctx.memo []);
+              (if not is_sync then [||]
+               else begin
+                 let acc = ref [] in
+                 Ttable.iter
+                   (fun ~h ~slot:_ ~set ~value -> acc := (h, set, value) :: !acc)
+                   ctx.tt;
+                 Array.of_list !acc
+               end);
             snap_async =
-              Array.of_list
-                (Wstbl.fold (fun k v acc -> (k.sh, k.sset, k.sslot, v) :: acc) ctx.amemo []);
+              (if is_sync then [||]
+               else begin
+                 let acc = ref [] in
+                 Ttable.iter
+                   (fun ~h ~slot ~set ~value -> acc := (h, set, slot, value) :: !acc)
+                   ctx.tt;
+                 Array.of_list !acc
+               end);
             snap_exact = exact_ok && not !degraded;
             (* Chained repairs carry the base's state count forward so
                the reuse margin reflects the whole lineage, not just the

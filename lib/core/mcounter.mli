@@ -27,13 +27,27 @@
 
 module Bitset = Mlbs_util.Bitset
 
+(** Search discipline. [Classic] reproduces the seed traversal bit for
+    bit — same expansions, state counts and exhaustion points — keeping
+    the figure sweeps byte-identical across releases; the experiment
+    configs use it. [Strong] additionally prunes with the admissible
+    {!Bounds} floors, skips candidates the incumbent already beats, and
+    applies coverage-subset dominance between siblings. Every Strong
+    skip is value-safe, and ties keep the earlier candidate, so in
+    exact mode a Strong solve returns the same schedule as a Classic
+    one — with far fewer expansions; the service cold-solve path uses
+    it. The two modes may diverge only when a budget exhausts (Strong
+    explores fewer states, so it can stay exact where Classic
+    degrades). *)
+type mode = Classic | Strong
+
 (** Search budget. [max_states]: memo entries before the exact search
     gives up. [lookahead]: fallback search depth. [beam]: choices
     expanded per fallback node (ranked by hop lower bound, then
-    coverage). *)
-type budget = { max_states : int; lookahead : int; beam : int }
+    coverage). [mode]: the pruning discipline above. *)
+type budget = { max_states : int; lookahead : int; beam : int; mode : mode }
 
-(** [{ max_states = 200_000; lookahead = 2; beam = 4 }]. *)
+(** [{ max_states = 200_000; lookahead = 2; beam = 4; mode = Strong }]. *)
 val default_budget : budget
 
 (** Result of evaluating [M]: the finish slot, whether it is exact, and

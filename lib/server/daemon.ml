@@ -584,10 +584,18 @@ let handle_put t (req : C.request) (stats : C.stats) schedule =
             C.Put_ack
           end)
 
+(* The Stats frame carries the daemon's own counters plus the search
+   core's ("search/states", bound-prune kinds, dominance prunes, the
+   transposition-table hit/miss/collision/evict/grow family) so a
+   client can see how the cold-miss solves behave without shell access
+   to the server host. *)
 let server_stats () =
+  let has_prefix p name =
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
   List.filter_map
     (fun (name, v) ->
-      if String.length name >= 7 && String.sub name 0 7 = "server/" then
+      if has_prefix "server/" name || has_prefix "search/" name then
         Some
           ( name,
             match (v : Metrics.value) with

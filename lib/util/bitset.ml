@@ -186,6 +186,35 @@ let hash_flip s i h =
   let old = s.words.(j) in
   h lxor mix_word j old lxor mix_word j (old lxor (1 lsl b))
 
+(* Hash of [s ∪ cov] derived from [h = hash s] without materialising
+   the union: per word, XOR out the old mix and XOR in the mix of the
+   or-ed word. O(words of cov), no allocation — this is what lets the
+   transposition table probe a child key (W ∪ cov) before committing
+   to the apply. *)
+let hash_union s cov h =
+  same_cap s cov "hash_union";
+  let h = ref h in
+  for j = 0 to Array.length s.words - 1 do
+    let w = s.words.(j) in
+    let u = w lor cov.words.(j) in
+    if u <> w then h := !h lxor mix_word j w lxor mix_word j u
+  done;
+  !h
+
+(* [equal_union a s cov] ⇔ [a = s ∪ cov], word-wise, no allocation.
+   Companion to [hash_union]: verifies a probe hit against the stored
+   set without building the union. *)
+let equal_union a s cov =
+  a.capacity = s.capacity
+  && a.capacity = cov.capacity
+  &&
+  let rec loop j =
+    j >= Array.length a.words
+    || a.words.(j) = s.words.(j) lor cov.words.(j)
+       && loop (j + 1)
+  in
+  loop 0
+
 (* Member iteration strips the lowest set bit each round instead of
    scanning all 63 positions, so sparse sets iterate in O(members).
    The isolated bit is indexed by a perfect hash: 2 is a primitive

@@ -109,6 +109,16 @@ val hash : t -> int
     out of range. *)
 val hash_flip : t -> int -> int -> int
 
+(** [hash_union s cov h] is [hash (union s cov)], given that
+    [h = hash s] — O(words) with no allocation, used to probe a
+    transposition table for a child key [W ∪ cov] without building the
+    union. Raises [Invalid_argument] on capacity mismatch. *)
+val hash_union : t -> t -> int -> int
+
+(** [equal_union a s cov] is [equal a (union s cov)] without building
+    the union — the verification step after a [hash_union] probe hit. *)
+val equal_union : t -> t -> t -> bool
+
 (** [iter f s] applies [f] to each member in increasing order. *)
 val iter : (int -> unit) -> t -> unit
 

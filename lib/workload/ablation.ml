@@ -393,7 +393,7 @@ let lookahead_table cfg ~n =
   in
   List.iter
     (fun depth ->
-      let budget = { Mcounter.max_states = 0; lookahead = depth; beam = 4 } in
+      let budget = { Mcounter.max_states = 0; lookahead = depth; beam = 4; mode = Classic } in
       let plan ~seed:_ (inst : Experiment.instance) =
         let model = Model.create inst.Experiment.net Model.Sync in
         Gopt.plan ~budget model ~source:inst.Experiment.source ~start:1

@@ -1,0 +1,194 @@
+(* The Strong-mode search machinery must be invisible in the results:
+   the admissible bounds never exceed the true optimum, the
+   transposition table answers exactly like the naive memo it replaced,
+   and a Strong plan is byte-identical to a Classic one whenever the
+   search stays exact. *)
+
+module Bitset = Mlbs_util.Bitset
+module Model = Mlbs_core.Model
+module Choices = Mlbs_core.Choices
+module Istate = Mlbs_core.Istate
+module Bounds = Mlbs_core.Bounds
+module Ttable = Mlbs_core.Ttable
+module Mcounter = Mlbs_core.Mcounter
+module Schedule = Mlbs_core.Schedule
+
+let classic =
+  { Mcounter.max_states = 1_000_000; lookahead = 2; beam = 4; mode = Classic }
+
+let strong = { classic with Mcounter.mode = Strong }
+
+let prop ?(count = 60) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_walk gen_model =
+  QCheck2.Gen.(pair gen_model (list_size (int_bound 12) (int_bound 1000)))
+
+(* ------------------------ bound admissibility ---------------------- *)
+
+(* At a position (W, slot), [Bounds.remaining] promises that any
+   completion whose first advance happens at active slot t finishes at
+   slot >= t + r - 1. Check it against the exact optimum at the root
+   and at every position of a random greedy-choice walk. *)
+let check_admissible model st ~slot =
+  let w = Istate.w st in
+  let r, _ = Bounds.remaining st in
+  if Istate.complete st then Alcotest.(check int) "complete => 0" 0 r
+  else begin
+    let e = Mcounter.evaluate model Choices.Greedy ~budget:classic ~w ~slot in
+    if e.Mcounter.exact then
+      match Istate.next_active_slot st ~after:(slot - 1) with
+      | None -> Alcotest.fail "incomplete position with no active slot"
+      | Some t ->
+          if e.Mcounter.finish < t + r - 1 then
+            Alcotest.failf "bound %d refutes optimum %d (first advance at %d)" r
+              e.Mcounter.finish t
+  end
+
+let bound_admissible ((model, _), moves) =
+  let n = Model.n_nodes model in
+  let st = Istate.create n in
+  Istate.reset st model ~w:(Model.initial_w model ~source:0);
+  let slot = ref 1 in
+  check_admissible model st ~slot:!slot;
+  List.iter
+    (fun r ->
+      if not (Istate.complete st) then
+        match Istate.next_active_slot st ~after:(!slot - 1) with
+        | None -> ()
+        | Some t ->
+            let classes = Istate.greedy_classes st ~slot:t in
+            if classes <> [] then begin
+              Istate.apply st ~senders:(List.nth classes (r mod List.length classes));
+              slot := t + 1;
+              check_admissible model st ~slot:!slot
+            end)
+    moves;
+  true
+
+(* ----------------- transposition table equivalence ----------------- *)
+
+(* Replay a random op sequence against a [Hashtbl] oracle. Sets live in
+   capacity 30, so an int bitmask is a faithful content key. *)
+let mask set = Bitset.fold (fun i acc -> acc lor (1 lsl i)) set 0
+
+let gen_tt_ops =
+  QCheck2.Gen.(
+    let op =
+      let* members = list_size (int_bound 8) (int_bound 29) in
+      let* slot = int_bound 3 in
+      let* v = int_bound 1000 in
+      let* is_add = bool in
+      return (members, slot, v, is_add)
+    in
+    pair (int_bound 2) (list_size (int_bound 120) op))
+
+(* [cap_choice]: 0 = unbounded, 1 = tiny bounded (8), 2 = bounded (40). *)
+let tt_matches_naive (cap_choice, ops) =
+  let max_entries = [| 0; 8; 40 |].(cap_choice) in
+  let bounded = max_entries > 0 in
+  let t = Ttable.create ~max_entries () in
+  let naive = Hashtbl.create 64 in
+  List.iter
+    (fun (members, slot, v, is_add) ->
+      let set = Bitset.of_list 30 members in
+      let h = Bitset.hash set in
+      if is_add then begin
+        Ttable.add t ~h ~slot ~set v;
+        (* A bounded table may decline the insert, but if the key is
+           resident [add] replaces in place — so a later hit still
+           returns the latest value. Only track keys the table kept. *)
+        if Ttable.find t ~h ~slot ~set = Some v then
+          Hashtbl.replace naive (mask set, slot) v
+        else if bounded then Hashtbl.remove naive (mask set, slot)
+        else Alcotest.fail "unbounded table dropped an insert"
+      end
+      else
+        let got = Ttable.find t ~h ~slot ~set in
+        let expected = Hashtbl.find_opt naive (mask set, slot) in
+        if bounded then (
+          (* Value-safe: a bounded table may forget, never lie. *)
+          match got with
+          | None -> ()
+          | Some _ ->
+              Alcotest.(check (option int)) "bounded hit is truthful" expected got)
+        else Alcotest.(check (option int)) "unbounded find" expected got)
+    ops;
+  (if not bounded then
+     let live = Hashtbl.length naive in
+     Alcotest.(check int) "length" live (Ttable.length t));
+  true
+
+let find_union_agrees (base_members, cov_members, slot, v) =
+  let base = Bitset.of_list 30 base_members in
+  let cov = Bitset.of_list 30 cov_members in
+  let u = Bitset.union base cov in
+  let t = Ttable.create () in
+  let h_union = Bitset.hash_union base cov (Bitset.hash base) in
+  Alcotest.(check (option int))
+    "miss before insert" None
+    (Ttable.find_union t ~h:h_union ~slot ~base ~cov);
+  Ttable.add t ~h:(Bitset.hash u) ~slot ~set:u v;
+  Alcotest.(check (option int))
+    "find_union = find on the materialised union" (Some v)
+    (Ttable.find_union t ~h:h_union ~slot ~base ~cov);
+  true
+
+(* -------------------- Strong/Classic agreement --------------------- *)
+
+let plans_agree space ((model, _) : Model.t * int) =
+  let ec =
+    Mcounter.evaluate model space ~budget:classic
+      ~w:(Model.initial_w model ~source:0) ~slot:1
+  in
+  let a = Mcounter.plan model space ~budget:classic ~source:0 ~start:1 in
+  let b = Mcounter.plan model space ~budget:strong ~source:0 ~start:1 in
+  (not ec.Mcounter.exact)
+  || (Schedule.finish a = Schedule.finish b && Schedule.steps a = Schedule.steps b)
+
+let evaluations_agree space ((model, _) : Model.t * int) =
+  let w = Model.initial_w model ~source:0 in
+  let ec = Mcounter.evaluate model space ~budget:classic ~w ~slot:1 in
+  let es = Mcounter.evaluate model space ~budget:strong ~w ~slot:1 in
+  (not (ec.Mcounter.exact && es.Mcounter.exact))
+  || ec.Mcounter.finish = es.Mcounter.finish
+
+let gen_sync = Test_support.gen_sync_model
+let gen_async = Test_support.gen_async_model
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "admissibility",
+        [
+          prop ~count:80 "sync: bound never refutes the optimum"
+            (gen_walk gen_sync) bound_admissible;
+          prop ~count:50 "async: bound never refutes the optimum"
+            (gen_walk gen_async) bound_admissible;
+        ] );
+      ( "ttable",
+        [
+          prop ~count:200 "random ops match a Hashtbl oracle" gen_tt_ops
+            tt_matches_naive;
+          prop ~count:200 "find_union probes the union key"
+            QCheck2.Gen.(
+              quad
+                (list_size (int_bound 8) (int_bound 29))
+                (list_size (int_bound 8) (int_bound 29))
+                (int_bound 3) (int_bound 1000))
+            find_union_agrees;
+        ] );
+      ( "strong-vs-classic",
+        [
+          prop ~count:60 "sync greedy plans byte-identical" gen_sync
+            (plans_agree Choices.Greedy);
+          prop ~count:40 "sync OPT plans byte-identical" gen_sync
+            (plans_agree (Choices.All { max_sets = 4096 }));
+          prop ~count:40 "async greedy plans byte-identical" gen_async
+            (plans_agree Choices.Greedy);
+          prop ~count:60 "sync evaluations agree" gen_sync
+            (evaluations_agree Choices.Greedy);
+          prop ~count:40 "async evaluations agree" gen_async
+            (evaluations_agree Choices.Greedy);
+        ] );
+    ]

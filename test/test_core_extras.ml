@@ -137,14 +137,14 @@ let test_async_exact_path () =
   let m = Model.create net (Model.Async sched) in
   let e =
     Mcounter.evaluate m Choices.Greedy
-      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4 }
+      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4; mode = Classic }
       ~w:(Model.initial_w m ~source:0) ~slot:1
   in
   Alcotest.(check bool) "exact" true e.Mcounter.exact;
   Alcotest.(check int) "finish" 4 e.Mcounter.finish;
   let plan =
     Mcounter.plan m Choices.Greedy
-      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4 }
+      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4; mode = Classic }
       ~source:0 ~start:1
   in
   Alcotest.(check (list int)) "transmission slots" [ 1; 2; 4 ]
@@ -160,7 +160,7 @@ let test_async_missed_wake () =
   let m = Model.create net (Model.Async sched) in
   let e =
     Mcounter.evaluate m Choices.Greedy
-      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4 }
+      ~budget:{ Mcounter.max_states = 10000; lookahead = 2; beam = 4; mode = Classic }
       ~w:(Model.initial_w m ~source:0) ~slot:1
   in
   (* 0 wakes at 3 (informs 1); 1's next wake is 12 (informs 2): 12. *)

@@ -119,6 +119,16 @@ let hash_flip_agrees (members, i) =
   (if Bitset.mem s i then Bitset.remove s i else Bitset.add s i);
   h' = Bitset.hash s
 
+(* hash_union: carrying the hash across a union equals re-hashing the
+   materialised union, and equal_union recognises exactly it. *)
+let hash_union_agrees (s_members, cov_members) =
+  let s = Bitset.of_list 80 s_members in
+  let cov = Bitset.of_list 80 cov_members in
+  let u = Bitset.union s cov in
+  Bitset.hash_union s cov (Bitset.hash s) = Bitset.hash u
+  && Bitset.equal_union u s cov
+  && (Bitset.equal u s || not (Bitset.equal_union s s cov))
+
 let () =
   Alcotest.run "incremental"
     [
@@ -135,5 +145,11 @@ let () =
             QCheck2.Gen.(
               pair (list_size (int_bound 60) (int_bound 79)) (int_bound 79))
             hash_flip_agrees;
+          prop ~count:300 "hash_union = hash of union"
+            QCheck2.Gen.(
+              pair
+                (list_size (int_bound 60) (int_bound 79))
+                (list_size (int_bound 60) (int_bound 79)))
+            hash_union_agrees;
         ] );
     ]

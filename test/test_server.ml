@@ -313,7 +313,17 @@ let test_daemon_serves_and_caches () =
   Alcotest.(check bool) "stats has request counter" true
     (List.mem_assoc "server/requests" stats);
   Alcotest.(check bool) "two requests counted" true
-    (List.assoc "server/requests" stats >= 2)
+    (List.assoc "server/requests" stats >= 2);
+  (* The cold miss above ran the Strong-mode search, so the Stats
+     frame must surface the search core's counters alongside the
+     daemon's own. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " exported") true (List.mem_assoc name stats))
+    [ "search/states"; "search/tt_hit"; "search/tt_miss";
+      "search/bound_prune_ecc"; "search/dominance_prunes" ];
+  Alcotest.(check bool) "cold solve explored states" true
+    (List.assoc "search/states" stats > 0)
 
 let test_daemon_duty_cycle_and_explicit_source () =
   with_daemon @@ fun socket ->

@@ -74,7 +74,7 @@ let tiny_cfg =
     Config.quick with
     Config.node_counts = [ 40 ];
     seeds = [ 1; 2 ];
-    budget = { Mlbs_core.Mcounter.max_states = 300; lookahead = 1; beam = 3 };
+    budget = { Mlbs_core.Mcounter.max_states = 300; lookahead = 1; beam = 3; mode = Classic };
   }
 
 let test_make_instance_deterministic () =
