@@ -10,13 +10,16 @@
      dune exec bench/main.exe -- --smoke --compare BENCH_SMOKE.json
 
    Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 reliability
-   ablation service churn fleet micro search (default: all). The
-   service target drives an in-process scheduling daemon over its Unix
-   socket — cold (distinct instances) then warm (cache hits) — and
+   ablation service churn fleet micro search models (default: all).
+   The service target drives an in-process scheduling daemon over its
+   Unix socket — cold (distinct instances) then warm (cache hits) — and
    dumps throughput and p50/p95/p99 to BENCH_3.json (suppressed with
    the other JSON under --smoke). The search target times the Strong
    default-budget cold-solve kernels on fixed instances and dumps them
-   to BENCH_6.json.
+   to BENCH_6.json. The models target compares the interference
+   backends (udg / sinr / mc:2 / mc:3) on shared deployments — solve
+   ns/run plus scheduled rounds and transmissions — and dumps them to
+   BENCH_7.json.
 
    Flags: --quick (reduced sweep), --smoke (Config.smoke — the CI
    gate: smallest sweep, JSON suppressed unless --json is given
@@ -44,6 +47,8 @@ module Ablation = Mlbs_workload.Ablation
 module Experiment = Mlbs_workload.Experiment
 module Model = Mlbs_core.Model
 module Scheduler = Mlbs_core.Scheduler
+module Schedule = Mlbs_core.Schedule
+module Interference = Mlbs_phy.Interference
 module Emodel = Mlbs_core.Emodel
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Bitset = Mlbs_util.Bitset
@@ -284,6 +289,7 @@ let run_service cfg ~smoke =
       topology = Sv_codec.Gen { n; radius = Config.default.Config.radius };
       source = None;
       start = 1;
+      model = Mlbs_phy.Interference.Udg;
     }
   in
   let t0 = now_s () in
@@ -468,6 +474,7 @@ let run_churn_service cfg ~n ~seed ~events ~pct =
       topology = Sv_codec.Adj adj;
       source = Some source;
       start = 1;
+      model = Mlbs_phy.Interference.Udg;
     }
   in
   let socket = Filename.temp_file "mlbs-churn" ".sock" in
@@ -810,6 +817,7 @@ let run_fleet cfg ~smoke =
       topology = Sv_codec.Gen { n; radius = Config.default.Config.radius };
       source = None;
       start = 1;
+      model = Mlbs_phy.Interference.Udg;
     }
   in
   let t0 = now_s () in
@@ -1112,6 +1120,68 @@ let run_search () =
   section "Search-core kernels (Strong default budget, cold solves)";
   bechamel_session ~group:"search" ~label:"search" (search_tests ())
 
+(* ------------------------- model bench ----------------------------- *)
+
+(* The interference-backend comparison behind BENCH_7: cold G-OPT
+   solves per backend on shared deployments, at fixed sizes independent
+   of --smoke/--quick (like the search bench) so the committed JSON is
+   comparable across runs. The ns/run kernels price SINR's additive
+   zone checks and multi-channel's first-fit grouping against the
+   protocol model; the rounds/transmissions table records what the
+   models *schedule* on the same deployment — channel separation
+   shortens schedules, the physical model's cross-class interference
+   lengthens them. *)
+let model_specs =
+  Interference.
+    [ ("udg", Udg); ("sinr", Sinr default_sinr);
+      ("mc2", Multichannel 2); ("mc3", Multichannel 3) ]
+
+let model_instances () =
+  List.map
+    (fun n ->
+      let inst = Experiment.make_instance Config.default ~n ~seed:1 in
+      (n, inst.Experiment.net, inst.Experiment.source))
+    [ 150; 300 ]
+
+let model_tests insts =
+  let open Bechamel in
+  let run phy net source () =
+    let m = Model.create ~phy net Model.Sync in
+    ignore (Scheduler.run m Scheduler.gopt ~source ~start:1)
+  in
+  List.concat_map
+    (fun (label, phy) ->
+      List.map
+        (fun (n, net, source) ->
+          Test.make
+            ~name:(Printf.sprintf "G-OPT cold %s (n=%d)" label n)
+            (Staged.stage (run phy net source)))
+        insts)
+    model_specs
+
+let model_latencies insts =
+  List.concat_map
+    (fun (n, net, source) ->
+      List.map
+        (fun (label, phy) ->
+          let m = Model.create ~phy net Model.Sync in
+          let s = Scheduler.run m Scheduler.gopt ~source ~start:1 in
+          (label, n, Schedule.elapsed s, Schedule.n_transmissions s))
+        model_specs)
+    insts
+
+let run_models () =
+  section "Interference backends (cold G-OPT per model, shared deployments)";
+  let insts = model_instances () in
+  let lat = model_latencies insts in
+  List.iter
+    (fun (label, n, rounds, tx) ->
+      Printf.printf "  %-6s n=%-4d latency=%-3d rounds  transmissions=%d\n" label n
+        rounds tx)
+    lat;
+  let kernels = bechamel_session ~group:"models" ~label:"models" (model_tests insts) in
+  (kernels, lat)
+
 (* ------------------------- metrics probe --------------------------- *)
 
 let g_heap = Obs_metrics.gauge "gc/heap_words"
@@ -1198,6 +1268,33 @@ let write_bench6 path ~jobs kernels =
   p "  \"jobs\": %d,\n" jobs;
   p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
   p "  \"budget\": \"default (Strong, 200k states)\",\n";
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let write_bench7 path ~jobs kernels latencies =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-7\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
+  p "  \"policy\": \"G-OPT (default budget), shared deployments, seed 1\",\n";
+  p "  \"latency_rounds\": [\n";
+  List.iteri
+    (fun i (model, n, rounds, tx) ->
+      p "    {\"model\": \"%s\", \"n\": %d, \"rounds\": %d, \"transmissions\": %d}%s\n"
+        (json_escape model) n rounds tx
+        (if i = List.length latencies - 1 then "" else ","))
+    latencies;
+  p "  ],\n";
   p "  \"micro_ns_per_run\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -1491,7 +1588,8 @@ let () =
   let targets = if targets = [] then [ "all" ] else targets in
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-      "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro"; "search" ]
+      "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro"; "search";
+      "models" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -1566,12 +1664,22 @@ let () =
       (* BENCH_6.json rides the same switch as the other dumps. *)
       if json <> None then write_bench6 "BENCH_6.json" ~jobs:cfg.Config.jobs kernels
     end;
+    let model_kernels = ref [] in
+    if want "models" then begin
+      let kernels, lat = run_models () in
+      model_kernels := kernels;
+      (* BENCH_7.json rides the same switch as the other dumps. *)
+      if json <> None then write_bench7 "BENCH_7.json" ~jobs:cfg.Config.jobs kernels lat
+    end;
     let micro = if want "micro" then run_micro cfg ~micro_quick else [] in
-    (* Churn, fleet and search gate kernels join the micro list for
-       --compare, so a CI smoke run gates repair latency against the
-       committed BENCH_4, fleet latency against BENCH_5, and the
-       Strong-mode cold-solve path against BENCH_6. *)
-    let micro = micro @ !churn_kernels @ !fleet_kernels @ !search_kernels in
+    (* Churn, fleet, search and model gate kernels join the micro list
+       for --compare, so a CI smoke run gates repair latency against the
+       committed BENCH_4, fleet latency against BENCH_5, the Strong-mode
+       cold-solve path against BENCH_6, and the interference backends
+       against BENCH_7. *)
+    let micro =
+      micro @ !churn_kernels @ !fleet_kernels @ !search_kernels @ !model_kernels
+    in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
     let entries = List.rev !log in

@@ -16,6 +16,7 @@ module Deployment = Mlbs_wsn.Deployment
 module Churn = Mlbs_wsn.Churn
 module Metrics = Mlbs_graph.Metrics
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Interference = Mlbs_phy.Interference
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
 module Scheduler = Mlbs_core.Scheduler
@@ -51,6 +52,20 @@ let rate_arg =
 
 let make_network ~n ~seed =
   Deployment.generate (Rng.create seed) (Deployment.paper_spec ~n_nodes:n)
+
+let model_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Interference.parse s) in
+  let print ppf m = Format.pp_print_string ppf (Interference.to_string m) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value & opt model_conv Interference.Udg
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          "Interference model: $(b,udg) (the paper's protocol model, default), \
+           $(b,sinr)[:ALPHA,BETA,NOISE,POWER] (additive physical model), or \
+           $(b,mc:K) (K-channel multi-channel scheduling).")
 
 let trace_file_arg =
   Arg.(
@@ -121,7 +136,7 @@ let policy_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every advance of the schedule.")
 
-let schedule n seed rate policy verbose load save =
+let schedule n seed rate policy phy verbose load save =
   let net = match load with Some path -> Mlbs_workload.Persist.load_network path | None -> make_network ~n ~seed in
   let n = Network.n_nodes net in
   let system =
@@ -129,12 +144,16 @@ let schedule n seed rate policy verbose load save =
     | None -> Model.Sync
     | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:n ~seed ())
   in
-  let model = Model.create net system in
+  let model = Model.create ~phy net system in
   let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
   let plan = Scheduler.run model policy ~source ~start:1 in
   let d = Bounds.source_depth model ~source in
   let report = Validate.check model plan in
   Printf.printf "policy=%s source=%d d=%d\n" (Scheduler.name ~system policy) source d;
+  (* Printed only off the default so UDG output stays byte-identical to
+     what this command has always emitted. *)
+  if phy <> Interference.Udg then
+    Printf.printf "model:         %s\n" (Interference.to_string phy);
   Printf.printf "latency:       %d %s\n" (Schedule.elapsed plan)
     (match rate with None -> "rounds" | Some _ -> "slots");
   Printf.printf "transmissions: %d\n" (Schedule.n_transmissions plan);
@@ -165,20 +184,20 @@ let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run one scheduling policy on a deployment")
     Term.(
-      const schedule $ nodes_arg $ seed_arg $ rate_arg $ policy_arg $ verbose_arg
-      $ load_arg $ save_arg)
+      const schedule $ nodes_arg $ seed_arg $ rate_arg $ policy_arg $ model_arg
+      $ verbose_arg $ load_arg $ save_arg)
 
 (* ---------------------------- trace -------------------------------- *)
 
 (* 'trace run': one instrumented scenario — G-OPT schedule plus the
    distributed protocol on the same instance — dumped as a
    Perfetto-loadable trace and a metrics snapshot. *)
-let trace_run n seed rate trace_file metrics_file =
+let trace_run n seed rate phy trace_file metrics_file =
   let trace_file = Option.value trace_file ~default:"mlbs.trace.json" in
   let metrics_file = Option.value metrics_file ~default:"mlbs.metrics.json" in
   let cfg =
     { Config.default with Config.trace_file = Some trace_file;
-      metrics_file = Some metrics_file }
+      metrics_file = Some metrics_file; model = phy }
   in
   let net = make_network ~n ~seed in
   let nn = Network.n_nodes net in
@@ -187,7 +206,7 @@ let trace_run n seed rate trace_file metrics_file =
     | None -> Model.Sync
     | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:nn ~seed ())
   in
-  let model = Model.create net system in
+  let model = Model.create ~phy net system in
   let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
   let plan, report, stats =
     Telemetry.with_config cfg (fun () ->
@@ -212,6 +231,10 @@ let trace_run n seed rate trace_file metrics_file =
   Printf.printf "ttable:   hit=%d miss=%d collisions=%d evictions=%d grows=%d\n"
     (c "search/tt_hit") (c "search/tt_miss") (c "search/tt_collision")
     (c "search/tt_evict") (c "search/tt_grow");
+  Printf.printf "phy:      model=%s conflict-checks=%d power-evals=%d \
+                 channel-assignments=%d\n"
+    (Interference.to_string phy) (c "phy/conflict_checks") (c "phy/power_evals")
+    (c "phy/channel_assignments");
   Printf.printf "protocol: slots=%d sends=%d collisions=%d retransmissions=%d\n"
     (c "proto/slots") (c "proto/sends") (c "proto/collisions")
     (c "proto/retransmissions");
@@ -222,7 +245,7 @@ let trace_run n seed rate trace_file metrics_file =
   Printf.printf "metrics:  %s\n" metrics_file;
   if report.Validate.ok then 0 else 1
 
-let trace table n seed rate trace_file metrics_file =
+let trace table n seed rate phy trace_file metrics_file =
   match table with
   | "2" ->
       print_string (Figures.table2 ());
@@ -240,7 +263,7 @@ let trace table n seed rate trace_file metrics_file =
       print_newline ();
       print_string (Figures.table4 ());
       0
-  | "run" -> trace_run n seed rate trace_file metrics_file
+  | "run" -> trace_run n seed rate phy trace_file metrics_file
   | other ->
       Printf.eprintf "unknown table %S (2|3|4|all|run)\n" other;
       2
@@ -260,8 +283,8 @@ let trace_cmd =
          "Print the paper's Table II/III/IV walkthroughs, or run an instrumented \
           scenario ('trace run') producing Perfetto trace and metrics files")
     Term.(
-      const trace $ table_arg $ nodes_arg $ seed_arg $ rate_arg $ trace_file_arg
-      $ metrics_file_arg)
+      const trace $ table_arg $ nodes_arg $ seed_arg $ rate_arg $ model_arg
+      $ trace_file_arg $ metrics_file_arg)
 
 (* ----------------------- tree / energy ----------------------------- *)
 
@@ -494,7 +517,7 @@ let codec_policy = function
   | Scheduler.Gopt _ -> Sv_codec.Gopt
   | Scheduler.Opt _ -> Sv_codec.Opt
 
-let serve socket tcp backend jobs queue cache cache_dir trace_file metrics_file =
+let serve socket tcp backend jobs queue cache cache_dir models trace_file metrics_file =
   let base = { Config.default with Config.trace_file; metrics_file } in
   Telemetry.with_config base @@ fun () ->
   if backend && tcp = None then begin
@@ -512,6 +535,7 @@ let serve socket tcp backend jobs queue cache cache_dir trace_file metrics_file 
         queue_capacity = queue;
         cache_capacity = cache;
         cache_dir;
+        allowed_models = (match models with [] -> None | l -> Some l);
       }
     in
     let t = Sv_daemon.start dcfg in
@@ -570,11 +594,20 @@ let serve_cmd =
              port), no Unix socket, and print 'backend ready on 127.0.0.1:PORT' once \
              accepting.")
   in
+  let models_arg =
+    Arg.(
+      value
+      & opt_all model_conv []
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "Serve only this interference model (repeatable; default: all). Requests \
+             for any other model are refused with an error reply.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the scheduling service daemon")
     Term.(
       const serve $ socket_arg $ tcp_arg $ backend_arg $ jobs_arg $ queue_arg $ cache_arg
-      $ cache_dir_arg $ trace_file_arg $ metrics_file_arg)
+      $ cache_dir_arg $ models_arg $ trace_file_arg $ metrics_file_arg)
 
 (* fleet: the front tier — consistent-hash routing over backend shards
    started with [serve --backend] (or spawned in-process via --spawn). *)
@@ -706,7 +739,8 @@ let fleet_cmd =
       $ replicas_arg $ max_inflight_arg $ no_fill_arg $ health_period_arg
       $ trace_file_arg $ metrics_file_arg)
 
-let build_request ~policy ~rate ~seed ~n ~source ~start ~load =
+let build_request ?(model = Interference.Udg) ~policy ~rate ~seed ~n ~source ~start ~load
+    () =
   let topology =
     match load with
     | Some path ->
@@ -716,7 +750,7 @@ let build_request ~policy ~rate ~seed ~n ~source ~start ~load =
                Array.to_list (Mlbs_graph.Graph.neighbors g u)))
     | None -> Sv_codec.Gen { n; radius = Config.default.Config.radius }
   in
-  { Sv_codec.policy = codec_policy policy; rate; seed; topology; source; start }
+  { Sv_codec.policy = codec_policy policy; rate; seed; topology; source; start; model }
 
 let verify_against_local req (ok : Sv_codec.ok_reply) =
   let _, local = Sv_daemon.solve req in
@@ -744,8 +778,9 @@ let drift_delta rng net ~k =
   let d = Churn.drift rng net ~k ~jitter:(Config.default.Config.radius /. 5.) in
   (d.Churn.network, { Sv_codec.d_added = []; d_removed = []; d_rewired = d.Churn.rewired })
 
-let request socket tcp n seed rate policy source start load delta delta_seed verify verbose =
-  let req = build_request ~policy ~rate ~seed ~n ~source ~start ~load in
+let request socket tcp n seed rate policy model source start load delta delta_seed verify
+    verbose =
+  let req = build_request ~model ~policy ~rate ~seed ~n ~source ~start ~load () in
   let c, `Version server_version, `Match version_match = endpoint socket tcp |> Sv_client.connect in
   Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
   let outcome, vreq =
@@ -826,8 +861,8 @@ let request_cmd =
     (Cmd.info "request" ~doc:"Send one solve request to the scheduling service")
     Term.(
       const request $ socket_arg $ tcp_arg $ nodes_arg $ seed_arg $ rate_arg
-      $ policy_arg $ source_arg $ start_arg $ load_arg $ delta_arg $ delta_seed_arg
-      $ verify_arg $ verbose_arg)
+      $ policy_arg $ model_arg $ source_arg $ start_arg $ load_arg $ delta_arg
+      $ delta_seed_arg $ verify_arg $ verbose_arg)
 
 (* Churn mode: one connection replaying a topology-churn stream per
    instance — a base solve, then [requests/seeds] drift events, each
@@ -835,7 +870,8 @@ let request_cmd =
    repair of the cached base schedule. Repair latency is reported
    against the cold base solves; sampled events are byte-compared
    against a direct solve of the edited topology. *)
-let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~churn ~verify_sample ~smoke =
+let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~model ~churn ~verify_sample
+    ~smoke =
   let events = max 1 (requests / max 1 seeds) in
   let c, _, _ = Sv_client.connect ep in
   Fun.protect ~finally:(fun () -> Sv_client.close c) @@ fun () ->
@@ -847,7 +883,9 @@ let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~churn ~verify_sample ~sm
     (r, (Unix.gettimeofday () -. t0) *. 1e6)
   in
   for s = 1 to seeds do
-    let base = build_request ~policy ~rate ~seed:s ~n ~source:None ~start:1 ~load:None in
+    let base =
+      build_request ~model ~policy ~rate ~seed:s ~n ~source:None ~start:1 ~load:None ()
+    in
     let net = base_network ~n ~seed:s ~load:None in
     (match time (fun () -> Sv_client.request_retry ~attempts:8 c base) with
     | Sv_client.Ok _, us -> cold := us :: !cold
@@ -900,14 +938,14 @@ let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~churn ~verify_sample ~sm
    striping [requests] requests over [seeds] distinct instances (the
    seed space sets the attainable hit ratio: after each instance's
    first solve, repeats are cache hits). *)
-let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
-    fleet =
+let loadgen_plain socket tcp requests concurrency n seeds policy rate model verify_sample
+    smoke fleet =
   let ep = endpoint socket tcp in
   let lat_us = Array.make (max 1 requests) 0.0 in
   let results = Array.make (max 1 requests) `Err in
   let req_of i =
-    build_request ~policy ~rate ~seed:(1 + (i mod seeds)) ~n ~source:None ~start:1
-      ~load:None
+    build_request ~model ~policy ~rate ~seed:(1 + (i mod seeds)) ~n ~source:None ~start:1
+      ~load:None ()
   in
   let worker w () =
     let c, _, _ = Sv_client.connect ep in
@@ -1007,14 +1045,14 @@ let loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sam
   else if !mismatches > 0 then 1
   else 0
 
-let loadgen socket tcp requests concurrency n seeds policy rate churn verify_sample smoke
-    fleet =
+let loadgen socket tcp requests concurrency n seeds policy rate model churn verify_sample
+    smoke fleet =
   if churn > 0 then
-    churn_loadgen (endpoint socket tcp) ~requests ~n ~seeds ~policy ~rate ~churn
+    churn_loadgen (endpoint socket tcp) ~requests ~n ~seeds ~policy ~rate ~model ~churn
       ~verify_sample ~smoke
   else
-    loadgen_plain socket tcp requests concurrency n seeds policy rate verify_sample smoke
-      fleet
+    loadgen_plain socket tcp requests concurrency n seeds policy rate model verify_sample
+      smoke fleet
 
 let loadgen_cmd =
   let requests_arg =
@@ -1066,12 +1104,12 @@ let loadgen_cmd =
     (Cmd.info "loadgen" ~doc:"Drive the scheduling service with concurrent clients")
     Term.(
       const loadgen $ socket_arg $ tcp_arg $ requests_arg $ concurrency_arg $ nodes_arg
-      $ seeds_arg $ policy_arg $ rate_arg $ churn_arg $ verify_arg $ smoke_arg
-      $ fleet_arg)
+      $ seeds_arg $ policy_arg $ rate_arg $ model_arg $ churn_arg $ verify_arg
+      $ smoke_arg $ fleet_arg)
 
 (* -------------------------- experiment ----------------------------- *)
 
-let experiment figure quick smoke strong jobs csv_dir trace_file metrics_file =
+let experiment figure quick smoke strong jobs model csv_dir trace_file metrics_file =
   let cfg = if smoke then Config.smoke else if quick then Config.quick else Config.default in
   let cfg = match jobs with Some j -> { cfg with Config.jobs = j } | None -> cfg in
   let cfg =
@@ -1079,7 +1117,7 @@ let experiment figure quick smoke strong jobs csv_dir trace_file metrics_file =
       { cfg with Config.budget = { cfg.Config.budget with Mcounter.mode = Mcounter.Strong } }
     else cfg
   in
-  let cfg = { cfg with Config.trace_file; metrics_file } in
+  let cfg = { cfg with Config.trace_file; metrics_file; model } in
   Telemetry.with_config cfg @@ fun () ->
   let figures =
     match figure with
@@ -1157,7 +1195,7 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a figure of the paper's evaluation")
     Term.(
       const experiment $ figure_arg $ quick_arg $ smoke_arg $ strong_arg $ jobs_arg
-      $ csv_arg $ trace_file_arg $ metrics_file_arg)
+      $ model_arg $ csv_arg $ trace_file_arg $ metrics_file_arg)
 
 let () =
   let info =

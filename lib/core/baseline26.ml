@@ -11,11 +11,7 @@ let layer_classes model ~w layer =
   let relays = List.filter (fun u -> Model.n_receivers model ~w u > 0) layer in
   let uninformed = Bitset.complement w in
   let counts = List.map (fun u -> (u, Model.n_receivers model ~w u)) relays in
-  let order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v in
-  let conflicts (u, _) (v, _) =
-    u <> v && Graph.common_neighbor_in (Model.graph model) u v ~candidates:uninformed
-  in
-  Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst)
+  Model.color_classes model ~uninformed counts
 
 let plan model ~source ~start =
   (match Model.system model with

@@ -30,11 +30,7 @@ let plan model ~source ~start =
       let relays = List.filter (fun u -> Model.n_receivers model ~w:!w u > 0) layer in
       let uninformed = Bitset.complement !w in
       let counts = List.map (fun u -> (u, Model.n_receivers model ~w:!w u)) relays in
-      let order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v in
-      let conflicts (u, _) (v, _) =
-        u <> v && Graph.common_neighbor_in g u v ~candidates:uninformed
-      in
-      let classes = Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst) in
+      let classes = Model.color_classes model ~uninformed counts in
       List.iter
         (fun senders ->
           let w' = Model.apply model ~w:!w ~senders in

@@ -52,11 +52,23 @@ let local_forced n =
       slot := Some f;
       f
 
+(* The packing argument leans on the UDG conflict predicate: under SINR
+   the capture effect can let two forced parents transmit together (one
+   wins at y), and under multi-channel they can sit on distinct
+   channels — either way the refutation is unsound, so only the
+   eccentricity bound applies (every advance still informs only
+   distance-1 nodes under every backend). *)
+let packing_applies st =
+  match Model.phy (Istate.model st) with
+  | Mlbs_phy.Interference.Udg -> true
+  | Mlbs_phy.Interference.Sinr _ | Mlbs_phy.Interference.Multichannel _ -> false
+
 let remaining st =
   if Istate.complete st then (0, Ecc)
   else
     let d = Istate.lb st in
     if d = max_int then (max_int, Ecc)
+    else if not (packing_applies st) then (d, Ecc)
     else begin
       let g = Model.graph (Istate.model st) in
       let top = Istate.layer st ~d in

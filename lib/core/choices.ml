@@ -1,5 +1,6 @@
 module Bitset = Mlbs_util.Bitset
 module Indep = Mlbs_graph.Indep
+module Interference = Mlbs_phy.Interference
 
 type t = Greedy | All of { max_sets : int }
 
@@ -17,12 +18,81 @@ let enumerate_all ~graph ~uninformed ~max_sets cands =
       Indep.maximal ~n:(Array.length arr) ~conflict ~limit:max_sets
       |> List.map (List.map (fun i -> arr.(i)))
 
+(* Backend-aware OPT choice sets. UDG takes the historical path above.
+   SINR prefilters with the pairwise-conservative predicate, then trims
+   each maximal set through the additive zone in order — pairwise
+   compatibility is necessary but not sufficient under summed
+   interference, and only zone-built sets are guaranteed to validate.
+   Multi-channel extends each maximal set (channel 1) with greedy
+   classes of the leftover candidates on channels 2..k, in
+   concatenated-class order so first-fit reconstruction recovers the
+   channel assignment from the sender list alone. *)
+let enumerate_all_phy inst ~uninformed ~max_sets cands =
+  match inst with
+  | Interference.I_udg graph -> enumerate_all ~graph ~uninformed ~max_sets cands
+  | Interference.I_sinr _ -> (
+      match cands with
+      | [] -> []
+      | _ ->
+          let arr = Array.of_list cands in
+          let conflict i j = Interference.conflicts inst ~uninformed arr.(i) arr.(j) in
+          let sets =
+            Indep.maximal ~n:(Array.length arr) ~conflict ~limit:max_sets
+            |> List.map (List.map (fun i -> arr.(i)))
+          in
+          let cls = Interference.classifier inst in
+          List.map
+            (fun set ->
+              Interference.start_class cls ~uninformed;
+              List.filter
+                (fun u ->
+                  if Interference.admits cls u then begin
+                    Interference.accept cls u;
+                    true
+                  end
+                  else false)
+                set)
+            sets)
+  | Interference.I_mc { graph = g; k } ->
+      let sets = enumerate_all ~graph:g ~uninformed ~max_sets cands in
+      if k = 1 then sets
+      else
+        let cap = Bitset.cap uninformed in
+        List.map
+          (fun s1 ->
+            let taken = Bitset.create cap in
+            List.iter (Bitset.add taken) s1;
+            let remaining = List.filter (fun u -> not (Bitset.mem taken u)) cands in
+            let blocked = Bitset.create cap in
+            let rec channels ch senders remaining =
+              if ch >= k || remaining = [] then senders
+              else begin
+                Bitset.clear blocked;
+                let cls, rest =
+                  List.fold_left
+                    (fun (cls, rest) u ->
+                      if Bitset.intersects (Mlbs_graph.Graph.neighbor_set g u) blocked
+                      then (cls, u :: rest)
+                      else begin
+                        Bitset.union_inter_into ~into:blocked
+                          (Mlbs_graph.Graph.neighbor_set g u)
+                          uninformed;
+                        (u :: cls, rest)
+                      end)
+                    ([], []) remaining
+                in
+                channels (ch + 1) (senders @ List.rev cls) (List.rev rest)
+              end
+            in
+            channels 1 s1 remaining)
+          sets
+
 let enumerate model space ~w ~slot =
   match space with
   | Greedy -> Model.greedy_classes model ~w ~slot
   | All { max_sets } ->
       let uninformed = Bitset.complement w in
-      enumerate_all ~graph:(Model.graph model) ~uninformed ~max_sets
+      enumerate_all_phy (Model.phy_instance model) ~uninformed ~max_sets
         (Model.candidates model ~w ~slot)
 
 (* Same choice sets, computed from the incremental state: the greedy
@@ -33,7 +103,7 @@ let enumerate_incremental ist space ~slot =
   match space with
   | Greedy -> Istate.greedy_classes ist ~slot
   | All { max_sets } ->
-      enumerate_all
-        ~graph:(Model.graph (Istate.model ist))
+      enumerate_all_phy
+        (Model.phy_instance (Istate.model ist))
         ~uninformed:(Istate.ubar ist) ~max_sets
         (Istate.candidates ist ~slot)

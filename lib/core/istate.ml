@@ -29,6 +29,7 @@ module Bitset = Mlbs_util.Bitset
 module Graph = Mlbs_graph.Graph
 module Coloring = Mlbs_graph.Coloring
 module Metrics = Mlbs_obs.Metrics
+module Interference = Mlbs_phy.Interference
 
 (* Hot-path probes: one disabled-registry branch each (see lib/obs). *)
 let m_apply = Metrics.counter "istate/apply"
@@ -68,6 +69,9 @@ type t = {
   pfront : Bitset.t;
   pnext : Bitset.t;
   pblocked : Bitset.t;  (* greedy-colouring scratch: class blocked zone *)
+  (* Interference-backend class builder, created lazily on the first
+     colouring under a non-UDG model (reset drops it with the model). *)
+  mutable phy_cls : Interference.classifier option;
 }
 
 let create cap =
@@ -101,6 +105,7 @@ let create cap =
     pfront = Bitset.create cap;
     pnext = Bitset.create cap;
     pblocked = Bitset.create cap;
+    phy_cls = None;
   }
 
 let capacity st = st.cap
@@ -145,6 +150,7 @@ let reset st m ~w =
   if Bitset.cap w <> st.cap then invalid_arg "Istate.reset: informed set capacity mismatch";
   st.model <- Some m;
   st.lay_valid <- false;
+  st.phy_cls <- None;
   Bitset.assign ~into:st.w w;
   Bitset.complement_into ~into:st.ubar w;
   st.whash <- Bitset.hash st.w;
@@ -486,7 +492,65 @@ let greedy_classes_cov st ~slot =
                child memo keys, so hand out a copy alongside. *)
             assign (List.rev rest) ((List.rev cls, Bitset.copy blocked) :: acc)
       in
-      assign sorted []
+      (* The backend's class builder replaces the blocked-set test when
+         admission is feasibility-based (SINR); under multi-channel the
+         UDG classes merge k at a time into (slot, channel)
+         super-classes, coverage unioned, concatenated-class sender
+         order preserved for first-fit channel reconstruction. *)
+      let rec assign_phy cls remaining acc =
+        match remaining with
+        | [] -> List.rev acc
+        | _ ->
+            Interference.start_class cls ~uninformed:st.ubar;
+            let cl, rest =
+              List.fold_left
+                (fun (cl, rest) ((u, _) as item) ->
+                  if Interference.admits cls u then begin
+                    Interference.accept cls u;
+                    (u :: cl, rest)
+                  end
+                  else (cl, item :: rest))
+                ([], []) remaining
+            in
+            assign_phy cls (List.rev rest)
+              ((List.rev cl, Bitset.copy (Interference.class_coverage cls)) :: acc)
+      in
+      let rec chunk_cov k = function
+        | [] -> []
+        | rows ->
+            let rec take i acc rest =
+              if i = 0 then (List.rev acc, rest)
+              else
+                match rest with
+                | [] -> (List.rev acc, [])
+                | r :: tl -> take (i - 1) (r :: acc) tl
+            in
+            let head, tl = take k [] rows in
+            let senders = List.concat_map fst head in
+            let cov =
+              match head with
+              | (_, c0) :: more ->
+                  List.iter (fun (_, c) -> Bitset.union_into ~into:c0 c) more;
+                  c0
+              | [] -> assert false
+            in
+            (senders, cov) :: chunk_cov k tl
+      in
+      (match Model.phy_instance m with
+      | Interference.I_udg _ -> assign sorted []
+      | Interference.I_mc { k; _ } ->
+          let rows = assign sorted [] in
+          if k > 1 then chunk_cov k rows else rows
+      | Interference.I_sinr _ ->
+          let cls =
+            match st.phy_cls with
+            | Some c -> c
+            | None ->
+                let c = Interference.classifier (Model.phy_instance m) in
+                st.phy_cls <- Some c;
+                c
+          in
+          assign_phy cls sorted [])
 
 let greedy_classes st ~slot = List.map fst (greedy_classes_cov st ~slot)
 

@@ -54,11 +54,7 @@ let run ?tuples ?max_slots model ~source ~start =
     let visible = List.filter (fun v -> Bitset.mem two_hop.(u) v) candidates in
     let uninformed = Bitset.complement !w in
     let counts = List.map (fun v -> (v, Model.n_receivers model ~w:!w v)) visible in
-    let order (a, ca) (b, cb) = if ca <> cb then compare cb ca else compare a b in
-    let conflicts (a, _) (b, _) =
-      a <> b && Graph.common_neighbor_in g a b ~candidates:uninformed
-    in
-    let classes = Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst) in
+    let classes = Model.color_classes model ~uninformed counts in
     ignore slot;
     match classes with
     | [] -> false

@@ -3,22 +3,31 @@ module Graph = Mlbs_graph.Graph
 module Coloring = Mlbs_graph.Coloring
 module Network = Mlbs_wsn.Network
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
+module Interference = Mlbs_phy.Interference
 
 type system = Sync | Async of Wake_schedule.t
 
-type t = { net : Network.t; graph : Graph.t; system : system }
+type t = {
+  net : Network.t;
+  graph : Graph.t;
+  system : system;
+  phy : Interference.t;
+  inst : Interference.instance;
+}
 
-let create net system =
+let create ?(phy = Interference.Udg) net system =
   (match system with
   | Sync -> ()
   | Async sched ->
       if Wake_schedule.n_nodes sched < Network.n_nodes net then
         invalid_arg "Model.create: wake schedule covers fewer nodes than the network");
-  { net; graph = Network.graph net; system }
+  { net; graph = Network.graph net; system; phy; inst = Interference.bind phy net }
 
 let network t = t.net
 let graph t = t.graph
 let system t = t.system
+let phy t = t.phy
+let phy_instance t = t.inst
 let n_nodes t = Network.n_nodes t.net
 
 let initial_w t ~source =
@@ -52,11 +61,17 @@ let candidates t ~w ~slot =
 
 (* The conflict predicate [N(u) ∩ N(v) ∩ W̄ ≠ ∅] as one fused word-wise
    probe over the stored neighbour bitsets — boolean-equivalent to
-   scanning the smaller adjacency list, without the scan. *)
+   scanning the smaller adjacency list, without the scan. Under
+   multi-channel the same predicate applies (it is the intra-channel
+   rule; channel parallelism lives in the class chunking); under SINR
+   the backend's pairwise-conservative test takes over. *)
 let conflicts_with_uninformed t ~uninformed u v =
-  u <> v
-  && Bitset.intersects3 (Graph.neighbor_set t.graph u) (Graph.neighbor_set t.graph v)
-       uninformed
+  match t.inst with
+  | Interference.I_udg _ | Interference.I_mc _ ->
+      u <> v
+      && Bitset.intersects3 (Graph.neighbor_set t.graph u)
+           (Graph.neighbor_set t.graph v) uninformed
+  | Interference.I_sinr _ -> Interference.conflicts t.inst ~uninformed u v
 
 let conflicts t ~w u v =
   u <> v
@@ -64,15 +79,74 @@ let conflicts t ~w u v =
   let uninformed = Bitset.complement w in
   conflicts_with_uninformed t ~uninformed u v
 
+(* Merge runs of [k] colour classes into one (slot, channel)
+   super-class. Concatenated-class order is load-bearing: first-fit
+   grouping over it (Multichannel.groups) reconstructs exactly these
+   classes from the schedule bytes, so channels never need storing. *)
+let rec chunk k = function
+  | [] -> []
+  | classes ->
+      let rec take i acc rest =
+        if i = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | c :: tl -> take (i - 1) (c :: acc) tl
+      in
+      let head, tl = take k [] classes in
+      List.concat head :: chunk k tl
+
+let greedy_order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v
+
+(* Algorithm 1 under a feasibility-based backend: the same candidate
+   order and repeated-pass structure as [Coloring.greedy], but class
+   membership is the backend's incremental admission (for SINR:
+   additive feasibility of the class built so far). *)
+let greedy_classes_via_classifier t ~uninformed counts =
+  let sorted = List.stable_sort greedy_order counts in
+  let cls = Interference.classifier t.inst in
+  let rec assign remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        Interference.start_class cls ~uninformed;
+        let cl, rest =
+          List.fold_left
+            (fun (cl, rest) ((u, _) as item) ->
+              if Interference.admits cls u then begin
+                Interference.accept cls u;
+                (u :: cl, rest)
+              end
+              else (cl, item :: rest))
+            ([], []) remaining
+        in
+        assign (List.rev rest) (List.rev cl :: acc)
+  in
+  assign sorted []
+
+(* The layer-structured baselines colour pre-counted candidate lists of
+   their own making; they share the backend-aware core but never chunk
+   (a single-channel schedule is valid under any channel count). Under
+   UDG the classifier reproduces [Coloring.greedy] exactly — admission
+   against the running blocked set is "conflicts with some member". *)
+let color_classes t ~uninformed counts = greedy_classes_via_classifier t ~uninformed counts
+
 let greedy_classes t ~w ~slot =
   let cands = candidates t ~w ~slot in
   let uninformed = Bitset.complement w in
   let count u = n_receivers t ~w u in
   (* Precompute receiver counts so the sort comparator is O(1). *)
   let counts = List.map (fun u -> (u, count u)) cands in
-  let order (u, cu) (v, cv) = if cu <> cv then compare cv cu else compare u v in
-  let conflicts (u, _) (v, _) = conflicts_with_uninformed t ~uninformed u v in
-  Coloring.greedy ~order ~conflicts counts |> List.map (List.map fst)
+  match t.inst with
+  | Interference.I_sinr _ -> greedy_classes_via_classifier t ~uninformed counts
+  | Interference.I_udg _ | Interference.I_mc _ -> (
+      let conflicts (u, _) (v, _) = conflicts_with_uninformed t ~uninformed u v in
+      let classes =
+        Coloring.greedy ~order:greedy_order ~conflicts counts |> List.map (List.map fst)
+      in
+      match t.inst with
+      | Interference.I_mc { k; _ } when k > 1 -> chunk k classes
+      | _ -> classes)
 
 let apply t ~w ~senders =
   let w' = Bitset.copy w in

@@ -20,13 +20,23 @@ type system =
 
 type t
 
-(** [create net system] fixes network and system model. For [Async],
-    the schedule must cover at least [Network.n_nodes net] nodes. *)
-val create : Mlbs_wsn.Network.t -> system -> t
+(** [create net system] fixes network, system model and interference
+    backend ([?phy], default the paper's UDG protocol model). For
+    [Async], the schedule must cover at least [Network.n_nodes net]
+    nodes. Raises [Invalid_argument] when [phy] fails
+    [Interference.validate]. *)
+val create : ?phy:Mlbs_phy.Interference.t -> Mlbs_wsn.Network.t -> system -> t
 
 val network : t -> Mlbs_wsn.Network.t
 val graph : t -> Mlbs_graph.Graph.t
 val system : t -> system
+
+(** [phy t] is the interference spec the model was created under;
+    [phy_instance t] its network-bound form (conflict predicate, class
+    builder, slot replay). *)
+val phy : t -> Mlbs_phy.Interference.t
+
+val phy_instance : t -> Mlbs_phy.Interference.instance
 val n_nodes : t -> int
 
 (** [initial_w t ~source] is [W(t_s) = {s}]. *)
@@ -60,8 +70,16 @@ val conflicts : t -> w:Bitset.t -> int -> int -> bool
 (** [greedy_classes t ~w ~slot] is Algorithm 1: colour classes
     [C_1 .. C_λ] of the candidates, visiting candidates in descending
     receiver count (ties: ascending node id, making runs
-    deterministic). *)
+    deterministic). Under [Multichannel k] runs of [k] classes merge
+    into one (slot, channel) super-class in concatenated order; under
+    [Sinr] admission is the additive-feasibility zone. *)
 val greedy_classes : t -> w:Bitset.t -> slot:int -> int list list
+
+(** [color_classes t ~uninformed counts] colours a caller-supplied
+    candidate list [(u, receiver count)] under the model's interference
+    backend — the shared core the layer-structured baselines use. Same
+    order as [greedy_classes]; never chunks channels. *)
+val color_classes : t -> uninformed:Bitset.t -> (int * int) list -> int list list
 
 (** [apply t ~w ~senders] is the new informed set
     [W + A] = [w ∪ (∪_{u ∈ senders} N(u) ∩ W̄)]. Fresh set; [w] is not

@@ -1,6 +1,7 @@
 module Bitset = Mlbs_util.Bitset
 module Graph = Mlbs_graph.Graph
 module Network = Mlbs_wsn.Network
+module Interference = Mlbs_phy.Interference
 module Metrics = Mlbs_obs.Metrics
 module Trace = Mlbs_obs.Trace
 
@@ -87,7 +88,13 @@ let reschedule model policy ?snapshot ?snapshot_graph ?source ~old_schedule ~add
   let g' = Graph.edit g ~add:added ~remove:removed ~rewire:rewired in
   let changed = Graph.diff_endpoints g g' in
   let endpoints = Bitset.of_list n changed in
-  let model' = Model.create (Network.synthetic g') (Model.system model) in
+  (* The repaired model inherits the interference backend: a daemon-side
+     repair and a direct re-solve of the edited adjacency must bind the
+     same model (and, for SINR, the same synthetic geometry) or their
+     schedules stop being byte-comparable. *)
+  let model' =
+    Model.create ~phy:(Model.phy model) (Network.synthetic g') (Model.system model)
+  in
   (* Certified-intact prefix, through the watermarked undo log. *)
   let st = local_istate n in
   Istate.reset st model' ~w:(Model.initial_w model' ~source);
@@ -103,6 +110,12 @@ let reschedule model policy ?snapshot ?snapshot_graph ?source ~old_schedule ~add
   let seeds =
     match snapshot with
     | None -> None
+    (* The subset-validity argument below is graph-wise; a
+       geometry-dependent model makes the snapshot's memo values a
+       function of the deployment it was computed on, so it must not
+       steer this solve (the edited model lives on synthetic
+       geometry). *)
+    | Some _ when Interference.geometry_dependent (Model.phy model) -> None
     | Some snap ->
         let snap_g = Option.value snapshot_graph ~default:g in
         if Graph.n_nodes snap_g <> n then None

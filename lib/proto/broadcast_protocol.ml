@@ -4,6 +4,8 @@ module Quadrant = Mlbs_geom.Quadrant
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
+module Interference = Mlbs_phy.Interference
+module Sinr = Mlbs_phy.Sinr
 module Fault = Mlbs_sim.Fault
 module Metrics = Mlbs_obs.Metrics
 module Otrace = Mlbs_obs.Trace
@@ -404,6 +406,17 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
      O(n·|senders|) [List.mem]/[mem_edge] scans with one pass over the
      senders' adjacency lists and O(1) probes. *)
   let graph = Model.graph model in
+  (* Ground-truth radio physics. Under SINR the additive physical model
+     decides delivery — capture can rescue a receiver that hears several
+     transmissions, and a strong non-adjacent interferer can drown an
+     adjacent one. UDG and multi-channel both keep the audible-count
+     rule: distributed nodes share one common hopping sequence (they
+     cannot negotiate per-slot channel assignments from 2-hop views), so
+     every transmission lands on the same channel and multi-channel
+     operation degenerates to UDG (see DESIGN.md §13). *)
+  let sinr_inst =
+    match Model.phy_instance model with Interference.I_sinr s -> Some s | _ -> None
+  in
   let sender_set = Bitset.create n in
   let heard_set = Bitset.create n in
   let sender_count = Array.make n 0 in
@@ -494,24 +507,37 @@ let run ?max_slots ?(faults = Fault.none) ?max_attempts model ~source ~start =
             (not (Bitset.mem truly_informed v))
             && ((not fault_active) || Fault.alive faults ~slot v)
           then begin
-            match sender_count.(v) with
-            | 0 -> ()
-            | 1 ->
-                (* Lone audible sender: the per-link roll decides
+            let outcome =
+              match sinr_inst with
+              | None -> (
+                  match sender_count.(v) with
+                  | 0 -> `Silent
+                  | 1 -> `Decoded last_sender.(v)
+                  | _ -> `Collision)
+              | Some s -> (
+                  match Sinr.reception s ~senders ~rx:v with
+                  | _, Some u -> `Decoded u
+                  | [], None -> `Silent
+                  | _ :: _, None -> `Collision)
+            in
+            match outcome with
+            | `Silent -> ()
+            | `Decoded tx ->
+                (* Decodable transmission: the per-link roll decides
                    whether the payload survives. A corrupted copy
                    delivers nothing — the unresolved request shows up
                    in the next beacons and triggers a retransmission. *)
-                if Fault.delivers ~slot ~tx:last_sender.(v) ~rx:v faults then begin
+                if Fault.delivers ~slot ~tx ~rx:v faults then begin
                   received := v :: !received;
                   let dst = states.(v) in
                   dst.has_msg <- true;
-                  set_holds dst (Hashtbl.find dst.local_index last_sender.(v)) true
+                  set_holds dst (Hashtbl.find dst.local_index tx) true
                 end
                 else begin
                   incr lost_packets;
                   Metrics.incr m_lost
                 end
-            | _ ->
+            | `Collision ->
                 incr collisions;
                 Metrics.incr m_collisions
           end

@@ -1,6 +1,7 @@
 module Schedule = Mlbs_core.Schedule
+module Interference = Mlbs_phy.Interference
 
-let protocol_version = 3
+let protocol_version = 4
 let max_frame = 1 lsl 26 (* 64 MiB *)
 
 type policy = Baseline | Emodel | Gopt | Opt
@@ -16,6 +17,7 @@ type request = {
   topology : topology;
   source : int option;
   start : int;
+  model : Interference.t;
 }
 
 type delta = {
@@ -178,13 +180,55 @@ let get_topology r =
       Adj (Array.init n (fun _ -> get_int_list r))
   | t -> fail "bad topology tag %d" t
 
+let put_float b f = Buffer.add_int64_be b (Int64.bits_of_float f)
+
+let get_float r =
+  need r 8;
+  let f = Int64.float_of_bits (String.get_int64_be r.s r.pos) in
+  r.pos <- r.pos + 8;
+  f
+
+(* Protocol v4: the interference model is part of the request — it keys
+   the cache (a SINR schedule must never answer a UDG request) and the
+   codec validates the parameters so a malformed spec is rejected at the
+   wire, not deep inside a solve. *)
+let put_model b = function
+  | Interference.Udg -> put_u8 b 0
+  | Interference.Sinr { alpha; beta; noise; power } ->
+      put_u8 b 1;
+      put_float b alpha;
+      put_float b beta;
+      put_float b noise;
+      put_float b power
+  | Interference.Multichannel k ->
+      put_u8 b 2;
+      put_u8 b k
+
+let get_model r =
+  let m =
+    match get_u8 r with
+    | 0 -> Interference.Udg
+    | 1 ->
+        let alpha = get_float r in
+        let beta = get_float r in
+        let noise = get_float r in
+        let power = get_float r in
+        Interference.Sinr { alpha; beta; noise; power }
+    | 2 -> Interference.Multichannel (get_u8 r)
+    | t -> fail "bad interference model tag %d" t
+  in
+  match Interference.validate m with
+  | Ok () -> m
+  | Error e -> fail "bad interference model: %s" e
+
 let put_request b (q : request) =
   put_u8 b (policy_code q.policy);
   put_opt put_u32 b q.rate;
   put_i64 b q.seed;
   put_topology b q.topology;
   put_opt put_u32 b q.source;
-  put_u32 b q.start
+  put_u32 b q.start;
+  put_model b q.model
 
 let get_request r =
   let policy = policy_of_code (get_u8 r) in
@@ -193,7 +237,8 @@ let get_request r =
   let topology = get_topology r in
   let source = get_opt get_u32 r in
   let start = get_u32 r in
-  { policy; rate; seed; topology; source; start }
+  let model = get_model r in
+  { policy; rate; seed; topology; source; start; model }
 
 let put_pair_list b l =
   put_u32 b (List.length l);

@@ -39,6 +39,11 @@ type request = {
       (** explicit source; [None] derives it (paper eccentricity window
           for [Gen], node 0 for [Adj]) *)
   start : int;  (** first transmission slot, [mlbs schedule] uses 1 *)
+  model : Mlbs_phy.Interference.t;
+      (** interference model to solve under (protocol v4). Part of the
+          content address: requests differing only in model never share
+          a cache line. Decoding validates the parameters and rejects a
+          malformed spec with {!Malformed}. *)
 }
 
 (** A topology delta riding a {!msg.Reschedule} message: edge

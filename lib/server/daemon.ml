@@ -6,6 +6,7 @@ module Network = Mlbs_wsn.Network
 module Deployment = Mlbs_wsn.Deployment
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Bitset = Mlbs_util.Bitset
+module Interference = Mlbs_phy.Interference
 module Model = Mlbs_core.Model
 module Schedule = Mlbs_core.Schedule
 module Scheduler = Mlbs_core.Scheduler
@@ -25,6 +26,7 @@ type config = {
   cache_capacity : int;
   cache_dir : string option;
   persist_limit : int;
+  allowed_models : Interference.t list option;
 }
 
 let default_config ~socket_path =
@@ -37,6 +39,7 @@ let default_config ~socket_path =
     cache_capacity = c.Config.cache_capacity;
     cache_dir = None;
     persist_limit = 64;
+    allowed_models = None;
   }
 
 type entry = { stats : C.stats; schedule : Schedule.t }
@@ -148,12 +151,15 @@ let policy_tag = function C.Baseline -> 0 | C.Emodel -> 1 | C.Gopt -> 2 | C.Opt 
 
 (* The content address: everything the served schedule is a function
    of. The wake-schedule seed participates only under a duty cycle, so
-   sync requests for the same graph content hit regardless of seed. *)
+   sync requests for the same graph content hit regardless of seed. The
+   interference model id participates always — a SINR request must
+   never be answered from a UDG cache line. *)
 let key_of (req : C.request) ~digest ~source =
-  Printf.sprintf "%016Lx:p%d:r%d:w%d:s%d:t%d" digest (policy_tag req.C.policy)
+  Printf.sprintf "%016Lx:p%d:r%d:w%d:s%d:t%d:m%s" digest (policy_tag req.C.policy)
     (match req.C.rate with None -> -1 | Some r -> r)
     (match req.C.rate with None -> 0 | Some _ -> req.C.seed)
     source req.C.start
+    (Interference.to_string req.C.model)
 
 let cache_key req =
   let r = resolve req in
@@ -179,7 +185,7 @@ let do_solve model policy ~source ~start =
 let solve req =
   let r = resolve req in
   let source = source_of req r in
-  let model = Model.create r.rnet (system_of req r.rnet) in
+  let model = Model.create ~phy:req.C.model r.rnet (system_of req r.rnet) in
   do_solve model (policy_of req.C.policy) ~source ~start:req.C.start
 
 (* [derived_request base delta] is the plain request for the edited
@@ -208,10 +214,11 @@ let derived_request (base : C.request) (delta : C.delta) =
 type wentry = { wgraph : Graph.t; wsnapshot : Mcounter.snapshot }
 
 let family_key (req : C.request) ~n =
-  Printf.sprintf "p%d:r%d:w%d:n%d" (policy_tag req.C.policy)
+  Printf.sprintf "p%d:r%d:w%d:n%d:m%s" (policy_tag req.C.policy)
     (match req.C.rate with None -> -1 | Some r -> r)
     (match req.C.rate with None -> 0 | Some _ -> req.C.seed)
     n
+    (Interference.to_string req.C.model)
 
 let searchful = function C.Gopt | C.Opt -> true | C.Baseline | C.Emodel -> false
 
@@ -220,13 +227,19 @@ let searchful = function C.Gopt | C.Opt -> true | C.Baseline | C.Emodel -> false
    between the snapshot's graph and [g] (the soundness contract of
    [Mcounter.plan_snapshot]). On a same-graph near miss — different
    source, say — the diff is empty and the whole memo seeds. *)
-let family_seeds warm policy ~family ~g =
-  let n = Graph.n_nodes g in
-  match Cache.find warm family with
-  | Some we when Graph.n_nodes we.wgraph = n ->
-      let eps = Bitset.of_list n (Graph.diff_endpoints we.wgraph g) in
-      Scheduler.warm_seeds policy we.wsnapshot ~n ~valid:(fun w -> Bitset.subset eps w)
-  | _ -> None
+let family_seeds warm (req : C.request) policy ~family ~g =
+  (* The subset-validity argument is graph-wise; under a
+     geometry-dependent model a memo computed on one deployment's
+     positions would steer the search on another's (the family key
+     carries no geometry), so SINR families never seed. *)
+  if Interference.geometry_dependent req.C.model then None
+  else
+    let n = Graph.n_nodes g in
+    match Cache.find warm family with
+    | Some we when Graph.n_nodes we.wgraph = n ->
+        let eps = Bitset.of_list n (Graph.diff_endpoints we.wgraph g) in
+        Scheduler.warm_seeds policy we.wsnapshot ~n ~valid:(fun w -> Bitset.subset eps w)
+    | _ -> None
 
 (* Warm solve: same schedules as [do_solve], byte for byte, but
    through [Scheduler.run_warm] — family-index seeds in, memo snapshot
@@ -234,7 +247,7 @@ let family_seeds warm policy ~family ~g =
 let do_solve_warm warm (req : C.request) model ~source ~family =
   let policy = policy_of req.C.policy in
   let g = Model.graph model in
-  let seeds = family_seeds warm policy ~family ~g in
+  let seeds = family_seeds warm req policy ~family ~g in
   if searchful req.C.policy then
     Metrics.incr (match seeds with Some _ -> m_warm_hit | None -> m_warm_miss);
   let s0 = Metrics.counter_value "search/states" in
@@ -253,8 +266,9 @@ let do_solve_warm warm (req : C.request) model ~source ~family =
   Metrics.observe h_solve_us stats.C.solve_us;
   note_solve_us stats.C.solve_us;
   (match snap with
-  | Some s -> Cache.add warm family { wgraph = g; wsnapshot = s }
-  | None -> ());
+  | Some s when not (Interference.geometry_dependent req.C.model) ->
+      Cache.add warm family { wgraph = g; wsnapshot = s }
+  | _ -> ());
   (stats, schedule)
 
 (* Delta repair: patch the cached base schedule for the edited graph
@@ -262,7 +276,10 @@ let do_solve_warm warm (req : C.request) model ~source ~family =
    on hand. Byte-identical to a cold solve of the edited topology. *)
 let do_repair warm (req : C.request) ~base_model ~(base_entry : entry) ~family ~source
     (delta : C.delta) =
-  let prev = Cache.find warm family in
+  let prev =
+    if Interference.geometry_dependent req.C.model then None
+    else Cache.find warm family
+  in
   let s0 = Metrics.counter_value "search/states" in
   let t0 = Obs.now_us () in
   let rep =
@@ -289,9 +306,9 @@ let do_repair warm (req : C.request) ~base_model ~(base_entry : entry) ~family ~
   Metrics.observe h_repair_ms (max 0 (int_of_float (dt /. 1000.)));
   note_solve_us stats.C.solve_us;
   (match rep.Reschedule.snapshot with
-  | Some s ->
+  | Some s when not (Interference.geometry_dependent req.C.model) ->
       Cache.add warm family { wgraph = Model.graph rep.Reschedule.model; wsnapshot = s }
-  | None -> ());
+  | _ -> ());
   (stats, schedule)
 
 (* ------------------------ cache persistence ------------------------ *)
@@ -401,6 +418,19 @@ let reply_error msg =
   Metrics.incr m_errors;
   C.Reply_error msg
 
+(* Serve-side model policy: a daemon started with an allow-list (the
+   [mlbs serve --model] flag) refuses any other interference model
+   before resolving the topology, so a shard dedicated to one backend
+   never burns a solve slot on another's request. *)
+let model_allowed t (model : Interference.t) =
+  match t.cfg.allowed_models with
+  | None -> true
+  | Some l -> List.exists (Interference.equal model) l
+
+let reject_model model =
+  reply_error
+    (Printf.sprintf "interference model %s is not served here" (Interference.to_string model))
+
 (* Load-scaled backpressure: the hint is the queue's expected drain
    time — [depth + 1] slots at the EWMA solve cost spread over the
    worker pool — clamped to [5, 5000] ms. Before the first solve lands
@@ -440,6 +470,8 @@ let handle_request t (req : C.request) =
   Metrics.incr m_requests;
   let t0 = Obs.now_us () in
   let reply =
+    if not (model_allowed t req.C.model) then reject_model req.C.model
+    else
     match resolve ~memo:t.topo req with
     | exception e -> reply_error (Printexc.to_string e)
     | r -> (
@@ -458,7 +490,7 @@ let handle_request t (req : C.request) =
                     schedule = e.schedule;
                   }
             | None -> (
-                match Model.create r.rnet (system_of req r.rnet) with
+                match Model.create ~phy:req.C.model r.rnet (system_of req r.rnet) with
                 | exception e -> reply_error (Printexc.to_string e)
                 | model ->
                     let family = family_key req ~n:(Network.n_nodes r.rnet) in
@@ -486,6 +518,8 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
   Metrics.incr m_requests;
   let t0 = Obs.now_us () in
   let reply =
+    if not (model_allowed t base.C.model) then reject_model base.C.model
+    else
     match resolve ~memo:t.topo base with
     | exception e -> reply_error (Printexc.to_string e)
     | r -> (
@@ -516,7 +550,9 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                       match Cache.find t.cache (key_of base ~digest:r.rdigest ~source) with
                       | Some base_entry ->
                           fun () ->
-                            let base_model = Model.create r.rnet (system_of base r.rnet) in
+                            let base_model =
+                              Model.create ~phy:base.C.model r.rnet (system_of base r.rnet)
+                            in
                             let stats, schedule =
                               do_repair t.warm base ~base_model ~base_entry ~family ~source
                                 delta
@@ -525,7 +561,9 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                       | None ->
                           fun () ->
                             let net' = Network.synthetic g' in
-                            let model' = Model.create net' (system_of base net') in
+                            let model' =
+                              Model.create ~phy:base.C.model net' (system_of base net')
+                            in
                             let stats, schedule =
                               do_solve_warm t.warm base model' ~source ~family
                             in
@@ -545,6 +583,8 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
    solve, so this path must stay allocation-light and queue-free. *)
 let handle_peek t (req : C.request) =
   Metrics.incr m_peeks;
+  if not (model_allowed t req.C.model) then reject_model req.C.model
+  else
   match resolve ~memo:t.topo req with
   | exception e -> reply_error (Printexc.to_string e)
   | r -> (
@@ -570,6 +610,8 @@ let handle_peek t (req : C.request) =
    out. Only shape is re-validated here; byte-level trust is between
    fleet members. *)
 let handle_put t (req : C.request) (stats : C.stats) schedule =
+  if not (model_allowed t req.C.model) then reject_model req.C.model
+  else
   match resolve ~memo:t.topo req with
   | exception e -> reply_error (Printexc.to_string e)
   | r -> (
@@ -595,7 +637,8 @@ let server_stats () =
   in
   List.filter_map
     (fun (name, v) ->
-      if has_prefix "server/" name || has_prefix "search/" name then
+      if has_prefix "server/" name || has_prefix "search/" name || has_prefix "phy/" name
+      then
         Some
           ( name,
             match (v : Metrics.value) with

@@ -47,6 +47,10 @@ type config = {
       (** when set: warm the cache from this directory on start and
           persist the hottest entries back on shutdown *)
   persist_limit : int;  (** how many MRU entries to persist *)
+  allowed_models : Mlbs_phy.Interference.t list option;
+      (** interference models this daemon serves; [None] = all. A
+          request for any other model is refused with [Reply_error]
+          before topology resolution. *)
 }
 
 (** Defaults from {!Mlbs_workload.Config.default}: jobs = all cores,

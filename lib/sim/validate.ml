@@ -1,4 +1,5 @@
 module Bitset = Mlbs_util.Bitset
+module Interference = Mlbs_phy.Interference
 
 type report = {
   ok : bool;
@@ -64,10 +65,18 @@ let check_under_faults ?(allow_resend = false) model ~faults schedule =
   in
   let informed = Bitset.create n in
   Bitset.add informed (Mlbs_core.Schedule.source schedule);
+  let inst = Mlbs_core.Model.phy_instance model in
+  let is_udg = match inst with Interference.I_udg _ -> true | _ -> false in
+  (* Non-UDG reception depends on the *claimed* informed progression
+     (multi-channel tuning, SINR interference sums over the planned
+     slot), replayed from the schedule's own steps — the same inputs
+     [Radio.replay] uses, re-derived here independently. *)
+  let claimed = Bitset.create n in
+  Bitset.add claimed (Mlbs_core.Schedule.source schedule);
   let issues = ref [] in
   let issue fmt = Printf.ksprintf (fun s -> issues := s :: !issues) fmt in
-  List.iter
-    (fun (e : Radio.slot_event) ->
+  List.iter2
+    (fun (e : Radio.slot_event) (step : Mlbs_core.Schedule.step) ->
       let slot = e.Radio.slot in
       let audible =
         List.filter
@@ -80,22 +89,46 @@ let check_under_faults ?(allow_resend = false) model ~faults schedule =
             | Some sched -> Mlbs_dutycycle.Wake_schedule.awake sched u ~slot)
           e.Radio.senders
       in
+      let ctx =
+        if is_udg then None
+        else
+          Some
+            (Interference.slot_ctx inst
+               ~uninformed:(Bitset.complement claimed)
+               ~scheduled:step.Mlbs_core.Schedule.senders)
+      in
       List.iter
         (fun v ->
           if Bitset.mem informed v then
             issue "slot %d: node %d received while already informed" slot v;
           if not (Fault.alive faults ~slot v) then
             issue "slot %d: dead node %d received" slot v;
-          match List.filter (fun u -> Mlbs_graph.Graph.mem_edge g u v) audible with
-          | [ u ] ->
-              if not (Fault.delivers ~slot ~tx:u ~rx:v faults) then
-                issue "slot %d: reception at %d but link %d->%d was corrupted" slot v u v
-          | hearers ->
-              issue "slot %d: reception at %d amid %d audible transmissions" slot v
-                (List.length hearers))
+          match ctx with
+          | None -> (
+              match List.filter (fun u -> Mlbs_graph.Graph.mem_edge g u v) audible with
+              | [ u ] ->
+                  if not (Fault.delivers ~slot ~tx:u ~rx:v faults) then
+                    issue "slot %d: reception at %d but link %d->%d was corrupted" slot v
+                      u v
+              | hearers ->
+                  issue "slot %d: reception at %d amid %d audible transmissions" slot v
+                    (List.length hearers))
+          | Some ctx -> (
+              match Interference.reception ctx ~effective:audible ~rx:v with
+              | Interference.Delivered u ->
+                  if not (Fault.delivers ~slot ~tx:u ~rx:v faults) then
+                    issue "slot %d: reception at %d but link %d->%d was corrupted" slot v
+                      u v
+              | Interference.Silent ->
+                  issue "slot %d: reception at %d amid 0 audible transmissions" slot v
+              | Interference.Collision several ->
+                  issue "slot %d: reception at %d amid %d audible transmissions" slot v
+                    (List.length several)))
         e.Radio.received;
-      List.iter (Bitset.add informed) e.Radio.received)
-    outcome.Radio.events;
+      List.iter (Bitset.add informed) e.Radio.received;
+      List.iter (Bitset.add claimed) step.Mlbs_core.Schedule.informed)
+    outcome.Radio.events
+    (Mlbs_core.Schedule.steps schedule);
   (* End-state accounting (alive once every crash window has been
      applied) so delivered/alive is comparable across policies whose
      runs end at different slots. *)

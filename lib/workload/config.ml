@@ -19,6 +19,7 @@ type t = {
   metrics_file : string option;
   queue_capacity : int;
   cache_capacity : int;
+  model : Mlbs_phy.Interference.t;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     metrics_file = None;
     queue_capacity = 64;
     cache_capacity = 512;
+    model = Mlbs_phy.Interference.Udg;
   }
 
 let quick =

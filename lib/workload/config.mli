@@ -39,6 +39,10 @@ type t = {
   cache_capacity : int;
       (** scheduling service: LRU entry count of the content-addressed
           schedule cache *)
+  model : Mlbs_phy.Interference.t;
+      (** interference model every solve and replay of the run binds
+          (default {!Mlbs_phy.Interference.Udg}, the paper's protocol
+          model) *)
 }
 
 (** The paper's full sweep: n ∈ {50,100,150,200,250,300}, 5 seeds. *)

@@ -95,7 +95,7 @@ let tighten_opt ms =
 
 let run_sync cfg inst =
   Otrace.with_span ~cat:"exp" "run-sync" @@ fun () ->
-  let model = Model.create inst.net Model.Sync in
+  let model = Model.create ~phy:cfg.Config.model inst.net Model.Sync in
   tighten_opt (List.map (measure cfg model inst) (policies cfg))
 
 let run_async cfg ~rate ~inst_seed inst =
@@ -104,7 +104,7 @@ let run_async cfg ~rate ~inst_seed inst =
     Wake_schedule.create ~rate ~n_nodes:(Mlbs_wsn.Network.n_nodes inst.net)
       ~seed:(inst_seed * 104729) ()
   in
-  let model = Model.create inst.net (Model.Async sched) in
+  let model = Model.create ~phy:cfg.Config.model inst.net (Model.Async sched) in
   tighten_opt (List.map (measure cfg model inst) (policies cfg))
 
 let fault_plan (cfg : Config.t) ~inst_seed ?(jitter = 0) ~loss inst =
@@ -152,7 +152,7 @@ let run_faulty (cfg : Config.t) ?rate ~inst_seed ?(jitter = 0) ~loss inst =
     | Some rate ->
         Model.Async (Wake_schedule.create ~rate ~n_nodes:n ~seed:(inst_seed * 104729) ())
   in
-  let model = Model.create inst.net system in
+  let model = Model.create ~phy:cfg.Config.model inst.net system in
   let faults = fault_plan cfg ~inst_seed ~jitter ~loss inst in
   let alive = alive_at_end faults ~n in
   let informed_alive sched =

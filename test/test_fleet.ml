@@ -31,6 +31,7 @@ let gen_request seed =
     topology = Codec.Gen { n = 40; radius = 10.0 };
     source = None;
     start = 1;
+    model = Mlbs_phy.Interference.Udg;
   }
 
 (* ------------------------------- ring ------------------------------ *)

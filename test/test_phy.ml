@@ -1,0 +1,284 @@
+(* The pluggable interference subsystem: UDG extraction equivalence,
+   SINR conflict/zone semantics, multi-channel grouping, and validator
+   acceptance of every centralized planner under every backend. *)
+
+module Bitset = Mlbs_util.Bitset
+module Graph = Mlbs_graph.Graph
+module Network = Mlbs_wsn.Network
+module Point = Mlbs_geom.Point
+module Interference = Mlbs_phy.Interference
+module Udg = Mlbs_phy.Udg
+module Model = Mlbs_core.Model
+module Scheduler = Mlbs_core.Scheduler
+module Schedule = Mlbs_core.Schedule
+module Baseline_cds = Mlbs_core.Baseline_cds
+module Baseline26 = Mlbs_core.Baseline26
+module Baseline17 = Mlbs_core.Baseline17
+module Validate = Mlbs_sim.Validate
+module Fixtures = Mlbs_workload.Fixtures
+module Codec = Mlbs_server.Codec
+
+let schedule_eq name a b =
+  Alcotest.(check string) name (Codec.schedule_bytes a) (Codec.schedule_bytes b)
+
+(* Generator: a small connected deployment plus a random informed set
+   containing node 0 (so sender pairs can be drawn from it). *)
+let gen_net_w =
+  QCheck2.Gen.(
+    let* n = int_range 5 16 in
+    let* seed = int_bound 100_000 in
+    let net = Test_support.small_network ~n ~seed in
+    let n = Network.n_nodes net in
+    let* mask = list_repeat n bool in
+    let w = Bitset.create n in
+    Bitset.add w 0;
+    List.iteri (fun i b -> if b then Bitset.add w i) mask;
+    return (net, w))
+
+let print_net_w (net, w) =
+  Printf.sprintf "n=%d informed=%s" (Network.n_nodes net)
+    (String.concat "," (List.map string_of_int (Bitset.elements w)))
+
+let informed_pairs w =
+  let members = Bitset.elements w in
+  List.concat_map (fun u -> List.map (fun v -> (u, v)) members) members
+
+let backends =
+  Interference.
+    [ Udg; Sinr default_sinr; Sinr { default_sinr with beta = 4.0 };
+      Multichannel 1; Multichannel 2; Multichannel 3 ]
+
+(* ------------------- UDG extraction equivalence -------------------- *)
+
+(* The extracted [Udg.conflicts] against the paper's predicate spelled
+   out naively: N(u) ∩ N(v) ∩ W̄ ≠ ∅. *)
+let qcheck_udg_spec =
+  QCheck2.Test.make ~name:"Udg.conflicts = naive N(u) ∩ N(v) ∩ W̄ test" ~count:100 ~print:print_net_w
+    gen_net_w (fun (net, w) ->
+      let g = Network.graph net in
+      let n = Graph.n_nodes g in
+      let uninformed = Bitset.complement w in
+      let naive u v =
+        u <> v
+        && List.exists
+             (fun x ->
+               Graph.mem_edge g u x && Graph.mem_edge g v x && Bitset.mem uninformed x)
+             (List.init n Fun.id)
+      in
+      List.for_all
+        (fun (u, v) -> Udg.conflicts g ~uninformed u v = naive u v)
+        (informed_pairs w))
+
+(* [Model.conflicts] on a default model still answers through the
+   extracted backend — the old inline predicate and the new path are
+   one code path, and must agree with the spec above. *)
+let qcheck_model_dispatch =
+  QCheck2.Test.make ~name:"Model.conflicts dispatches to the Udg backend" ~count:50 ~print:print_net_w
+    gen_net_w (fun (net, w) ->
+      let m = Model.create net Model.Sync in
+      let g = Network.graph net in
+      let uninformed = Bitset.complement w in
+      List.for_all
+        (fun (u, v) -> Model.conflicts m ~w u v = Udg.conflicts g ~uninformed u v)
+        (informed_pairs w))
+
+(* ----------------------- conflict symmetry ------------------------- *)
+
+let qcheck_symmetry =
+  QCheck2.Test.make ~name:"conflicts symmetric and irreflexive (all backends)"
+    ~count:60 ~print:print_net_w gen_net_w (fun (net, w) ->
+      let uninformed = Bitset.complement w in
+      List.for_all
+        (fun phy ->
+          let inst = Interference.bind phy net in
+          List.for_all
+            (fun (u, v) ->
+              Interference.conflicts inst ~uninformed u v
+              = Interference.conflicts inst ~uninformed v u
+              && not (Interference.conflicts inst ~uninformed u u))
+            (informed_pairs w))
+        backends)
+
+(* --------------------- SINR β monotonicity ------------------------- *)
+
+(* Raising the decode threshold only adds conflicts: every decode
+   condition is of the form P ≥ β·(noise + I), anti-monotone in β. *)
+let qcheck_beta_monotone =
+  QCheck2.Test.make ~name:"sinr: conflicts monotone in beta" ~count:60 ~print:print_net_w gen_net_w
+    (fun (net, w) ->
+      let uninformed = Bitset.complement w in
+      let inst b =
+        Interference.(bind (Sinr { default_sinr with beta = b }) net)
+      in
+      let lo = inst 1.0 and mid = inst 2.0 and hi = inst 5.0 in
+      List.for_all
+        (fun (u, v) ->
+          let c b = Interference.conflicts b ~uninformed u v in
+          (not (c lo) || c mid) && (not (c mid) || c hi))
+        (informed_pairs w))
+
+(* ---------------------- SINR α attenuation ------------------------- *)
+
+(* u → x at 6 ft (inside the 10 ft radius), interferer v at 12 ft from
+   x (outside it). The signal grows and the interference shrinks as α
+   rises, so the conflict must vanish monotonically: present at α = 1,
+   gone from α = 2 on. *)
+let test_alpha_regime () =
+  let points = [| Point.v 0. 0.; Point.v 6. 0.; Point.v 18. 0. |] in
+  let net = Network.create ~radius:10. points in
+  let uninformed = Bitset.of_list 3 [ 1 ] in
+  let conflict alpha =
+    let inst =
+      Interference.(bind (Sinr { default_sinr with alpha }) net)
+    in
+    Interference.conflicts inst ~uninformed 0 2
+  in
+  Alcotest.(check bool) "alpha=1: far interferer still drowns x" true (conflict 1.0);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "alpha=%g: attenuation separates the pair" a)
+        false (conflict a))
+    [ 2.0; 3.0; 6.0 ]
+
+(* ------------------ pair conflict ⟺ zone admission ----------------- *)
+
+(* The pairwise prefilter is exactly two-element-class infeasibility:
+   open a zone, accept u (singletons always feasible), and admission of
+   v must be the negation of [conflicts u v]. *)
+let qcheck_pair_zone =
+  QCheck2.Test.make ~name:"sinr: pair conflict = two-element zone infeasibility"
+    ~count:60 ~print:print_net_w gen_net_w (fun (net, w) ->
+      let uninformed = Bitset.complement w in
+      let inst = Interference.(bind (Sinr default_sinr) net) in
+      let cls = Interference.classifier inst in
+      List.for_all
+        (fun (u, v) ->
+          u = v
+          ||
+          (Interference.start_class cls ~uninformed;
+           let singleton_ok = Interference.admits cls u in
+           Interference.accept cls u;
+           singleton_ok
+           && Interference.admits cls v
+              = not (Interference.conflicts inst ~uninformed u v)))
+        (informed_pairs w))
+
+(* -------------- validator accepts every planner/backend ------------ *)
+
+let policies m =
+  [
+    ("26/17-approx", fun () -> Scheduler.run m Scheduler.Baseline ~source:0 ~start:1);
+    ("E-model", fun () -> Scheduler.run m Scheduler.Emodel ~source:0 ~start:1);
+    ("G-OPT", fun () -> Scheduler.run m Scheduler.gopt ~source:0 ~start:1);
+    ("CDS", fun () -> Baseline_cds.plan m ~source:0 ~start:1);
+    ("layered-26", fun () -> Baseline26.plan m ~source:0 ~start:1);
+  ]
+
+let qcheck_planners_validate =
+  QCheck2.Test.make ~name:"every centralized planner validates under every backend"
+    ~count:25 ~print:print_net_w gen_net_w (fun (net, _) ->
+      List.for_all
+        (fun phy ->
+          let m = Model.create ~phy net Model.Sync in
+          List.for_all
+            (fun (name, plan) ->
+              let s = plan () in
+              let r = Validate.check m s in
+              if not (r.Validate.ok && Schedule.covers_all s) then
+                QCheck2.Test.fail_reportf "%s under %s: %s" name
+                  (Interference.to_string phy)
+                  (String.concat "; " r.Validate.violations)
+              else true)
+            (policies m))
+        backends)
+
+(* --------------------------- mc:1 ≡ udg ---------------------------- *)
+
+let qcheck_mc1_is_udg =
+  QCheck2.Test.make ~name:"mc:1 schedules byte-equal to udg" ~count:40 ~print:print_net_w gen_net_w
+    (fun (net, _) ->
+      List.for_all
+        (fun policy ->
+          let udg = Model.create net Model.Sync in
+          let mc1 = Model.create ~phy:(Interference.Multichannel 1) net Model.Sync in
+          Codec.schedule_bytes (Scheduler.run udg policy ~source:0 ~start:1)
+          = Codec.schedule_bytes (Scheduler.run mc1 policy ~source:0 ~start:1))
+        [ Scheduler.Baseline; Scheduler.Emodel; Scheduler.gopt ])
+
+(* The explicit [~phy:Udg] spells the default: schedules byte-equal. *)
+let test_udg_default () =
+  let net = Test_support.small_network ~n:30 ~seed:11 in
+  let a = Scheduler.run (Model.create net Model.Sync) Scheduler.gopt ~source:0 ~start:1 in
+  let b =
+    Scheduler.run
+      (Model.create ~phy:Interference.Udg net Model.Sync)
+      Scheduler.gopt ~source:0 ~start:1
+  in
+  schedule_eq "explicit udg = default" a b
+
+(* --------------------- channel separation -------------------------- *)
+
+(* Fig. 2: senders 1 and 2 share the uninformed receiver 3, a collision
+   under one channel. Two channels separate them — node 3 tunes the
+   lowest channel with an adjacent scheduled sender and decodes it. *)
+let test_mc_channel_separation () =
+  let net = Fixtures.fig2.Fixtures.net in
+  let colliding =
+    Schedule.make ~n_nodes:5 ~source:0 ~start:1
+      [
+        { Schedule.slot = 1; senders = [ 0 ]; informed = [ 1; 2 ] };
+        { Schedule.slot = 2; senders = [ 1; 2 ]; informed = [ 3; 4 ] };
+      ]
+  in
+  let ok phy = (Validate.check (Model.create ~phy net Model.Sync) colliding).Validate.ok in
+  Alcotest.(check bool) "collision under udg" false (ok Interference.Udg);
+  Alcotest.(check bool) "overflow under mc:1" false (ok (Interference.Multichannel 1));
+  Alcotest.(check bool) "separated under mc:2" true (ok (Interference.Multichannel 2))
+
+(* ------------------------ spec id roundtrip ------------------------ *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun phy ->
+      match Interference.parse (Interference.to_string phy) with
+      | Ok p ->
+          Alcotest.(check bool)
+            (Interference.to_string phy ^ " roundtrips")
+            true
+            (Interference.equal p phy)
+      | Error e -> Alcotest.failf "%s failed to parse: %s" (Interference.to_string phy) e)
+    (backends
+    @ Interference.
+        [
+          Sinr { alpha = 2.75; beta = 1.0e0 +. 1.0e-9; noise = 0.0; power = 3.125e-2 };
+          Multichannel 255;
+        ]);
+  List.iter
+    (fun bad ->
+      match Interference.parse bad with
+      | Ok _ -> Alcotest.failf "%S must not parse" bad
+      | Error _ -> ())
+    [ "udgg"; "mc:0"; "mc:256"; "mc:x"; "sinr:1"; "sinr:3,0.5,0.2,1"; "sinr:0,2,0.2,1" ]
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "phy"
+    [
+      ( "udg extraction",
+        [ qt qcheck_udg_spec; qt qcheck_model_dispatch; qt qcheck_symmetry ] );
+      ( "sinr",
+        [
+          qt qcheck_beta_monotone;
+          Alcotest.test_case "alpha regime" `Quick test_alpha_regime;
+          qt qcheck_pair_zone;
+        ] );
+      ( "schedules",
+        [
+          qt qcheck_planners_validate;
+          qt qcheck_mc1_is_udg;
+          Alcotest.test_case "udg default" `Quick test_udg_default;
+          Alcotest.test_case "mc channel separation" `Quick test_mc_channel_separation;
+        ] );
+      ("spec", [ Alcotest.test_case "id roundtrip" `Quick test_spec_roundtrip ]);
+    ]

@@ -42,6 +42,7 @@ let gen_request =
     topology = Codec.Gen { n = 60; radius = 10.0 };
     source = None;
     start = 1;
+    model = Mlbs_phy.Interference.Udg;
   }
 
 (* ------------------------------ codec ------------------------------ *)
@@ -59,7 +60,7 @@ let sample_delta =
   }
 
 let test_codec_roundtrip () =
-  Alcotest.(check int) "peek/put need protocol v3" 3 Codec.protocol_version;
+  Alcotest.(check int) "model-aware requests need protocol v4" 4 Codec.protocol_version;
   check_roundtrip "hello" (Codec.Hello { proto = 1; version = "1.1.0" });
   check_roundtrip "hello_ack"
     (Codec.Hello_ack { proto = 1; version = "1.1.0"; version_match = false });
@@ -72,6 +73,19 @@ let test_codec_roundtrip () =
          rate = Some 5;
          source = Some 2;
        });
+  check_roundtrip "request sinr"
+    (Codec.Request
+       { gen_request with Codec.model = Mlbs_phy.Interference.(Sinr default_sinr) });
+  check_roundtrip "request sinr custom"
+    (Codec.Request
+       {
+         gen_request with
+         Codec.model =
+           Mlbs_phy.Interference.Sinr
+             { alpha = 2.5; beta = 1.5; noise = 0.1; power = 0.75 };
+       });
+  check_roundtrip "request mc"
+    (Codec.Request { gen_request with Codec.model = Mlbs_phy.Interference.Multichannel 3 });
   check_roundtrip "reply_ok"
     (Codec.Reply_ok
        {
@@ -260,11 +274,21 @@ let test_cache_key_content_addressing () =
   (* Under a duty cycle the seed drives the wake schedule: it must. *)
   let dc = { base with Codec.rate = Some 5 } in
   Alcotest.(check bool) "wake seed in duty-cycle key" true
-    (Daemon.cache_key dc <> Daemon.cache_key { dc with Codec.seed = 99 })
+    (Daemon.cache_key dc <> Daemon.cache_key { dc with Codec.seed = 99 });
+  (* The interference model is part of the content address: a SINR or
+     multi-channel solve must never share a line with the UDG one, and
+     distinct channel counts are distinct addresses. *)
+  Alcotest.(check bool) "model in key" true
+    (Daemon.cache_key base
+    <> Daemon.cache_key
+         { base with Codec.model = Mlbs_phy.Interference.(Sinr default_sinr) });
+  Alcotest.(check bool) "channel count in key" true
+    (Daemon.cache_key { base with Codec.model = Mlbs_phy.Interference.Multichannel 2 }
+    <> Daemon.cache_key { base with Codec.model = Mlbs_phy.Interference.Multichannel 3 })
 
 (* --------------------------- daemon e2e ---------------------------- *)
 
-let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?cache_dir f =
+let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?cache_dir ?(allowed_models = None) f =
   let dir = temp_dir () in
   let socket_path = Filename.concat dir "d.sock" in
   let cfg =
@@ -274,6 +298,7 @@ let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?cache_dir f =
       queue_capacity;
       cache_capacity = 32;
       cache_dir;
+      allowed_models;
     }
   in
   let d = Daemon.start cfg in
@@ -466,6 +491,85 @@ let test_daemon_reschedule_bad_delta () =
   | Client.Ok _ -> ()
   | _ -> Alcotest.fail "connection must survive a bad delta"
 
+let test_daemon_model_keyed_cache () =
+  (* Same topology, policy and source under a different interference
+     model must never share a cache line: the UDG hit must not leak
+     into the SINR request, and each reply stays byte-identical to the
+     direct solve under its own model. *)
+  let sinr = { gen_request with Codec.model = Mlbs_phy.Interference.(Sinr default_sinr) } in
+  with_daemon @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.request c gen_request with
+  | Client.Ok ok -> Alcotest.(check bool) "udg cold solve misses" false ok.Codec.cache_hit
+  | _ -> Alcotest.fail "expected Ok for udg request");
+  (match Client.request c gen_request with
+  | Client.Ok ok -> Alcotest.(check bool) "udg repeat hits" true ok.Codec.cache_hit
+  | _ -> Alcotest.fail "expected Ok for udg repeat");
+  (match Client.request c sinr with
+  | Client.Ok ok ->
+      Alcotest.(check bool) "sinr request misses the udg line" false ok.Codec.cache_hit;
+      let _, direct = Daemon.solve sinr in
+      Alcotest.(check string) "sinr reply byte-identical to direct solve"
+        (Codec.schedule_bytes direct)
+        (Codec.schedule_bytes ok.Codec.schedule)
+  | _ -> Alcotest.fail "expected Ok for sinr request");
+  match Client.request c sinr with
+  | Client.Ok ok -> Alcotest.(check bool) "sinr repeat hits its own line" true ok.Codec.cache_hit
+  | _ -> Alcotest.fail "expected Ok for sinr repeat"
+
+let test_daemon_serves_every_model () =
+  (* Cold solve and reschedule repair per backend: both replies must be
+     byte-identical to the reference path bound to the same model. *)
+  let delta = { Codec.d_added = [ (0, 7); (3, 11) ]; d_removed = []; d_rewired = [] } in
+  List.iter
+    (fun model ->
+      let id = Mlbs_phy.Interference.to_string model in
+      let req = { gen_request with Codec.model } in
+      with_daemon @@ fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (match Client.request c req with
+      | Client.Ok ok ->
+          let _, direct = Daemon.solve req in
+          Alcotest.(check string)
+            (id ^ " solve byte-identical to direct scheduler")
+            (Codec.schedule_bytes direct)
+            (Codec.schedule_bytes ok.Codec.schedule)
+      | _ -> Alcotest.fail ("expected Ok under " ^ id));
+      match Client.reschedule c ~base:req ~delta with
+      | Client.Ok ok ->
+          let _, direct = Daemon.solve (Daemon.derived_request req delta) in
+          Alcotest.(check string)
+            (id ^ " repair byte-identical to derived solve")
+            (Codec.schedule_bytes direct)
+            (Codec.schedule_bytes ok.Codec.schedule)
+      | _ -> Alcotest.fail ("expected Ok for reschedule under " ^ id))
+    Mlbs_phy.Interference.[ Sinr default_sinr; Multichannel 3 ]
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_daemon_allowed_models () =
+  with_daemon ~allowed_models:(Some [ Mlbs_phy.Interference.Udg ]) @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let mc = { gen_request with Codec.model = Mlbs_phy.Interference.Multichannel 2 } in
+  (match Client.request c mc with
+  | Client.Error msg ->
+      Alcotest.(check bool) "refusal names the model" true (contains_substring msg "mc:2")
+  | _ -> Alcotest.fail "disallowed model must be an error reply");
+  (match Client.reschedule c ~base:mc
+           ~delta:{ Codec.d_added = [ (0, 7) ]; d_removed = []; d_rewired = [] }
+   with
+  | Client.Error _ -> ()
+  | _ -> Alcotest.fail "disallowed model must be refused on reschedule too");
+  match Client.request c gen_request with
+  | Client.Ok _ -> ()
+  | _ -> Alcotest.fail "allowed model must still be served"
+
 let test_daemon_shutdown_frame () =
   let dir = temp_dir () in
   let socket_path = Filename.concat dir "d.sock" in
@@ -551,6 +655,9 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick test_daemon_concurrent_clients;
           Alcotest.test_case "reschedule" `Quick test_daemon_reschedule;
           Alcotest.test_case "reschedule bad delta" `Quick test_daemon_reschedule_bad_delta;
+          Alcotest.test_case "model-keyed cache" `Quick test_daemon_model_keyed_cache;
+          Alcotest.test_case "serves every model" `Quick test_daemon_serves_every_model;
+          Alcotest.test_case "allowed models" `Quick test_daemon_allowed_models;
           Alcotest.test_case "shutdown frame" `Quick test_daemon_shutdown_frame;
           Alcotest.test_case "stale socket reclaimed" `Quick test_daemon_stale_socket;
           Alcotest.test_case "live socket not clobbered" `Quick
