@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- --smoke --compare BENCH_SMOKE.json
 
    Targets: table2 table3 table4 fig3 fig4 fig5 fig6 fig7 reliability
-   ablation service churn fleet micro search models (default: all).
+   ablation service churn fleet micro search models improve
+   (default: all).
    The service target drives an in-process scheduling daemon over its
    Unix socket — cold (distinct instances) then warm (cache hits) — and
    dumps throughput and p50/p95/p99 to BENCH_3.json (suppressed with
@@ -19,7 +20,11 @@
    to BENCH_6.json. The models target compares the interference
    backends (udg / sinr / mc:2 / mc:3) on shared deployments — solve
    ns/run plus scheduled rounds and transmissions — and dumps them to
-   BENCH_7.json.
+   BENCH_7.json. The improve target sweeps the GLS/VNS anytime
+   improver over fixed G-OPT starts at increasing evaluation budgets
+   (best of a small seed portfolio per point, every improved schedule
+   re-validated by radio replay) — the quality-vs-budget curve behind
+   BENCH_8.json — plus two ns/run gate kernels.
 
    Flags: --quick (reduced sweep), --smoke (Config.smoke — the CI
    gate: smallest sweep, JSON suppressed unless --json is given
@@ -53,6 +58,8 @@ module Emodel = Mlbs_core.Emodel
 module Wake_schedule = Mlbs_dutycycle.Wake_schedule
 module Bitset = Mlbs_util.Bitset
 module Pool = Mlbs_util.Pool
+module Validate = Mlbs_sim.Validate
+module Improve = Mlbs_search.Improve
 module Obs = Mlbs_obs.Obs
 module Obs_metrics = Mlbs_obs.Metrics
 module Obs_export = Mlbs_obs.Export
@@ -1182,6 +1189,103 @@ let run_models () =
   let kernels = bechamel_session ~group:"models" ~label:"models" (model_tests insts) in
   (kernels, lat)
 
+(* ------------------------ improve bench ---------------------------- *)
+
+(* The quality-vs-budget sweep behind BENCH_8: GLS/VNS local search
+   from cold G-OPT starts on fixed instances (independent of
+   --quick/--smoke, like the search and model benches, so the
+   committed JSON is comparable across runs). Each sweep point takes
+   the best final latency over a small search-seed portfolio — the
+   anytime engine is deterministic per seed, so the whole table is
+   reproducible — and every improved schedule is re-validated by radio
+   replay here, outside the engine's own acceptance check. The
+   instance list deliberately includes points where G-OPT is already
+   optimal-looking and the improver comes up dry. *)
+let improve_budgets = [ 0; 250; 1000; 4000 ]
+let improve_seed_portfolio = [ 42; 7 ]
+
+let improve_instances =
+  [ (60, 71); (100, 1); (100, 61); (150, 53); (160, 27); (180, 7); (200, 55); (230, 39) ]
+
+(* One row: per-budget best latency, and whether every inspected
+   schedule replayed clean. *)
+type improve_row = {
+  ir_n : int;
+  ir_seed : int;
+  ir_gopt : int;
+  ir_rounds : int list;  (* one per improve_budgets entry *)
+  ir_valid : bool;
+}
+
+let run_improve_sweep () =
+  List.map
+    (fun (n, seed) ->
+      let inst = Experiment.make_instance Config.default ~n ~seed in
+      let model = Model.create inst.Experiment.net Model.Sync in
+      let source = inst.Experiment.source in
+      let start = Scheduler.run model Scheduler.gopt ~source ~start:1 in
+      let valid = ref true in
+      let best_at budget =
+        List.fold_left
+          (fun best s ->
+            let o = Improve.improve ~seed:s ~budget model start in
+            if not (Validate.check model o.Improve.schedule).Validate.ok then
+              valid := false;
+            min best (Schedule.elapsed o.Improve.schedule))
+          max_int improve_seed_portfolio
+      in
+      let rounds = List.map best_at improve_budgets in
+      {
+        ir_n = n;
+        ir_seed = seed;
+        ir_gopt = Schedule.elapsed start;
+        ir_rounds = rounds;
+        ir_valid = !valid;
+      })
+    improve_instances
+
+(* The BENCH_8 gate kernels: one budget-bounded improvement pass over a
+   G-OPT start and over a baseline start (the regime the daemon's
+   background polishing runs in). *)
+let improve_tests () =
+  let open Bechamel in
+  let inst = Experiment.make_instance Config.default ~n:150 ~seed:1 in
+  let model = Model.create inst.Experiment.net Model.Sync in
+  let source = inst.Experiment.source in
+  let gopt = Scheduler.run model Scheduler.gopt ~source ~start:1 in
+  let base = Scheduler.run model Scheduler.Baseline ~source ~start:1 in
+  let run start () = ignore (Improve.improve ~seed:42 ~budget:1000 model start) in
+  [
+    Test.make ~name:"improve G-OPT b1000 (n=150)" (Staged.stage (run gopt));
+    Test.make ~name:"improve baseline b1000 (n=150)" (Staged.stage (run base));
+  ]
+
+let run_improve () =
+  section "Anytime improvement (GLS/VNS from G-OPT starts, fixed instances)";
+  let rows = run_improve_sweep () in
+  let header =
+    String.concat "" (List.map (fun b -> Printf.sprintf " b%-5d" b) improve_budgets)
+  in
+  Printf.printf "  %-6s %-6s %-6s%s  replay
+" "n" "seed" "gopt" header;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-6d %-6d %-6d%s  %s
+" r.ir_n r.ir_seed r.ir_gopt
+        (String.concat ""
+           (List.map (fun x -> Printf.sprintf " %-6d" x) r.ir_rounds))
+        (if r.ir_valid then "valid" else "INVALID"))
+    rows;
+  let final r = List.nth r.ir_rounds (List.length r.ir_rounds - 1) in
+  let wins = List.length (List.filter (fun r -> final r < r.ir_gopt) rows) in
+  let invalid = List.length (List.filter (fun r -> not r.ir_valid) rows) in
+  Printf.printf "  strictly below G-OPT at budget %d: %d/%d points
+%!"
+    (List.fold_left max 0 improve_budgets)
+    wins (List.length rows);
+  let kernels = bechamel_session ~group:"improve" ~label:"improve" (improve_tests ()) in
+  (rows, kernels, invalid)
+
 (* ------------------------- metrics probe --------------------------- *)
 
 let g_heap = Obs_metrics.gauge "gc/heap_words"
@@ -1294,6 +1398,38 @@ let write_bench7 path ~jobs kernels latencies =
         (json_escape model) n rounds tx
         (if i = List.length latencies - 1 then "" else ","))
     latencies;
+  p "  ],\n";
+  p "  \"micro_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      p "    {\"name\": \"%s\", \"ns\": %.1f}%s\n" (json_escape name) ns
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let write_bench8 path ~jobs rows kernels =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"mlbs-bench-8\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"host_cores\": %d,\n" (Pool.default_jobs ());
+  p "  \"policy\": \"GLS/VNS from G-OPT (default budget) starts, best of search seeds [%s]\",\n"
+    (String.concat "; " (List.map string_of_int improve_seed_portfolio));
+  p "  \"budgets\": [%s],\n"
+    (String.concat ", " (List.map string_of_int improve_budgets));
+  p "  \"quality\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\"n\": %d, \"seed\": %d, \"gopt_rounds\": %d, \"rounds_by_budget\": [%s], \"replay_valid\": %b}%s\n"
+        r.ir_n r.ir_seed r.ir_gopt
+        (String.concat ", " (List.map string_of_int r.ir_rounds))
+        r.ir_valid
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
   p "  ],\n";
   p "  \"micro_ns_per_run\": [\n";
   List.iteri
@@ -1589,7 +1725,7 @@ let () =
   let known =
     [ "all"; "table2"; "table3"; "table4"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
       "reliability"; "ablation"; "service"; "churn"; "fleet"; "micro"; "search";
-      "models" ]
+      "models"; "improve" ]
   in
   (match List.filter (fun t -> not (List.mem t known)) targets with
   | [] -> ()
@@ -1671,6 +1807,15 @@ let () =
       (* BENCH_7.json rides the same switch as the other dumps. *)
       if json <> None then write_bench7 "BENCH_7.json" ~jobs:cfg.Config.jobs kernels lat
     end;
+    let improve_kernels = ref [] in
+    let improve_invalid = ref 0 in
+    if want "improve" then begin
+      let rows, kernels, invalid = run_improve () in
+      improve_kernels := kernels;
+      improve_invalid := invalid;
+      (* BENCH_8.json rides the same switch as the other dumps. *)
+      if json <> None then write_bench8 "BENCH_8.json" ~jobs:cfg.Config.jobs rows kernels
+    end;
     let micro = if want "micro" then run_micro cfg ~micro_quick else [] in
     (* Churn, fleet, search and model gate kernels join the micro list
        for --compare, so a CI smoke run gates repair latency against the
@@ -1679,6 +1824,7 @@ let () =
        against BENCH_7. *)
     let micro =
       micro @ !churn_kernels @ !fleet_kernels @ !search_kernels @ !model_kernels
+      @ !improve_kernels
     in
     let total = now_s () -. total0 in
     Printf.printf "total: %.1fs (jobs=%d)\n" total cfg.Config.jobs;
@@ -1698,6 +1844,9 @@ let () =
       Printf.printf
         "FAIL: %d repaired schedules were not byte-identical to full re-solves\n%!"
         !churn_mismatches;
-    cmp_failed || !churn_mismatches > 0
+    if !improve_invalid > 0 then
+      Printf.printf "FAIL: %d improved schedules failed the radio replay\n%!"
+        !improve_invalid;
+    cmp_failed || !churn_mismatches > 0 || !improve_invalid > 0
   in
   if failed then exit 1

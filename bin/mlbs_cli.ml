@@ -23,6 +23,7 @@ module Scheduler = Mlbs_core.Scheduler
 module Mcounter = Mlbs_core.Mcounter
 module Bounds = Mlbs_core.Bounds
 module Validate = Mlbs_sim.Validate
+module Improve = Mlbs_search.Improve
 module Config = Mlbs_workload.Config
 module Figures = Mlbs_workload.Figures
 module Report = Mlbs_workload.Report
@@ -187,6 +188,73 @@ let schedule_cmd =
       const schedule $ nodes_arg $ seed_arg $ rate_arg $ policy_arg $ model_arg
       $ verbose_arg $ load_arg $ save_arg)
 
+(* --------------------------- improve ------------------------------- *)
+
+(* Anytime local-search polishing of one constructed schedule: run the
+   policy, then spend an evaluation budget of GLS/VNS moves on the
+   result and report the quality trajectory. The improved schedule is
+   radio-replayed before printing, like everything else. *)
+let improve_run n seed rate policy phy budget search_seed verbose save =
+  let net = make_network ~n ~seed in
+  let nn = Network.n_nodes net in
+  let system =
+    match rate with
+    | None -> Model.Sync
+    | Some r -> Model.Async (Wake_schedule.create ~rate:r ~n_nodes:nn ~seed ())
+  in
+  let model = Model.create ~phy net system in
+  let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
+  let plan = Scheduler.run model policy ~source ~start:1 in
+  let o = Improve.improve ~seed:search_seed ~budget model plan in
+  let report = Validate.check model o.Improve.schedule in
+  Printf.printf "policy=%s source=%d model=%s\n" (Scheduler.name ~system policy) source
+    (Interference.to_string phy);
+  Printf.printf "start latency:  %d %s\n" (Schedule.elapsed plan)
+    (match rate with None -> "rounds" | Some _ -> "slots");
+  Printf.printf "final latency:  %d (%s)\n"
+    (Schedule.elapsed o.Improve.schedule)
+    (if o.Improve.improved then
+       Printf.sprintf "%d slots saved"
+         (Schedule.elapsed plan - Schedule.elapsed o.Improve.schedule)
+     else "no strictly better candidate");
+  Printf.printf "search:         %d/%d evaluations, %d accepted\n" o.Improve.evals budget
+    o.Improve.accepted;
+  Printf.printf "gls/vns:        penalty-bumps=%d resets=%d escalations=%d\n"
+    o.Improve.penalty_bumps o.Improve.penalty_resets o.Improve.escalations;
+  Printf.printf "radio replay:   %s\n" (if report.Validate.ok then "valid" else "INVALID");
+  if verbose then Format.printf "%a@." Schedule.pp o.Improve.schedule;
+  (match save with
+  | Some path ->
+      Mlbs_workload.Persist.save_schedule path o.Improve.schedule;
+      Printf.printf "schedule saved: %s\n" path
+  | None -> ());
+  if report.Validate.ok then 0 else 1
+
+let improve_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget" ] ~docv:"EVALS"
+          ~doc:"Candidate-evaluation budget; 0 returns the constructed schedule as-is.")
+  in
+  let search_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "search-seed" ] ~docv:"SEED"
+          ~doc:"RNG seed of the local search (the result is deterministic per seed).")
+  in
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-schedule" ] ~docv:"FILE" ~doc:"Write the improved schedule to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "improve"
+       ~doc:"Polish a constructed schedule with GLS/VNS local search under a budget")
+    Term.(
+      const improve_run $ nodes_arg $ seed_arg $ rate_arg $ policy_arg $ model_arg
+      $ budget_arg $ search_seed_arg $ verbose_arg $ save_arg)
+
 (* ---------------------------- trace -------------------------------- *)
 
 (* 'trace run': one instrumented scenario — G-OPT schedule plus the
@@ -208,12 +276,13 @@ let trace_run n seed rate phy trace_file metrics_file =
   in
   let model = Model.create ~phy net system in
   let source = Deployment.select_source (Rng.create seed) net ~min_ecc:5 ~max_ecc:8 in
-  let plan, report, stats =
+  let plan, polished, report, stats =
     Telemetry.with_config cfg (fun () ->
         let plan = Scheduler.run model Scheduler.gopt ~source ~start:1 in
         let report = Validate.check model plan in
+        let polished = Improve.improve ~seed ~budget:512 model plan in
         let stats = Mlbs_proto.Broadcast_protocol.run model ~source ~start:1 in
-        (plan, report, stats))
+        (plan, polished, report, stats))
   in
   let c = Obs_metrics.counter_value in
   Printf.printf "telemetry run: n=%d seed=%d%s source=%d\n" n seed
@@ -235,6 +304,14 @@ let trace_run n seed rate phy trace_file metrics_file =
                  channel-assignments=%d\n"
     (Interference.to_string phy) (c "phy/conflict_checks") (c "phy/power_evals")
     (c "phy/channel_assignments");
+  Printf.printf "improve:  latency %d -> %d, tried=%d accepted=%d slots-saved=%d\n"
+    (Schedule.elapsed plan)
+    (Schedule.elapsed polished.Improve.schedule)
+    (c "search/improve/moves_tried") (c "search/improve/moves_accepted")
+    (c "search/improve/slots_saved");
+  Printf.printf "gls/vns:  penalty-bumps=%d penalty-resets=%d escalations=%d\n"
+    (c "search/improve/penalty_bumps") (c "search/improve/penalty_resets")
+    (c "search/improve/escalations");
   Printf.printf "protocol: slots=%d sends=%d collisions=%d retransmissions=%d\n"
     (c "proto/slots") (c "proto/sends") (c "proto/collisions")
     (c "proto/retransmissions");
@@ -517,7 +594,8 @@ let codec_policy = function
   | Scheduler.Gopt _ -> Sv_codec.Gopt
   | Scheduler.Opt _ -> Sv_codec.Opt
 
-let serve socket tcp backend jobs queue cache cache_dir models trace_file metrics_file =
+let serve socket tcp backend jobs queue cache cache_dir models improve_budget trace_file
+    metrics_file =
   let base = { Config.default with Config.trace_file; metrics_file } in
   Telemetry.with_config base @@ fun () ->
   if backend && tcp = None then begin
@@ -536,6 +614,7 @@ let serve socket tcp backend jobs queue cache cache_dir models trace_file metric
         cache_capacity = cache;
         cache_dir;
         allowed_models = (match models with [] -> None | l -> Some l);
+        improve_budget;
       }
     in
     let t = Sv_daemon.start dcfg in
@@ -550,8 +629,10 @@ let serve socket tcp backend jobs queue cache cache_dir models trace_file metric
           (match Sv_daemon.tcp_port t with
           | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
           | None -> ""));
-    Printf.printf "jobs=%d queue=%d cache=%d%s\n%!" jobs queue cache
-      (match cache_dir with Some d -> " cache-dir=" ^ d | None -> "");
+    Printf.printf "jobs=%d queue=%d cache=%d%s%s\n%!" jobs queue cache
+      (match cache_dir with Some d -> " cache-dir=" ^ d | None -> "")
+      (if improve_budget > 0 then Printf.sprintf " improve-budget=%d" improve_budget
+       else "");
     let on_signal _ = Sv_daemon.stop t in
     Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
@@ -603,11 +684,22 @@ let serve_cmd =
             "Serve only this interference model (repeatable; default: all). Requests \
              for any other model are refused with an error reply.")
   in
+  let improve_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "improve-budget" ] ~docv:"EVALS"
+          ~doc:
+            "Background polishing: in idle dispatcher cycles, spend $(docv) GLS/VNS \
+             evaluations per pass improving hot cached schedules; strictly better \
+             Validate-clean results are installed as monotone version upgrades. 0 \
+             (default) disables polishing — every reply stays byte-identical to the \
+             direct scheduler.")
+  in
   Cmd.v
     (Cmd.info "serve" ~doc:"Run the scheduling service daemon")
     Term.(
       const serve $ socket_arg $ tcp_arg $ backend_arg $ jobs_arg $ queue_arg $ cache_arg
-      $ cache_dir_arg $ models_arg $ trace_file_arg $ metrics_file_arg)
+      $ cache_dir_arg $ models_arg $ improve_arg $ trace_file_arg $ metrics_file_arg)
 
 (* fleet: the front tier — consistent-hash routing over backend shards
    started with [serve --backend] (or spawned in-process via --spawn). *)
@@ -752,9 +844,19 @@ let build_request ?(model = Interference.Udg) ~policy ~rate ~seed ~n ~source ~st
   in
   { Sv_codec.policy = codec_policy policy; rate; seed; topology; source; start; model }
 
+(* Version 0 replies are the deterministic construction and must be
+   byte-identical to a direct solve. A version-upgraded reply (the
+   background improver installed a strictly better schedule) is not
+   byte-comparable; it verifies by radio replay on the same model plus
+   latency no worse than the construction's. *)
 let verify_against_local req (ok : Sv_codec.ok_reply) =
   let _, local = Sv_daemon.solve req in
-  Sv_codec.schedule_bytes local = Sv_codec.schedule_bytes ok.Sv_codec.schedule
+  if ok.Sv_codec.version = 0 then
+    Sv_codec.schedule_bytes local = Sv_codec.schedule_bytes ok.Sv_codec.schedule
+  else
+    let report = Validate.check (Sv_daemon.model_of req) ok.Sv_codec.schedule in
+    report.Validate.ok
+    && Schedule.elapsed ok.Sv_codec.schedule <= Schedule.elapsed local
 
 (* The client-side replica of the base topology a delta drifts: the
    same deployment recipe the daemon resolves for the request, so the
@@ -797,8 +899,11 @@ let request socket tcp n seed rate policy model source start load delta delta_se
   | Sv_client.Ok ok ->
       Printf.printf "server:        %s%s\n" server_version
         (if version_match then "" else Printf.sprintf " (client is %s)" Sv_version.version);
-      Printf.printf "trace id:      %s (cache %s)\n" ok.Sv_codec.trace_id
-        (if ok.Sv_codec.cache_hit then "hit" else "miss");
+      Printf.printf "trace id:      %s (cache %s%s)\n" ok.Sv_codec.trace_id
+        (if ok.Sv_codec.cache_hit then "hit" else "miss")
+        (if ok.Sv_codec.version > 0 then
+           Printf.sprintf ", improved v%d" ok.Sv_codec.version
+         else "");
       Printf.printf "latency:       %d %s\n" ok.Sv_codec.stats.Sv_codec.elapsed
         (match rate with None -> "rounds" | Some _ -> "slots");
       Printf.printf "transmissions: %d\n" ok.Sv_codec.stats.Sv_codec.transmissions;
@@ -808,7 +913,9 @@ let request socket tcp n seed rate policy model source start load delta delta_se
       if verify then begin
         let same = verify_against_local vreq ok in
         Printf.printf "verify:        %s\n"
-          (if same then "byte-identical to direct scheduler" else "MISMATCH");
+          (if not same then "MISMATCH"
+           else if ok.Sv_codec.version = 0 then "byte-identical to direct scheduler"
+           else "upgraded schedule replays clean, latency <= direct scheduler");
         if same then 0 else 1
       end
       else 0
@@ -930,7 +1037,7 @@ let churn_loadgen ep ~requests ~n ~seeds ~policy ~rate ~model ~churn ~verify_sam
       | None -> ())
     [ "server/warmstart/hit"; "server/warmstart/miss"; "server/repair_ms" ];
   if !verified > 0 then
-    Printf.printf "verify: %d/%d sampled repairs byte-identical to direct scheduler\n"
+    Printf.printf "verify: %d/%d sampled repairs consistent with direct scheduler\n"
       (!verified - !mismatches) !verified;
   if !mismatches > 0 || (smoke && !errors > 0) then 1 else 0
 
@@ -1003,7 +1110,7 @@ let loadgen_plain socket tcp requests concurrency n seeds policy rate model veri
       | Sv_client.Ok ok -> if not (verify_against_local req ok) then incr mismatches
       | Sv_client.Rejected _ | Sv_client.Error _ -> incr mismatches
     done;
-    Printf.printf "verify: %d/%d sampled replies byte-identical to direct scheduler\n"
+    Printf.printf "verify: %d/%d sampled replies consistent with direct scheduler\n"
       (sample - !mismatches) sample
   end;
   if fleet then begin
@@ -1210,6 +1317,7 @@ let () =
     (Cmd.eval' ~term_err:2
        (Cmd.group info
           [
-            generate_cmd; schedule_cmd; trace_cmd; experiment_cmd; tree_cmd; energy_cmd;
-            localized_cmd; faults_cmd; serve_cmd; fleet_cmd; request_cmd; loadgen_cmd;
+            generate_cmd; schedule_cmd; improve_cmd; trace_cmd; experiment_cmd; tree_cmd;
+            energy_cmd; localized_cmd; faults_cmd; serve_cmd; fleet_cmd; request_cmd;
+            loadgen_cmd;
           ]))

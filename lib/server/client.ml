@@ -89,8 +89,8 @@ let peek t req =
   | C.Reply_error m -> `Error m
   | _ -> `Error "unexpected reply to peek"
 
-let put t ~req ~stats ~schedule =
-  match roundtrip t (C.Put { req; stats; schedule }) with
+let put t ?(version = 0) ~req ~stats ~schedule () =
+  match roundtrip t (C.Put { req; version; stats; schedule }) with
   | C.Put_ack -> Result.Ok ()
   | C.Reply_error m -> Result.Error m
   | _ -> Result.Error "unexpected reply to put"

@@ -47,12 +47,16 @@ val peek :
   t -> Codec.request -> [ `Hit of Codec.ok_reply | `Miss | `Error of string ]
 
 (** [put t ~req ~stats ~schedule] files a finished reply under [req]'s
-    content address on the server (peer cache-fill; protocol v3). *)
+    content address on the server (peer cache-fill; protocol v3).
+    [version] (default 0) is the schedule version the entry carries;
+    the server installs monotonically. *)
 val put :
   t ->
+  ?version:int ->
   req:Codec.request ->
   stats:Codec.stats ->
   schedule:Mlbs_core.Schedule.t ->
+  unit ->
   (unit, string) result
 
 (** [stats t] fetches the daemon's [server/…] metric snapshot. *)

@@ -1,7 +1,7 @@
 module Schedule = Mlbs_core.Schedule
 module Interference = Mlbs_phy.Interference
 
-let protocol_version = 4
+let protocol_version = 5
 let max_frame = 1 lsl 26 (* 64 MiB *)
 
 type policy = Baseline | Emodel | Gopt | Opt
@@ -37,6 +37,7 @@ type stats = {
 type ok_reply = {
   trace_id : string;
   cache_hit : bool;
+  version : int;
   stats : stats;
   schedule : Schedule.t;
 }
@@ -55,7 +56,7 @@ type msg =
   | Shutdown_ack
   | Peek of request
   | Peek_miss
-  | Put of { req : request; stats : stats; schedule : Schedule.t }
+  | Put of { req : request; version : int; stats : stats; schedule : Schedule.t }
   | Put_ack
 
 exception Malformed of string
@@ -342,10 +343,11 @@ let encode msg =
   | Request q ->
       put_u8 b 3;
       put_request b q
-  | Reply_ok { trace_id; cache_hit; stats; schedule } ->
+  | Reply_ok { trace_id; cache_hit; version; stats; schedule } ->
       put_u8 b 4;
       put_string b trace_id;
       put_bool b cache_hit;
+      put_u32 b version;
       put_stats b stats;
       put_schedule b schedule
   | Reply_rejected { retry_after_ms } ->
@@ -373,9 +375,10 @@ let encode msg =
       put_u8 b 12;
       put_request b q
   | Peek_miss -> put_u8 b 13
-  | Put { req; stats; schedule } ->
+  | Put { req; version; stats; schedule } ->
       put_u8 b 14;
       put_request b req;
+      put_u32 b version;
       put_stats b stats;
       put_schedule b schedule
   | Put_ack -> put_u8 b 15);
@@ -399,9 +402,10 @@ let decode payload =
     | 4 ->
         let trace_id = get_string r in
         let cache_hit = get_bool r in
+        let version = get_u32 r in
         let stats = get_stats r in
         let schedule = get_schedule r in
-        Reply_ok { trace_id; cache_hit; stats; schedule }
+        Reply_ok { trace_id; cache_hit; version; stats; schedule }
     | 5 -> Reply_rejected { retry_after_ms = get_u32 r }
     | 6 -> Reply_error (get_string r)
     | 7 -> Stats_request
@@ -422,9 +426,10 @@ let decode payload =
     | 13 -> Peek_miss
     | 14 ->
         let req = get_request r in
+        let version = get_u32 r in
         let stats = get_stats r in
         let schedule = get_schedule r in
-        Put { req; stats; schedule }
+        Put { req; version; stats; schedule }
     | 15 -> Put_ack
     | t -> fail "unknown message tag %d" t
   in
@@ -496,7 +501,7 @@ let peek_of_request_payload payload =
   "\x0c" ^ String.sub payload 1 (String.length payload - 1)
 
 type reply_view =
-  | View_ok of { cache_hit : bool }
+  | View_ok of { cache_hit : bool; version : int }
   | View_rejected of { retry_after_ms : int }
   | View_error of string
   | View_peek_miss
@@ -507,7 +512,8 @@ let reply_view payload =
   match get_u8 r with
   | 4 ->
       let _trace_id = get_string r in
-      View_ok { cache_hit = get_bool r }
+      let cache_hit = get_bool r in
+      View_ok { cache_hit; version = get_u32 r }
   | 5 -> View_rejected { retry_after_ms = get_u32 r }
   | 6 -> View_error (get_string r)
   | 13 -> View_peek_miss

@@ -72,6 +72,12 @@ type stats = {
 type ok_reply = {
   trace_id : string;  (** server-side span id, greppable in the trace *)
   cache_hit : bool;
+  version : int;
+      (** schedule version (protocol v5): [0] is the deterministic
+          construction {!Daemon.solve} would produce; [v > 0] means the
+          background improver installed [v] successive strictly-better,
+          Validate-clean upgrades on this cache line. Versions only ever
+          increase for a given content address. *)
   stats : stats;
   schedule : Mlbs_core.Schedule.t;
 }
@@ -104,11 +110,14 @@ type msg =
           never solves. The fleet front tier uses this to ask a shard
           "do you already have it?" before committing a solve. *)
   | Peek_miss
-  | Put of { req : request; stats : stats; schedule : Mlbs_core.Schedule.t }
+  | Put of { req : request; version : int; stats : stats; schedule : Mlbs_core.Schedule.t }
       (** peer cache-fill (protocol v3): insert a finished reply under
           [req]'s content address. The daemon recomputes the address
           from [req] itself — raw cache keys never ride the wire — and
-          answers {!Put_ack}. *)
+          answers {!Put_ack}. [version] (protocol v5) rides along so
+          improver upgrades propagate across the fleet ring; the
+          receiver installs monotonically, never replacing a newer
+          version with an older one. *)
   | Put_ack
 
 exception Malformed of string
@@ -159,7 +168,7 @@ val peek_of_request_payload : string -> string
 
 (** A reply payload classified without decoding the schedule body. *)
 type reply_view =
-  | View_ok of { cache_hit : bool }
+  | View_ok of { cache_hit : bool; version : int }
   | View_rejected of { retry_after_ms : int }
   | View_error of string
   | View_peek_miss

@@ -14,6 +14,7 @@ module Mcounter = Mlbs_core.Mcounter
 module Reschedule = Mlbs_core.Reschedule
 module Config = Mlbs_workload.Config
 module Persist = Mlbs_workload.Persist
+module Improve = Mlbs_search.Improve
 module Obs = Mlbs_obs.Obs
 module Metrics = Mlbs_obs.Metrics
 module Trace = Mlbs_obs.Trace
@@ -27,6 +28,7 @@ type config = {
   cache_dir : string option;
   persist_limit : int;
   allowed_models : Interference.t list option;
+  improve_budget : int;
 }
 
 let default_config ~socket_path =
@@ -40,9 +42,26 @@ let default_config ~socket_path =
     cache_dir = None;
     persist_limit = 64;
     allowed_models = None;
+    improve_budget = 0;
   }
 
-type entry = { stats : C.stats; schedule : Schedule.t }
+(* One cached solve. [version] counts the strictly-better Validate-clean
+   upgrades the background improver installed on this content address
+   (0 = the deterministic construction [solve] produces). [origin] is
+   the request the entry answers — the improver needs it to rebuild the
+   model; entries warmed from disk carry [None] and are never polished.
+   [attempts] counts polish passes spent on this entry (it salts the
+   improver's seed and caps fruitless re-polish work). *)
+type entry = {
+  stats : C.stats;
+  schedule : Schedule.t;
+  version : int;
+  origin : C.request option;
+  attempts : int Atomic.t;
+}
+
+let entry_of ?origin ?(version = 0) (stats, schedule) =
+  { stats; schedule; version; origin; attempts = Atomic.make 0 }
 
 (* ---------------------------- metrics ------------------------------ *)
 
@@ -59,6 +78,8 @@ let h_solve_us = Metrics.histogram "server/solve_us"
 let h_repair_ms = Metrics.histogram "server/repair_ms"
 let m_warm_hit = Metrics.counter "server/warmstart/hit"
 let m_warm_miss = Metrics.counter "server/warmstart/miss"
+let m_polish_passes = Metrics.counter "search/improve/polish_passes"
+let m_upgrades = Metrics.counter "search/improve/upgrades_installed"
 
 (* EWMA of recent solve/repair wall time, process-wide — the basis of
    the load-scaled retry hint handed to shed clients. *)
@@ -187,6 +208,10 @@ let solve req =
   let source = source_of req r in
   let model = Model.create ~phy:req.C.model r.rnet (system_of req r.rnet) in
   do_solve model (policy_of req.C.policy) ~source ~start:req.C.start
+
+let model_of req =
+  let r = resolve req in
+  Model.create ~phy:req.C.model r.rnet (system_of req r.rnet)
 
 (* [derived_request base delta] is the plain request for the edited
    topology: the adjacency of [Graph.edit] applied to [base]'s
@@ -330,14 +355,14 @@ let save_cache ~dir ~limit cache =
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "mlbs-cache-index 1 %d\n" (List.length entries);
+      Printf.fprintf oc "mlbs-cache-index 2 %d\n" (List.length entries);
       List.iteri
         (fun i (key, e) ->
           let stem = Printf.sprintf "e%04d" i in
           Persist.save_schedule (Filename.concat dir (stem ^ ".sched")) e.schedule;
-          Printf.fprintf oc "entry %s %s %d %d %d %d %d\n" stem key e.stats.C.elapsed
+          Printf.fprintf oc "entry %s %s %d %d %d %d %d %d\n" stem key e.stats.C.elapsed
             e.stats.C.transmissions e.stats.C.n_steps e.stats.C.search_states
-            e.stats.C.solve_us)
+            e.stats.C.solve_us e.version)
         entries);
   List.length entries
 
@@ -358,27 +383,34 @@ let load_cache ~dir cache =
     in
     match lines with
     | header :: rest when String.length header >= 18
-                          && String.sub header 0 18 = "mlbs-cache-index 1" ->
+                          && (String.sub header 0 18 = "mlbs-cache-index 1"
+                             || String.sub header 0 18 = "mlbs-cache-index 2") ->
+        let parse ~stem ~key ~el ~tx ~st ~ss ~su ~ver =
+          try
+            let schedule = Persist.load_schedule (Filename.concat dir (stem ^ ".sched")) in
+            let stats =
+              {
+                C.elapsed = int_of_string el;
+                transmissions = int_of_string tx;
+                n_steps = int_of_string st;
+                search_states = int_of_string ss;
+                solve_us = int_of_string su;
+              }
+            in
+            (* Disk-warmed entries carry no originating request, so the
+               improver leaves them alone; the version survives so a
+               previously upgraded schedule is still served as such. *)
+            Some (key, entry_of ~version:(int_of_string ver) (stats, schedule))
+          with _ -> None
+        in
         let parsed =
           List.filter_map
             (fun line ->
               match String.split_on_char ' ' line with
-              | [ "entry"; stem; key; el; tx; st; ss; su ] -> (
-                  try
-                    let schedule =
-                      Persist.load_schedule (Filename.concat dir (stem ^ ".sched"))
-                    in
-                    let stats =
-                      {
-                        C.elapsed = int_of_string el;
-                        transmissions = int_of_string tx;
-                        n_steps = int_of_string st;
-                        search_states = int_of_string ss;
-                        solve_us = int_of_string su;
-                      }
-                    in
-                    Some (key, { stats; schedule })
-                  with _ -> None)
+              | [ "entry"; stem; key; el; tx; st; ss; su ] ->
+                  parse ~stem ~key ~el ~tx ~st ~ss ~su ~ver:"0"
+              | [ "entry"; stem; key; el; tx; st; ss; su; ver ] ->
+                  parse ~stem ~key ~el ~tx ~st ~ss ~su ~ver
               | _ -> None)
             rest
         in
@@ -402,8 +434,21 @@ type t = {
   mutable listeners : Acceptor.listener list;
   trace_ctr : int Atomic.t;
   mutable acceptor : Thread.t option;
+  mutable improver : Thread.t option;
   mutable cleaned : bool;
 }
+
+(* Monotone install: a cache line's schedule version never decreases.
+   Two concurrent writers (a solve's [on_done], the improver, a fleet
+   [Put]) race through [Cache.upsert]'s mutex, and whichever carries
+   the newer version wins; an equal-version improver result never
+   replaces (same address + same version = same upgrade chain, and for
+   version 0 the bytes are identical by determinism anyway). *)
+let install t ~key (e : entry) =
+  Cache.upsert t.cache key (function
+    | Some old when old.version > e.version -> None
+    | Some old when old.version = e.version && e.version > 0 -> None
+    | _ -> Some e)
 
 let stop t = Atomic.set t.stop_requested true
 let tcp_port t = List.find_map Acceptor.port t.listeners
@@ -447,7 +492,7 @@ let retry_hint t ~depth =
    [on_done] publishes the entry under [key] even if this connection
    dies before waking. *)
 let await t ~key ~digest run =
-  let on_done = function Ok e -> Cache.add t.cache key e | Error _ -> () in
+  let on_done = function Ok e -> install t ~key e | Error _ -> () in
   match Dispatch.submit t.disp ~on_done run with
   | Error `Closing -> reply_error "server is shutting down"
   | Error (`Shed depth) ->
@@ -461,6 +506,7 @@ let await t ~key ~digest run =
             {
               trace_id = fresh_trace_id t digest;
               cache_hit = false;
+              version = e.version;
               stats = e.stats;
               schedule = e.schedule;
             }
@@ -486,6 +532,7 @@ let handle_request t (req : C.request) =
                   {
                     trace_id = fresh_trace_id t r.rdigest;
                     cache_hit = true;
+                    version = e.version;
                     stats = e.stats;
                     schedule = e.schedule;
                   }
@@ -495,10 +542,8 @@ let handle_request t (req : C.request) =
                 | model ->
                     let family = family_key req ~n:(Network.n_nodes r.rnet) in
                     await t ~key ~digest:r.rdigest (fun () ->
-                        let stats, schedule =
-                          do_solve_warm t.warm req model ~source ~family
-                        in
-                        { stats; schedule }))))
+                        entry_of ~origin:req
+                          (do_solve_warm t.warm req model ~source ~family)))))
   in
   let dt = Obs.now_us () -. t0 in
   Metrics.observe h_request_us (int_of_float dt);
@@ -541,11 +586,22 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                       {
                         trace_id = fresh_trace_id t digest';
                         cache_hit = true;
+                        version = e.version;
                         stats = e.stats;
                         schedule = e.schedule;
                       }
                 | None ->
                     let family = family_key base ~n:(Graph.n_nodes g') in
+                    (* The entry answers the edited topology: its origin
+                       for later polishing is the plain request for that
+                       adjacency (the same one [derived_request] builds). *)
+                    let origin =
+                      let adj =
+                        Array.init (Graph.n_nodes g') (fun u ->
+                            Array.to_list (Graph.neighbors g' u))
+                      in
+                      { base with C.topology = C.Adj adj; source = Some source }
+                    in
                     let run =
                       match Cache.find t.cache (key_of base ~digest:r.rdigest ~source) with
                       | Some base_entry ->
@@ -553,21 +609,17 @@ let handle_reschedule t (base : C.request) (delta : C.delta) =
                             let base_model =
                               Model.create ~phy:base.C.model r.rnet (system_of base r.rnet)
                             in
-                            let stats, schedule =
-                              do_repair t.warm base ~base_model ~base_entry ~family ~source
-                                delta
-                            in
-                            { stats; schedule }
+                            entry_of ~origin
+                              (do_repair t.warm base ~base_model ~base_entry ~family
+                                 ~source delta)
                       | None ->
                           fun () ->
                             let net' = Network.synthetic g' in
                             let model' =
                               Model.create ~phy:base.C.model net' (system_of base net')
                             in
-                            let stats, schedule =
-                              do_solve_warm t.warm base model' ~source ~family
-                            in
-                            { stats; schedule }
+                            entry_of ~origin
+                              (do_solve_warm t.warm base model' ~source ~family)
                     in
                     await t ~key ~digest:digest' run)))
   in
@@ -598,6 +650,7 @@ let handle_peek t (req : C.request) =
                 {
                   trace_id = fresh_trace_id t r.rdigest;
                   cache_hit = true;
+                  version = e.version;
                   stats = e.stats;
                   schedule = e.schedule;
                 }
@@ -609,7 +662,7 @@ let handle_peek t (req : C.request) =
    schedule for the right request, which determinism upstream rules
    out. Only shape is re-validated here; byte-level trust is between
    fleet members. *)
-let handle_put t (req : C.request) (stats : C.stats) schedule =
+let handle_put t (req : C.request) ~version (stats : C.stats) schedule =
   if not (model_allowed t req.C.model) then reject_model req.C.model
   else
   match resolve ~memo:t.topo req with
@@ -621,7 +674,9 @@ let handle_put t (req : C.request) (stats : C.stats) schedule =
           if Schedule.n_nodes schedule <> Network.n_nodes r.rnet then
             reply_error "put: schedule does not match the request topology"
           else begin
-            Cache.add t.cache (key_of req ~digest:r.rdigest ~source) { stats; schedule };
+            install t
+              ~key:(key_of req ~digest:r.rdigest ~source)
+              (entry_of ~origin:req ~version (stats, schedule));
             Metrics.incr m_fills;
             C.Put_ack
           end)
@@ -675,8 +730,8 @@ let handle_conn t fd =
           | C.Peek req ->
               C.send fd (handle_peek t req);
               true
-          | C.Put { req; stats; schedule } ->
-              C.send fd (handle_put t req stats schedule);
+          | C.Put { req; version; stats; schedule } ->
+              C.send fd (handle_put t req ~version stats schedule);
               true
           | C.Stats_request ->
               C.send fd (C.Stats_reply (server_stats ()));
@@ -698,6 +753,76 @@ let handle_conn t fd =
       (try C.send fd (C.Reply_error "malformed frame") with _ -> ())
   | Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+(* ----------------------- background polishing ---------------------- *)
+
+(* The improver runs in otherwise-idle dispatcher cycles. One pass
+   picks a polish candidate from the hot (MRU) end of the cache —
+   preferring the entry with the fewest prior attempts, ties broken
+   towards most recently used — rebuilds its model from the stored
+   origin request, runs a budget-bounded GLS/VNS pass, and installs a
+   strictly-better Validate-clean result as version+1. The seed is a
+   deterministic function of the content address and the attempt
+   number, so a pass over a given entry is reproducible while
+   successive passes still explore different trajectories. *)
+
+let max_polish_attempts = 16
+let polish_scan = 8
+
+let polish_once t ~budget =
+  let rec take n = function
+    | x :: tl when n > 0 -> x :: take (n - 1) tl
+    | _ -> []
+  in
+  let cands =
+    List.filter_map
+      (fun (key, e) ->
+        match e.origin with
+        | Some req when Atomic.get e.attempts < max_polish_attempts -> Some (key, e, req)
+        | _ -> None)
+      (take polish_scan (Cache.to_list_mru t.cache))
+  in
+  match cands with
+  | [] -> false
+  | first :: rest ->
+      let key, e, req =
+        List.fold_left
+          (fun ((_, be, _) as b) ((_, ce, _) as c) ->
+            if Atomic.get ce.attempts < Atomic.get be.attempts then c else b)
+          first rest
+      in
+      let attempt = Atomic.fetch_and_add e.attempts 1 in
+      Metrics.incr m_polish_passes;
+      let outcome =
+        try
+          let r = resolve ~memo:t.topo req in
+          let model = Model.create ~phy:req.C.model r.rnet (system_of req r.rnet) in
+          let seed = (Hashtbl.hash key * 131) + attempt in
+          Some (Improve.improve ~seed ~budget model e.schedule)
+        with _ -> None
+      in
+      (match outcome with
+      | Some o when o.Improve.improved ->
+          let plan = o.Improve.schedule in
+          let stats =
+            {
+              e.stats with
+              C.elapsed = Schedule.elapsed plan;
+              transmissions = Schedule.n_transmissions plan;
+              n_steps = List.length (Schedule.steps plan);
+            }
+          in
+          install t ~key
+            {
+              stats;
+              schedule = plan;
+              version = e.version + 1;
+              origin = e.origin;
+              attempts = Atomic.make (attempt + 1);
+            };
+          Metrics.incr m_upgrades;
+          true
+      | Some _ | None -> false)
 
 (* --------------------------- lifecycle ----------------------------- *)
 
@@ -725,6 +850,7 @@ let start cfg =
       listeners = [];
       trace_ctr = Atomic.make 0;
       acceptor = None;
+      improver = None;
       cleaned = false;
     }
   in
@@ -742,6 +868,21 @@ let start cfg =
              ~stopped:(fun () -> Atomic.get t.stop_requested)
              ~handle:(handle_conn t))
          ());
+  if cfg.improve_budget > 0 then
+    t.improver <-
+      Some
+        (Thread.create
+           (fun () ->
+             (* Poll for idleness; a polish pass only starts while the
+                dispatcher has neither queued nor in-flight work, and
+                every pass is budget-bounded, so shutdown joins
+                promptly. *)
+             while not (Atomic.get t.stop_requested) do
+               if Dispatch.busy t.disp then Thread.delay 0.02
+               else if not (polish_once t ~budget:cfg.improve_budget) then
+                 Thread.delay 0.02
+             done)
+           ());
   t
 
 let cleanup t =
@@ -763,6 +904,7 @@ let wait t =
   done;
   Dispatch.stop t.disp;
   Option.iter Thread.join t.acceptor;
+  Option.iter Thread.join t.improver;
   Dispatch.join t.disp;
   cleanup t
 

@@ -51,10 +51,15 @@ type config = {
       (** interference models this daemon serves; [None] = all. A
           request for any other model is refused with [Reply_error]
           before topology resolution. *)
+  improve_budget : int;
+      (** candidate evaluations per background polish pass; 0 (the
+          default) disables the improver entirely — every served
+          schedule then stays byte-identical to {!solve}. *)
 }
 
 (** Defaults from {!Mlbs_workload.Config.default}: jobs = all cores,
-    queue 64, cache 512, persist 64, no TCP, socket required. *)
+    queue 64, cache 512, persist 64, no TCP, socket required,
+    improvement off. *)
 val default_config : socket_path:string -> config
 
 (** A running daemon. *)
@@ -94,6 +99,12 @@ val tcp_port : t -> int option
     unsatisfiable requests (bad source, disconnected density, …). *)
 val solve : Codec.request -> Codec.stats * Mlbs_core.Schedule.t
 
+(** [model_of req] rebuilds the interference model [solve req] runs
+    under — what a client needs to radio-replay a served schedule (the
+    version-upgrade branch of [mlbs loadgen --verify] and [mlbs request
+    --verify]). *)
+val model_of : Codec.request -> Mlbs_core.Model.t
+
 (** [cache_key req] is the content address the daemon files [req]
     under: canonical graph digest + policy + rate + wake-seed + source
     + start. Exposed for tests. *)
@@ -110,8 +121,35 @@ val derived_request : Codec.request -> Codec.delta -> Codec.request
 
 (* --------------------- cache persistence ------------------------- *)
 
-(** One cached solve. *)
-type entry = { stats : Codec.stats; schedule : Mlbs_core.Schedule.t }
+(** One cached solve. [version] counts the strictly-better
+    Validate-clean upgrades installed on this content address (0 = the
+    deterministic {!solve} result). [origin] is the request the entry
+    answers; the background improver needs it to rebuild the model, so
+    entries warmed from disk ([None]) are never polished. [attempts]
+    counts polish passes spent on the entry — it salts the improver's
+    seed and caps fruitless re-polish work. *)
+type entry = {
+  stats : Codec.stats;
+  schedule : Mlbs_core.Schedule.t;
+  version : int;
+  origin : Codec.request option;
+  attempts : int Atomic.t;
+}
+
+(** [entry_of ?origin ?version (stats, schedule)] builds an entry
+    (defaults: no origin, version 0, zero attempts). *)
+val entry_of : ?origin:Codec.request -> ?version:int -> Codec.stats * Mlbs_core.Schedule.t -> entry
+
+(** [polish_once t ~budget] runs one background-improvement pass by
+    hand: pick the least-attempted entry among the hottest few that
+    still carry an origin request, run a [budget]-bounded
+    {!Mlbs_search.Improve.improve} over it, and install a
+    strictly-better Validate-clean result under [version + 1]. Returns
+    [true] iff an upgrade was installed. This is exactly what the
+    improver thread does in idle dispatcher cycles when the daemon
+    runs with [improve_budget > 0]; exposed so tests can drive the
+    polishing loop deterministically. *)
+val polish_once : t -> budget:int -> bool
 
 (** [save_cache ~dir ~limit cache] writes the [limit] hottest entries
     (MRU first) into [dir] — an [index.txt] plus one

@@ -289,7 +289,7 @@ let serve_request t ~payload ~key =
       let solve_on_owner () =
         let reply = rpc t b payload in
         (match C.reply_view reply with
-        | C.View_ok { cache_hit = true } -> Metrics.incr b.m_shard_hits
+        | C.View_ok { cache_hit = true; _ } -> Metrics.incr b.m_shard_hits
         | _ -> ());
         record_reply t reply;
         reply
@@ -331,7 +331,13 @@ let serve_request t ~payload ~key =
                       match
                         rpc t b
                           (C.encode
-                             (C.Put { req; stats = ok.C.stats; schedule = ok.C.schedule }))
+                             (C.Put
+                                 {
+                                   req;
+                                   version = ok.C.version;
+                                   stats = ok.C.stats;
+                                   schedule = ok.C.schedule;
+                                 }))
                       with
                       | _ -> ()
                       | exception Backend_down -> ())
@@ -348,7 +354,7 @@ let serve_routed t ~payload ~key =
       Metrics.incr b.m_shard_requests;
       let reply = rpc t b payload in
       (match C.reply_view reply with
-      | C.View_ok { cache_hit = true } -> Metrics.incr b.m_shard_hits
+      | C.View_ok { cache_hit = true; _ } -> Metrics.incr b.m_shard_hits
       | _ -> ());
       record_reply t reply;
       reply)

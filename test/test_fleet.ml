@@ -239,7 +239,7 @@ let test_fleet_peer_fill () =
   (* Plant the solved schedule at the successor via a direct Put. *)
   let stats, schedule = Daemon.solve req in
   let sc, _, _ = Client.connect (ep_named succ) in
-  (match Client.put sc ~req ~stats ~schedule with
+  (match Client.put sc ~req ~stats ~schedule () with
   | Ok () -> ()
   | Error m -> Alcotest.failf "put to successor failed: %s" m);
   Client.close sc;

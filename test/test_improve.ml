@@ -1,0 +1,203 @@
+(* The GLS/VNS improvement engine's contract: every schedule it returns
+   is exactly as trustworthy as the construction it started from. The
+   qcheck properties drive random small deployments under all three
+   interference backends and check (1) the result always replays clean
+   on the radio simulator and never regresses the start, (2) the whole
+   search is a pure function of (model, schedule, seed, budget), (3)
+   quality is monotone in the budget per seed, (4) budget 0 is a
+   byte-identical no-op. The daemon test drives the background
+   polishing loop by hand through [Daemon.polish_once] and checks that
+   upgrades are versioned and monotone while a reply already handed to
+   a client stays pinned to the bytes of its version. *)
+
+module Interference = Mlbs_phy.Interference
+module Model = Mlbs_core.Model
+module Schedule = Mlbs_core.Schedule
+module Scheduler = Mlbs_core.Scheduler
+module Validate = Mlbs_sim.Validate
+module Improve = Mlbs_search.Improve
+module Codec = Mlbs_server.Codec
+module Client = Mlbs_server.Client
+module Daemon = Mlbs_server.Daemon
+
+let bytes_of = Codec.schedule_bytes
+
+let temp_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mlbs_improve_%d_%d" (Unix.getpid ()) !ctr)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* ------------------------- qcheck cases ---------------------------- *)
+
+let phys =
+  [ Interference.Udg; Interference.Sinr Interference.default_sinr;
+    Interference.Multichannel 3 ]
+
+(* A random instance (all three interference backends, sync or
+   duty-cycled) plus its Baseline start schedule — the start with the
+   most slack, so acceptance paths actually execute. *)
+let gen_case =
+  QCheck2.Gen.(
+    let* n = int_range 8 24 in
+    let* seed = int_bound 10000 in
+    let* phy = oneofl phys in
+    let* rate = option (int_range 2 6) in
+    let* search_seed = int_bound 1000 in
+    let net = Test_support.small_network ~n ~seed in
+    let system =
+      match rate with
+      | None -> Model.Sync
+      | Some rate ->
+          Model.Async (Mlbs_dutycycle.Wake_schedule.create ~rate ~n_nodes:n ~seed ())
+    in
+    let model = Model.create ~phy net system in
+    let plan = Scheduler.run model Scheduler.Baseline ~source:0 ~start:1 in
+    return (model, plan, search_seed))
+
+let valid_and_never_worse (model, plan, seed) =
+  let o = Improve.improve ~seed ~budget:300 model plan in
+  (Validate.check model o.Improve.schedule).Validate.ok
+  && Schedule.elapsed o.Improve.schedule <= Schedule.elapsed plan
+  && o.Improve.improved
+     = (Schedule.elapsed o.Improve.schedule < Schedule.elapsed plan)
+
+let deterministic_per_seed (model, plan, seed) =
+  let o1 = Improve.improve ~seed ~budget:250 model plan in
+  let o2 = Improve.improve ~seed ~budget:250 model plan in
+  bytes_of o1.Improve.schedule = bytes_of o2.Improve.schedule
+  && o1.Improve.evals = o2.Improve.evals
+  && o1.Improve.accepted = o2.Improve.accepted
+
+(* A longer run with the same seed replays the shorter run's trajectory
+   as a prefix and the incumbent only ever improves, so quality is
+   monotone in the budget. *)
+let monotone_in_budget (model, plan, seed) =
+  let at budget = Schedule.elapsed (Improve.improve ~seed ~budget model plan).Improve.schedule in
+  let e100 = at 100 and e400 = at 400 in
+  e400 <= e100 && e100 <= Schedule.elapsed plan
+
+let budget_zero_noop (model, plan, seed) =
+  let o = Improve.improve ~seed ~budget:0 model plan in
+  bytes_of o.Improve.schedule = bytes_of plan
+  && (not o.Improve.improved)
+  && o.Improve.evals = 0
+
+let prop ?(count = 40) name f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen_case f)
+
+(* --------------------- daemon background polish -------------------- *)
+
+(* Improver thread off ([improve_budget = 0]); the polishing loop is
+   driven deterministically through [polish_once]. *)
+let with_daemon f =
+  let dir = temp_dir () in
+  let socket_path = Filename.concat dir "d.sock" in
+  let cfg =
+    { (Daemon.default_config ~socket_path) with Daemon.jobs = 1; cache_capacity = 8 }
+  in
+  let d = Daemon.start cfg in
+  let finish () =
+    Daemon.stop d;
+    Daemon.wait d;
+    rm_rf dir
+  in
+  Fun.protect ~finally:finish (fun () -> f d socket_path)
+
+let baseline_request =
+  {
+    Codec.policy = Codec.Baseline;
+    rate = None;
+    seed = 7;
+    topology = Codec.Gen { n = 60; radius = 10.0 };
+    source = None;
+    start = 1;
+    model = Interference.Udg;
+  }
+
+let request_ok c req =
+  match Client.request_retry c req with
+  | Client.Ok ok -> ok
+  | Client.Rejected _ -> Alcotest.fail "request shed"
+  | Client.Error m -> Alcotest.failf "request failed: %s" m
+
+(* Polish until an upgrade installs, bounded by the daemon's own
+   per-entry attempt cap. *)
+let rec polish_until d ~budget = function
+  | 0 -> false
+  | n -> Daemon.polish_once d ~budget || polish_until d ~budget (n - 1)
+
+let test_polish_pinned_reply () =
+  with_daemon @@ fun d socket ->
+  let c, _, _ = Client.connect (Client.Unix_socket socket) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let req = baseline_request in
+  let ok0 = request_ok c req in
+  Alcotest.(check int) "first reply is the deterministic construction" 0
+    ok0.Codec.version;
+  let pinned = bytes_of ok0.Codec.schedule in
+  Alcotest.(check bool) "an upgrade installs" true (polish_until d ~budget:400 12);
+  let ok1 = request_ok c req in
+  Alcotest.(check bool) "served version advanced" true (ok1.Codec.version > 0);
+  Alcotest.(check bool) "upgrade is a cache hit" true ok1.Codec.cache_hit;
+  Alcotest.(check bool) "upgrade strictly better" true
+    (Schedule.elapsed ok1.Codec.schedule < Schedule.elapsed ok0.Codec.schedule);
+  let report = Validate.check (Daemon.model_of req) ok1.Codec.schedule in
+  Alcotest.(check bool) "upgrade replays clean" true report.Validate.ok;
+  (* The reply already handed out is pinned to its version: polishing
+     installed a new entry, it did not mutate the served value. *)
+  Alcotest.(check string) "pinned v0 reply unchanged" pinned (bytes_of ok0.Codec.schedule);
+  let _, local = Daemon.solve req in
+  Alcotest.(check string) "pinned v0 reply = direct scheduler" (bytes_of local) pinned;
+  (* Versions only ever go up; a further upgrade (if any) outranks v1. *)
+  let v1 = ok1.Codec.version in
+  let _ = polish_until d ~budget:400 12 in
+  let ok2 = request_ok c req in
+  Alcotest.(check bool) "versions are monotone" true (ok2.Codec.version >= v1);
+  Alcotest.(check bool) "later version never worse" true
+    (Schedule.elapsed ok2.Codec.schedule <= Schedule.elapsed ok1.Codec.schedule)
+
+(* Budget 0 in the daemon config means no improver thread exists and
+   every reply stays version 0 regardless of how often it is served. *)
+let test_budget_zero_daemon () =
+  with_daemon @@ fun _d socket ->
+  let c, _, _ = Client.connect (Client.Unix_socket socket) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let ok0 = request_ok c baseline_request in
+  let ok1 = request_ok c baseline_request in
+  Alcotest.(check int) "cold version 0" 0 ok0.Codec.version;
+  Alcotest.(check int) "hit version 0" 0 ok1.Codec.version;
+  Alcotest.(check string) "hit byte-identical" (bytes_of ok0.Codec.schedule)
+    (bytes_of ok1.Codec.schedule)
+
+let () =
+  Alcotest.run "improve"
+    [
+      ( "engine",
+        [
+          prop "result replays clean and never regresses" valid_and_never_worse;
+          prop "deterministic per (model, schedule, seed, budget)" deterministic_per_seed;
+          prop ~count:25 "quality monotone in budget" monotone_in_budget;
+          prop "budget 0 is a byte-identical no-op" budget_zero_noop;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "polish upgrades are versioned; replies stay pinned" `Slow
+            test_polish_pinned_reply;
+          Alcotest.test_case "improve budget 0 serves version 0 forever" `Quick
+            test_budget_zero_daemon;
+        ] );
+    ]

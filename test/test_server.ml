@@ -60,7 +60,7 @@ let sample_delta =
   }
 
 let test_codec_roundtrip () =
-  Alcotest.(check int) "model-aware requests need protocol v4" 4 Codec.protocol_version;
+  Alcotest.(check int) "versioned replies need protocol v5" 5 Codec.protocol_version;
   check_roundtrip "hello" (Codec.Hello { proto = 1; version = "1.1.0" });
   check_roundtrip "hello_ack"
     (Codec.Hello_ack { proto = 1; version = "1.1.0"; version_match = false });
@@ -91,6 +91,7 @@ let test_codec_roundtrip () =
        {
          trace_id = "rq-000001-aabbccdd";
          cache_hit = true;
+         version = 3;
          stats = sample_stats;
          schedule = sample_schedule;
        });
@@ -109,7 +110,8 @@ let test_codec_roundtrip () =
   check_roundtrip "peek" (Codec.Peek gen_request);
   check_roundtrip "peek_miss" Codec.Peek_miss;
   check_roundtrip "put"
-    (Codec.Put { req = gen_request; stats = sample_stats; schedule = sample_schedule });
+    (Codec.Put
+       { req = gen_request; version = 2; stats = sample_stats; schedule = sample_schedule });
   check_roundtrip "put_ack" Codec.Put_ack
 
 let expect_malformed name payload =
@@ -205,9 +207,7 @@ let test_cache_concurrent_domains () =
 
 (* ------------------------- cache persistence ----------------------- *)
 
-let entry_of_request req =
-  let stats, schedule = Daemon.solve req in
-  { Daemon.stats; schedule }
+let entry_of_request req = Daemon.entry_of ~origin:req (Daemon.solve req)
 
 let test_cache_persistence_roundtrip () =
   let dir = temp_dir () in
